@@ -1,0 +1,255 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Conventions: BenchmarkFigN* benches report the figure's headline
+// quantity as a custom metric (Gbps, recovery seconds, completion
+// seconds) so `go test -bench` output reads like the paper's results
+// table. Time-domain figures run one full simulation per iteration.
+package tcpls_test
+
+import (
+	"testing"
+	"time"
+
+	"tcpls/internal/cc"
+	"tcpls/internal/ebpfvm"
+	"tcpls/internal/experiments"
+	"tcpls/internal/miniquic"
+)
+
+// --- Table 1 ---
+
+func BenchmarkTable1Services(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table1(); len(rows) != 7 {
+			b.Fatal("table generation failed")
+		}
+	}
+}
+
+// --- Fig. 7: one bench per bar (64 MiB per iteration) ---
+
+const fig7Bytes = 64 << 20
+
+// benchPipeline measures a single Fig. 7 stack without running the
+// others.
+func benchPipeline(b *testing.B, run func(bytes int) error) {
+	b.SetBytes(fig7Bytes)
+	for i := 0; i < b.N; i++ {
+		if err := run(fig7Bytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7TLSTCP(b *testing.B) {
+	benchPipeline(b, func(n int) error {
+		_, err := experiments.TLSTCPPipeline(n, 1500)
+		return err
+	})
+}
+
+func BenchmarkFig7TCPLS(b *testing.B) {
+	benchPipeline(b, func(n int) error {
+		_, err := experiments.TCPLSPipeline(n, false, false)
+		return err
+	})
+}
+
+func BenchmarkFig7TCPLSFailover(b *testing.B) {
+	benchPipeline(b, func(n int) error {
+		_, err := experiments.TCPLSPipeline(n, true, false)
+		return err
+	})
+}
+
+func BenchmarkFig7TCPLSMultipath(b *testing.B) {
+	benchPipeline(b, func(n int) error {
+		_, err := experiments.TCPLSPipeline(n, true, true)
+		return err
+	})
+}
+
+func benchQUIC(b *testing.B, cfg miniquic.Config) {
+	p, err := miniquic.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Transfer(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Quicly(b *testing.B) { benchQUIC(b, miniquic.Quicly) }
+func BenchmarkFig7MsQuic(b *testing.B) { benchQUIC(b, miniquic.MsQuic) }
+func BenchmarkFig7Mvfst(b *testing.B)  { benchQUIC(b, miniquic.Mvfst) }
+
+// --- Figs. 8-13: one simulation per iteration ---
+
+func BenchmarkFig8Failover(b *testing.B) {
+	var rec time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8("blackhole")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec = r.TCPLSRecovery
+	}
+	b.ReportMetric(rec.Seconds(), "recovery-s")
+}
+
+func BenchmarkFig9RepeatedOutages(b *testing.B) {
+	var done time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done = r.TCPLSDone
+	}
+	b.ReportMetric(done.Seconds(), "tcpls-done-s")
+}
+
+func BenchmarkFig10Migration(b *testing.B) {
+	var done time.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		done = r.Done
+	}
+	b.ReportMetric(done.Seconds(), "done-s")
+}
+
+func BenchmarkFig11Aggregation(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(16368)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps = r.TCPLS.MeanBetween(9*time.Second, 16*time.Second)
+	}
+	b.ReportMetric(mbps, "agg-Mbps")
+}
+
+func BenchmarkFig13SmallRecords(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(1500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mbps = r.TCPLS.MeanBetween(9*time.Second, 16*time.Second)
+	}
+	b.ReportMetric(mbps, "agg-Mbps")
+}
+
+func BenchmarkFig12EbpfCC(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Swapped {
+			b.Fatal("program not attached")
+		}
+		share = r.Vegas.MeanBetween(40*time.Second, 50*time.Second)
+	}
+	b.ReportMetric(share, "post-swap-Mbps")
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// X3: failover throughput vs acknowledgment period (§4.2's "optimal
+// acknowledgment frequency" future work).
+func BenchmarkAckFrequency(b *testing.B) {
+	for _, period := range []int{1, 4, 16, 64} {
+		b.Run(benchName("period", period), func(b *testing.B) {
+			b.SetBytes(fig7Bytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.TCPLSPipelineAck(fig7Bytes, period); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Scheduler ablation: round-robin vs pinned distribution over two conns.
+func BenchmarkSchedulers(b *testing.B) {
+	for _, sched := range []string{"roundrobin", "pinned"} {
+		b.Run(sched, func(b *testing.B) {
+			b.SetBytes(fig7Bytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.TCPLSPipelineSched(fig7Bytes, sched); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Zero-copy delivery vs buffered Read (the §4.1 design claim).
+func BenchmarkZeroCopy(b *testing.B) {
+	for _, mode := range []string{"callback", "buffered"} {
+		b.Run(mode, func(b *testing.B) {
+			b.SetBytes(fig7Bytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.TCPLSPipelineDelivery(fig7Bytes, mode == "callback"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// VM-hosted vs native congestion controller (the §4.4 substitution's
+// overhead).
+func BenchmarkCCNativeVsBytecode(b *testing.B) {
+	b.Run("native-cubic", func(b *testing.B) {
+		a := cc.NewCubic(cc.DefaultMSS)
+		for i := 0; i < b.N; i++ {
+			a.OnAck(cc.DefaultMSS, 20*time.Millisecond, time.Duration(i)*time.Millisecond)
+		}
+	})
+	b.Run("bytecode-cubic", func(b *testing.B) {
+		p, err := ebpfvm.NewCCProgram("cubic", ebpfvm.Program("cubic"), cc.DefaultMSS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			p.OnAck(cc.DefaultMSS, 20*time.Millisecond, time.Duration(i)*time.Millisecond)
+		}
+		if p.Err() != nil {
+			b.Fatal(p.Err())
+		}
+	})
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,201 @@
+// Command tcpls-experiments regenerates the tables and figures of
+// "TCPLS: Modern Transport Services with TCP and TLS" (CoNEXT 2021).
+//
+// Usage:
+//
+//	tcpls-experiments -run all            # everything (several minutes)
+//	tcpls-experiments -run table1
+//	tcpls-experiments -run fig7 [-bytes N] [-mtu 1500|9000|both]
+//	tcpls-experiments -run fig8|fig9|fig10|fig11|fig12|fig13
+//	tcpls-experiments -run fig11 -series  # also dump goodput series
+//
+// Each experiment prints the paper's reported quantity (recovery times,
+// goodput levels, throughput bars) followed by the measured shape
+// assertions EXPERIMENTS.md records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tcpls/internal/experiments"
+)
+
+var (
+	runFlag    = flag.String("run", "all", "experiment: all, table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13")
+	bytesFlag  = flag.Int("bytes", 256<<20, "bulk bytes for fig7")
+	mtuFlag    = flag.String("mtu", "both", "fig7 MTU: 1500, 9000, or both")
+	seriesFlag = flag.Bool("series", false, "print full goodput series (gnuplot format)")
+)
+
+func sec(n float64) time.Duration { return time.Duration(n * float64(time.Second)) }
+
+func main() {
+	flag.Parse()
+	run := map[string]func() error{
+		"table1": table1,
+		"fig7":   fig7,
+		"fig8":   fig8,
+		"fig9":   fig9,
+		"fig10":  fig10,
+		"fig11":  func() error { return fig11(16368, "FIG11") },
+		"fig12":  fig12,
+		"fig13":  func() error { return fig11(1500, "FIG13") },
+	}
+	order := []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13", "fig12"}
+	if *runFlag == "all" {
+		for _, name := range order {
+			if err := run[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	f, ok := run[*runFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *runFlag)
+		os.Exit(2)
+	}
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", *runFlag, err)
+		os.Exit(1)
+	}
+}
+
+func table1() error {
+	fmt.Println("== Table 1: transport services per stack ==")
+	fmt.Printf("%-42s %-6s %-8s %-8s %-8s %-6s\n", "Service", "TCP", "MPTCP", "TLS/TCP", "QUIC", "TCPLS")
+	for _, r := range experiments.Table1() {
+		fmt.Printf("%-42s %-6s %-8s %-8s %-8s %-6s\n", r.Service, r.TCP, r.MPTCP, r.TLSTCP, r.QUIC, r.TCPLS)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig7() error {
+	fmt.Println("== Fig. 7: raw throughput (this machine's CPU; compare ratios, not absolutes) ==")
+	mtus := []int{1500, 9000}
+	switch *mtuFlag {
+	case "1500":
+		mtus = []int{1500}
+	case "9000":
+		mtus = []int{9000}
+	}
+	for _, mtu := range mtus {
+		rows, err := experiments.Fig7(mtu, *bytesFlag)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("  MTU=%-5d %-16s %6.2f Gbps  %8.0f kpps\n", r.MTU, r.Stack, r.Gbps, r.KPPS)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig8() error {
+	fmt.Println("== Fig. 8: recovery from a single outage (TCPLS vs MPTCP) ==")
+	for _, outage := range []string{"blackhole", "rst"} {
+		r, err := experiments.Fig8(outage)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-9s  TCPLS recovery %-8v  MPTCP recovery %-8v  (goodput after: %.1f / %.1f Mbps)\n",
+			outage, r.TCPLSRecovery, r.MPTCPRecovery,
+			r.TCPLS.MeanBetween(sec(6), sec(15)), r.MPTCP.MeanBetween(sec(6), sec(15)))
+		if *seriesFlag {
+			fmt.Print(experiments.FormatSeries(r.TCPLS))
+			fmt.Print(experiments.FormatSeries(r.MPTCP))
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig9() error {
+	fmt.Println("== Fig. 9: 60 MB download under rotating outages (3 of 4 paths down, rotating every 5 s) ==")
+	r, err := experiments.Fig9()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  TCPLS completed in %v; MPTCP completed in %v\n", r.TCPLSDone, r.MPTCPDone)
+	if *seriesFlag {
+		fmt.Print(experiments.FormatSeries(r.TCPLS))
+		fmt.Print(experiments.FormatSeries(r.MPTCP))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig10() error {
+	fmt.Println("== Fig. 10: application-triggered connection migration (60 MiB, v4 -> v6 -> v4) ==")
+	r, err := experiments.Fig10()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  completed in %v; migrations at %v and %v\n", r.Done, r.Migrations[0], r.Migrations[1])
+	fmt.Printf("  goodput: before=%.1f  between=%.1f  after=%.1f Mbps (sustained through both migrations)\n",
+		r.Goodput.MeanBetween(sec(2), sec(6)),
+		r.Goodput.MeanBetween(sec(9), sec(12)),
+		r.Goodput.MeanBetween(sec(15), sec(18)))
+	fmt.Printf("  peak inside first migration window: %.1f Mbps (temporary two-path aggregation)\n",
+		maxWindow(r.Goodput, r.Migrations[0], r.Migrations[0]+sec(3)))
+	if *seriesFlag {
+		fmt.Print(experiments.FormatSeries(r.Goodput))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig11(recordSize int, label string) error {
+	fmt.Printf("== %s: bandwidth aggregation, second path at t=5 s (record payload %d B) ==\n", label, recordSize)
+	r, err := experiments.Fig11(recordSize)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  TCPLS:  single-path %.1f Mbps -> aggregated %.1f Mbps (done %v)\n",
+		r.TCPLS.MeanBetween(sec(2), sec(5)), r.TCPLS.MeanBetween(sec(9), sec(16)), r.TCPLSDone)
+	fmt.Printf("  MPTCP:  single-path %.1f Mbps -> aggregated %.1f Mbps (done %v)\n",
+		r.MPTCP.MeanBetween(sec(2), sec(5)), r.MPTCP.MeanBetween(sec(9), sec(16)), r.MPTCPDone)
+	fmt.Printf("  TCPLS goodput jitter in the aggregated region: %.2f Mbps stddev\n",
+		experiments.Jitter(r.TCPLS, sec(9), sec(16)))
+	if *seriesFlag {
+		fmt.Print(experiments.FormatSeries(r.TCPLS))
+		fmt.Print(experiments.FormatSeries(r.MPTCP))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig12() error {
+	fmt.Println("== Fig. 12: eBPF congestion-controller exchange over a shared 100 Mbps / 60 ms bottleneck ==")
+	r, err := experiments.Fig12()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  bytecode shipped, verified and attached: %v (swap at %v)\n", r.Swapped, r.SwapAt)
+	fmt.Printf("  unfair  [10s,15s): session1(vegas)=%.1f  session2(cubic)=%.1f Mbps\n",
+		r.Vegas.MeanBetween(sec(10), sec(15)), r.Cubic.MeanBetween(sec(10), sec(15)))
+	fmt.Printf("  post-swap [40s,50s): session1(cubic-bpf)=%.1f  session2(cubic)=%.1f Mbps\n",
+		r.Vegas.MeanBetween(sec(40), sec(50)), r.Cubic.MeanBetween(sec(40), sec(50)))
+	if *seriesFlag {
+		fmt.Print(experiments.FormatSeries(r.Vegas))
+		fmt.Print(experiments.FormatSeries(r.Cubic))
+	}
+	fmt.Println()
+	return nil
+}
+
+func maxWindow(s experiments.Series, from, to time.Duration) float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.T >= from && p.T < to && p.Mbps > m {
+			m = p.Mbps
+		}
+	}
+	return m
+}

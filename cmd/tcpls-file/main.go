@@ -1,0 +1,190 @@
+// Command tcpls-file transfers a file over a TCPLS session, optionally
+// aggregating two network paths with coupled streams (the paper's §5.5
+// workload as a usable tool).
+//
+// Server:  tcpls-file -server -listen :4443
+// Send:    tcpls-file -connect host:4443 -send path/to/file
+//
+//	[-second-path host2:4443]  # join and aggregate over a second path
+//
+// The server writes received files to the current directory under the
+// transmitted name (sanitized).
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tcpls"
+)
+
+var (
+	serverFlag = flag.Bool("server", false, "run as server")
+	listenFlag = flag.String("listen", ":4443", "listen address")
+	connectF   = flag.String("connect", "", "server address")
+	sendFlag   = flag.String("send", "", "file to send")
+	secondPath = flag.String("second-path", "", "second server address to join for aggregation")
+	nameFlag   = flag.String("name", "files.tcpls", "server certificate name")
+)
+
+func main() {
+	flag.Parse()
+	if *serverFlag {
+		runServer()
+		return
+	}
+	if *connectF == "" || *sendFlag == "" {
+		fmt.Fprintln(os.Stderr, "need -server, or -connect and -send")
+		os.Exit(2)
+	}
+	runClient()
+}
+
+// header: coupled flag (1 byte) + name length (2 bytes) + name +
+// file size (8 bytes).
+func writeHeader(w io.Writer, name string, size int64, coupled bool) error {
+	base := filepath.Base(name)
+	buf := make([]byte, 3+len(base)+8)
+	if coupled {
+		buf[0] = 1
+	}
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(base)))
+	copy(buf[3:], base)
+	binary.BigEndian.PutUint64(buf[3+len(base):], uint64(size))
+	_, err := w.Write(buf)
+	return err
+}
+
+func readHeader(r io.Reader) (string, int64, bool, error) {
+	var fixed [3]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return "", 0, false, err
+	}
+	coupled := fixed[0] == 1
+	nameBuf := make([]byte, binary.BigEndian.Uint16(fixed[1:]))
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return "", 0, false, err
+	}
+	var sizeBuf [8]byte
+	if _, err := io.ReadFull(r, sizeBuf[:]); err != nil {
+		return "", 0, false, err
+	}
+	name := strings.ReplaceAll(string(nameBuf), "/", "_")
+	return name, int64(binary.BigEndian.Uint64(sizeBuf[:])), coupled, nil
+}
+
+func runServer() {
+	cert, err := tcpls.NewCertificate(*nameFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := tcpls.Listen("tcp", *listenFlag, &tcpls.Config{Certificate: cert})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("tcpls-file server on %s", ln.Addr())
+	for {
+		sess, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			defer sess.Close()
+			st, err := sess.AcceptStream(context.Background())
+			if err != nil {
+				return
+			}
+			name, size, coupled, err := readHeader(st)
+			if err != nil {
+				log.Printf("bad header: %v", err)
+				return
+			}
+			out, err := os.Create(name + ".recv")
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer out.Close()
+			var body io.Reader = st
+			if coupled {
+				body = coupledReader{sess}
+			}
+			start := time.Now()
+			n, err := io.CopyN(out, body, size)
+			if err != nil && err != io.EOF {
+				log.Printf("receive: %v after %d bytes", err, n)
+				return
+			}
+			log.Printf("received %q: %d bytes in %v (%.2f Mbps)",
+				name, n, time.Since(start), float64(n)*8/time.Since(start).Seconds()/1e6)
+		}()
+	}
+}
+
+// coupledReader adapts ReadCoupled to io.Reader.
+type coupledReader struct{ sess *tcpls.Session }
+
+func (r coupledReader) Read(p []byte) (int, error) { return r.sess.ReadCoupled(p) }
+
+func runClient() {
+	f, err := os.Open(*sendFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := tcpls.Dial("tcp", *connectF, &tcpls.Config{ServerName: *nameFlag})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	st, err := sess.OpenStream()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeHeader(st, *sendFlag, info.Size(), *secondPath != ""); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	var writer io.Writer = st
+	if *secondPath != "" {
+		conn2, err := sess.JoinPath("tcp", *secondPath)
+		if err != nil {
+			log.Fatalf("join second path: %v", err)
+		}
+		st2, err := sess.OpenStreamOn(conn2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sess.Couple(st, st2); err != nil {
+			log.Fatal(err)
+		}
+		writer = coupledWriter{sess}
+		log.Printf("aggregating over two paths (conn 0 and %d)", conn2)
+	}
+	n, err := io.Copy(writer, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.Close()
+	elapsed := time.Since(start)
+	fmt.Printf("sent %d bytes in %v (%.2f Mbps)\n", n, elapsed, float64(n)*8/elapsed.Seconds()/1e6)
+}
+
+type coupledWriter struct{ sess *tcpls.Session }
+
+func (w coupledWriter) Write(p []byte) (int, error) { return w.sess.WriteCoupled(p) }

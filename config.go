@@ -1,0 +1,96 @@
+package tcpls
+
+import (
+	"crypto/ed25519"
+	"net/netip"
+	"time"
+
+	"tcpls/internal/core"
+	"tcpls/internal/handshake"
+	"tcpls/internal/record"
+)
+
+// Certificate is a server identity (Ed25519 key pair plus name).
+type Certificate = handshake.Certificate
+
+// NewCertificate generates a fresh server identity.
+func NewCertificate(name string) (*Certificate, error) {
+	return handshake.NewCertificate(name)
+}
+
+// SessID identifies a TCPLS session on the server.
+type SessID = handshake.SessID
+
+// Cookie is a single-use token authorizing one connection join.
+type Cookie = handshake.Cookie
+
+// Cipher suite identifiers re-exported for configuration.
+const (
+	TLSAES128GCMSHA256        = record.TLSAES128GCMSHA256
+	TLSCHACHA20POLY1305SHA256 = record.TLSCHACHA20POLY1305SHA256
+)
+
+// Config configures both clients (Dial) and servers (Listen).
+type Config struct {
+	// ServerName is the expected server identity (client side).
+	ServerName string
+	// RootKeys pins acceptable server public keys (client side). Empty
+	// accepts any key — use only in tests.
+	RootKeys []ed25519.PublicKey
+	// Certificate is the server identity (server side).
+	Certificate *Certificate
+	// AdvertiseAddrs is announced to clients in the encrypted ADDR
+	// extension so they can join additional paths.
+	AdvertiseAddrs []netip.Addr
+	// NumCookies bounds the client's join budget (default 2).
+	NumCookies int
+
+	// DisableTCPLS turns the session into plain TLS-over-TCP: no TCPLS
+	// Hello is offered/echoed and no transport services are available.
+	// Used by the TLS/TCP baseline in the paper's Fig. 7.
+	DisableTCPLS bool
+
+	// EnableFailover turns on record acknowledgments, retransmission
+	// buffering, and automatic failover (paper §4.2).
+	EnableFailover bool
+	// AckPeriod acknowledges every n received records (default 16).
+	AckPeriod int
+	// MaxRecordPayload caps stream bytes per record (default ~16 KiB;
+	// the paper's Appendix A uses 1500 to smooth aggregation).
+	MaxRecordPayload int
+	// UserTimeout is the encrypted TCP User Timeout: silence on an
+	// active connection beyond this declares it failed. Zero disables
+	// timer-based failure detection (RST/FIN detection still works).
+	UserTimeout time.Duration
+	// PadRecordsTo pads every record to a fixed inner-plaintext size so
+	// record lengths leak nothing (bandwidth trade-off). Zero disables.
+	PadRecordsTo int
+
+	// Suites restricts cipher suites (default AES-128-GCM-SHA256).
+	Suites []record.SuiteID
+
+	// Ticket resumes a previous session with an abbreviated handshake
+	// (paper §4.5): no certificate exchange, PSK-seeded key schedule.
+	// Obtain one from Session.ResumptionTicket.
+	Ticket *ClientTicket
+	// DisableTickets stops the server from issuing resumption tickets.
+	DisableTickets bool
+}
+
+func (c *Config) clone() *Config {
+	if c == nil {
+		return &Config{}
+	}
+	out := *c
+	return &out
+}
+
+func (c *Config) coreConfig() core.Config {
+	return core.Config{
+		EnableFailover:   c.EnableFailover,
+		AckPeriod:        c.AckPeriod,
+		MaxRecordPayload: c.MaxRecordPayload,
+		UserTimeout:      c.UserTimeout,
+		PadRecordsTo:     c.PadRecordsTo,
+	}
+}

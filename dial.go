@@ -1,0 +1,203 @@
+package tcpls
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"tcpls/internal/handshake"
+)
+
+// Dial establishes a TCPLS session to addr: TCP connect, TLS 1.3-shaped
+// handshake with the TCPLS Hello extension, then the session is ready
+// for streams. With cfg.DisableTCPLS the result is plain TLS over TCP
+// carrying a single implicit byte stream.
+//
+// Explicit fallback (paper §5.2): when the handshake dies on the wire —
+// an overly strict firewall answering the TCPLS ClientHello with a RST,
+// or a legacy server aborting on unknown extensions — Dial retries once
+// as plain TLS, unless the failure was a protocol-level rejection (bad
+// certificate, bad Finished), which a retry cannot fix.
+func Dial(network, addr string, cfg *Config) (*Session, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := Client(nc, cfg)
+	if err == nil || cfg != nil && cfg.DisableTCPLS || !isWireFailure(err) {
+		return sess, err
+	}
+	// Retry without the TCPLS Hello extension.
+	nc, err2 := net.Dial(network, addr)
+	if err2 != nil {
+		return nil, err
+	}
+	fcfg := cfg.clone()
+	fcfg.DisableTCPLS = true
+	return Client(nc, fcfg)
+}
+
+// isWireFailure distinguishes transport-level aborts (retryable as plain
+// TLS) from authenticated protocol rejections (not retryable).
+func isWireFailure(err error) bool {
+	switch {
+	case errors.Is(err, handshake.ErrBadFinished),
+		errors.Is(err, handshake.ErrBadSignature),
+		errors.Is(err, handshake.ErrUntrustedKey),
+		errors.Is(err, handshake.ErrJoinRejected):
+		return false
+	}
+	return true
+}
+
+// Client runs the client side of a TCPLS session over an established
+// connection (Happy-Eyeballs-style callers dial their own sockets,
+// §4.6).
+func Client(nc net.Conn, cfg *Config) (*Session, error) {
+	cfg = cfg.clone()
+	hcfg := &handshake.Config{
+		Suites:      cfg.Suites,
+		ServerName:  cfg.ServerName,
+		RootKeys:    cfg.RootKeys,
+		EnableTCPLS: !cfg.DisableTCPLS,
+	}
+	if cfg.Ticket != nil {
+		hcfg.PSK = cfg.Ticket.PSK
+		hcfg.PSKTicket = cfg.Ticket.Ticket
+	}
+	tr := handshake.NewTransport(nc)
+	res, err := handshake.Client(tr, hcfg)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if !cfg.DisableTCPLS && !res.TCPLSEnabled {
+		// Implicit fallback (paper §5.2): the server is plain TLS. The
+		// session still works, without TCPLS transport services.
+		cfg.DisableTCPLS = true
+	}
+	return newSession(true, cfg, res, nc, tr.Leftover()), nil
+}
+
+// JoinPath opens an additional TCP connection to addr and joins it to
+// the session using one of the server's single-use cookies (Fig. 3).
+// It returns the new connection's engine ID, usable with OpenStreamOn,
+// Failover, and the scheduler.
+func (s *Session) JoinPath(network, addr string) (uint32, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrSessionClosed
+	}
+	if s.cfg.DisableTCPLS {
+		s.mu.Unlock()
+		return 0, ErrNotTCPLS
+	}
+	if len(s.cookies) == 0 {
+		s.mu.Unlock()
+		return 0, ErrNoCookies
+	}
+	cookie := s.cookies[0]
+	s.cookies = s.cookies[1:]
+	connID := s.nextConnID
+	s.nextConnID++
+	sessID := s.sessID
+	sname := s.cfg.ServerName
+	suites := s.cfg.Suites
+	s.mu.Unlock()
+
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return 0, fmt.Errorf("tcpls: join dial: %w", err)
+	}
+	hcfg := &handshake.Config{
+		Suites:     suites,
+		ServerName: sname,
+		Join:       &handshake.JoinTicket{SessID: sessID, Cookie: cookie, ConnID: connID},
+	}
+	tr := handshake.NewTransport(nc)
+	if _, err := handshake.Client(tr, hcfg); err != nil {
+		nc.Close()
+		return 0, fmt.Errorf("tcpls: join handshake: %w", err)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return 0, ErrSessionClosed
+	}
+	if err := s.engine.AddConnection(connID, time.Now()); err != nil {
+		s.mu.Unlock()
+		nc.Close()
+		return 0, err
+	}
+	s.addConnLocked(connID, nc)
+	var pending []outChunk
+	if leftover := tr.Leftover(); len(leftover) > 0 {
+		s.engine.Receive(connID, leftover, time.Now())
+		s.processEventsLocked()
+		pending = s.collectOutgoingLocked()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.writeAll(pending)
+	return connID, nil
+}
+
+// JoinConn joins an already-established TCP connection (dialed by the
+// application, e.g. from a specific source address) to the session.
+func (s *Session) JoinConn(nc net.Conn) (uint32, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrSessionClosed
+	}
+	if s.cfg.DisableTCPLS {
+		s.mu.Unlock()
+		return 0, ErrNotTCPLS
+	}
+	if len(s.cookies) == 0 {
+		s.mu.Unlock()
+		return 0, ErrNoCookies
+	}
+	cookie := s.cookies[0]
+	s.cookies = s.cookies[1:]
+	connID := s.nextConnID
+	s.nextConnID++
+	sessID := s.sessID
+	sname := s.cfg.ServerName
+	suites := s.cfg.Suites
+	s.mu.Unlock()
+
+	hcfg := &handshake.Config{
+		Suites:     suites,
+		ServerName: sname,
+		Join:       &handshake.JoinTicket{SessID: sessID, Cookie: cookie, ConnID: connID},
+	}
+	tr := handshake.NewTransport(nc)
+	if _, err := handshake.Client(tr, hcfg); err != nil {
+		nc.Close()
+		return 0, fmt.Errorf("tcpls: join handshake: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		nc.Close()
+		return 0, ErrSessionClosed
+	}
+	if err := s.engine.AddConnection(connID, time.Now()); err != nil {
+		nc.Close()
+		return 0, err
+	}
+	s.addConnLocked(connID, nc)
+	if leftover := tr.Leftover(); len(leftover) > 0 {
+		s.engine.Receive(connID, leftover, time.Now())
+		s.processEventsLocked()
+		pending := s.collectOutgoingLocked()
+		defer s.writeAll(pending)
+	}
+	s.cond.Broadcast()
+	return connID, nil
+}

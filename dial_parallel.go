@@ -1,0 +1,68 @@
+package tcpls
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// DialParallel implements the Happy-Eyeballs-style connection racing of
+// the paper's §4.6 (Fig. 5): it starts TCP connections to every address
+// concurrently, completes the TCPLS handshake on the first one to
+// succeed, and abandons the rest. Use it with a dual-stack server's IPv4
+// and IPv6 addresses to always get the lower-latency family.
+//
+// timeout bounds the whole race (zero means 30 seconds). The losing
+// connections are closed; their sockets never complete a handshake.
+func DialParallel(network string, addrs []string, timeout time.Duration, cfg *Config) (*Session, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("tcpls: DialParallel needs at least one address")
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	type result struct {
+		sess *Session
+		addr string
+		err  error
+	}
+	results := make(chan result, len(addrs))
+	for _, addr := range addrs {
+		go func(addr string) {
+			nc, err := net.DialTimeout(network, addr, timeout)
+			if err != nil {
+				results <- result{nil, addr, err}
+				return
+			}
+			sess, err := Client(nc, cfg)
+			results <- result{sess, addr, err}
+		}(addr)
+	}
+
+	deadline := time.After(timeout)
+	var errs []string
+	for range addrs {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				// Winner: drain the losers in the background so their
+				// sessions close cleanly.
+				go func(skip int) {
+					for i := 0; i < skip; i++ {
+						if lose := <-results; lose.sess != nil {
+							lose.sess.Close()
+						}
+					}
+				}(cap(results) - len(errs) - 1)
+				return r.sess, nil
+			}
+			errs = append(errs, fmt.Sprintf("%s: %v", r.addr, r.err))
+		case <-deadline:
+			return nil, fmt.Errorf("tcpls: DialParallel timed out after %v (failures: %s)",
+				timeout, strings.Join(errs, "; "))
+		}
+	}
+	return nil, fmt.Errorf("tcpls: all addresses failed: %s", strings.Join(errs, "; "))
+}

@@ -1,0 +1,84 @@
+package tcpls
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDialParallelPicksWorkingAddress(t *testing.T) {
+	ln := startServer(t, &Config{}, echoHandler)
+
+	// A dead address (nothing listens) plus the live server: the race
+	// must settle on the live one.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close() // now refuses connections
+
+	sess, err := DialParallel("tcp",
+		[]string{deadAddr, ln.Addr().String()},
+		5*time.Second,
+		&Config{ServerName: "test.server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write([]byte("race"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "race" {
+		t.Fatalf("echo %q", buf)
+	}
+}
+
+func TestDialParallelAllFail(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr().String()
+	dead.Close()
+	if _, err := DialParallel("tcp", []string{addr, addr}, 2*time.Second, &Config{}); err == nil {
+		t.Fatal("expected failure when every address is dead")
+	}
+}
+
+func TestDialParallelNoAddrs(t *testing.T) {
+	if _, err := DialParallel("tcp", nil, time.Second, &Config{}); err == nil {
+		t.Fatal("expected error for empty address list")
+	}
+}
+
+func TestDialParallelBothAlive(t *testing.T) {
+	// Two live listeners for the same logical service: exactly one
+	// session survives, the loser is closed cleanly.
+	ln1 := startServer(t, &Config{}, echoHandler)
+	ln2 := startServer(t, &Config{}, echoHandler)
+	sess, err := DialParallel("tcp",
+		[]string{ln1.Addr().String(), ln2.Addr().String()},
+		5*time.Second, &Config{ServerName: "test.server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+// Package tcpls is a Go implementation of TCPLS — the close coupling of
+// TCP and TLS 1.3 presented in "TCPLS: Modern Transport Services with TCP
+// and TLS" (Rochet et al., CoNEXT 2021).
+//
+// TCPLS runs over ordinary TCP connections and a TLS 1.3-shaped
+// handshake, then extends the encrypted TLS record layer with control
+// records to provide modern transport services without touching the TCP
+// wire format:
+//
+//   - stream multiplexing with per-stream cryptographic contexts,
+//   - joining several TCP connections to one session (session ID +
+//     single-use cookies),
+//   - failover with record-level acknowledgments and replay,
+//   - application-triggered connection migration,
+//   - bandwidth aggregation over coupled streams,
+//   - encrypted TCP options and in-band eBPF congestion-controller
+//     exchange.
+//
+// # Quick start
+//
+// Server:
+//
+//	cert, _ := tcpls.NewCertificate("example.org")
+//	ln, _ := tcpls.Listen("tcp", ":4443", &tcpls.Config{Certificate: cert})
+//	for {
+//		sess, _ := ln.Accept()
+//		go func() {
+//			st, _ := sess.AcceptStream(context.Background())
+//			io.Copy(st, st) // echo
+//		}()
+//	}
+//
+// Client:
+//
+//	sess, _ := tcpls.Dial("tcp", "example.org:4443", &tcpls.Config{ServerName: "example.org"})
+//	st, _ := sess.OpenStream()
+//	st.Write([]byte("hello"))
+//
+// Multipath:
+//
+//	conn2, _ := sess.JoinPath("tcp", "[2001:db8::1]:4443") // second TCP connection
+//	st2, _ := sess.OpenStreamOn(conn2)
+//	sess.Couple(st, st2)                                   // aggregate bandwidth
+//
+// The protocol engine itself (internal/core) is sans-IO and also drives
+// the discrete-event simulator used to reproduce the paper's evaluation;
+// see DESIGN.md and EXPERIMENTS.md.
+package tcpls

@@ -1,0 +1,3 @@
+module tcpls
+
+go 1.22

@@ -1,0 +1,72 @@
+//go:build linux
+
+package tcpls
+
+import (
+	"net"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// tcpInfoLen covers the fields this package reads; the kernel truncates
+// or zero-fills as its struct version dictates.
+const tcpInfoLen = 104
+
+// Offsets into the kernel's struct tcp_info (linux/tcp.h): 8 leading
+// u8/bitfield bytes, then consecutive u32s.
+const (
+	offRetrans = 36 // tcpi_retrans (current retransmitted segments)
+	offPMTU    = 60 // tcpi_pmtu
+	offRTT     = 68 // tcpi_rtt (microseconds)
+	offRTTVar  = 72 // tcpi_rttvar (microseconds)
+	offSndCwnd = 80 // tcpi_snd_cwnd (segments)
+	offSndMSS  = 16 // tcpi_snd_mss
+	offTotalRe = 96 // tcpi_total_retrans
+)
+
+// fillKernelInfo populates info from TCP_INFO when nc is a real TCP
+// connection; otherwise it leaves the TCPLS-level fields only.
+func fillKernelInfo(nc net.Conn, info *ConnInfo) {
+	tc, ok := nc.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	rc, err := tc.SyscallConn()
+	if err != nil {
+		return
+	}
+	var buf [tcpInfoLen]byte
+	var gotLen uint32
+	ctrlErr := rc.Control(func(fd uintptr) {
+		l := uint32(len(buf))
+		_, _, errno := syscall.Syscall6(syscall.SYS_GETSOCKOPT, fd,
+			uintptr(syscall.IPPROTO_TCP), uintptr(syscall.TCP_INFO),
+			uintptr(unsafe.Pointer(&buf[0])), uintptr(unsafe.Pointer(&l)), 0)
+		if errno == 0 {
+			gotLen = l
+		}
+	})
+	if ctrlErr != nil || gotLen < offSndCwnd+4 {
+		return
+	}
+	// tcp_info is native-endian (little-endian on supported platforms).
+	le32 := func(off int) uint32 {
+		return uint32(buf[off]) | uint32(buf[off+1])<<8 | uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24
+	}
+	info.Kernel = true
+	info.RTT = microseconds(le32(offRTT))
+	info.RTTVar = microseconds(le32(offRTTVar))
+	info.SndCwnd = le32(offSndCwnd)
+	info.SndMSS = le32(offSndMSS)
+	info.PMTU = le32(offPMTU)
+	if gotLen >= offTotalRe+4 {
+		info.Retrans = le32(offTotalRe)
+	} else {
+		info.Retrans = le32(offRetrans)
+	}
+}
+
+func microseconds(us uint32) time.Duration {
+	return time.Duration(us) * time.Microsecond
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package tcpls
+
+import "net"
+
+// fillKernelInfo is a no-op where TCP_INFO is unavailable: the TCPLS-
+// level fields (addresses, engine statistics, Ping-based RTT) remain.
+func fillKernelInfo(nc net.Conn, info *ConnInfo) {}

@@ -1,0 +1,46 @@
+package tcpls
+
+import (
+	"io"
+	"runtime"
+	"testing"
+)
+
+func TestConnInfo(t *testing.T) {
+	ln := startServer(t, &Config{}, echoHandler)
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{ServerName: "test.server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Move some data so the kernel has estimates.
+	st, _ := sess.OpenStream()
+	msg := make([]byte, 200_000)
+	go st.Write(msg)
+	if _, err := io.ReadFull(st, make([]byte, len(msg))); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := sess.ConnInfo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LocalAddr == "" || info.RemoteAddr == "" {
+		t.Error("missing addresses")
+	}
+	if runtime.GOOS == "linux" {
+		if !info.Kernel {
+			t.Fatal("TCP_INFO not read on linux")
+		}
+		if info.SndCwnd == 0 || info.SndMSS == 0 {
+			t.Errorf("implausible kernel info: cwnd=%d mss=%d", info.SndCwnd, info.SndMSS)
+		}
+		if info.RTT <= 0 {
+			t.Errorf("rtt = %v", info.RTT)
+		}
+	}
+	if _, err := sess.ConnInfo(99); err == nil {
+		t.Error("unknown conn accepted")
+	}
+}

@@ -1,0 +1,158 @@
+// Package cc implements the congestion-control algorithms the paper's
+// evaluation depends on: NewReno (the classic baseline), CUBIC (RFC 8312,
+// the Linux default used in §5.1's comparisons), and Vegas (the
+// delay-based controller of Fig. 12's fairness experiment).
+//
+// Algorithms are expressed against a small event interface so the same
+// implementations drive the simulated TCP stack (internal/simtcp) and the
+// eBPF VM bridge (internal/ebpfvm): on ACK, on loss, on RTO. All state is
+// in segments scaled by the MSS, as in the kernel.
+package cc
+
+import "time"
+
+// Algorithm is the congestion-controller interface, modeled on the Linux
+// tcp_congestion_ops hooks the paper's eBPF mechanism targets (§4.4).
+type Algorithm interface {
+	// Name identifies the algorithm ("newreno", "cubic", "vegas").
+	Name() string
+	// OnAck processes acked bytes with the latest RTT sample and
+	// current time; it may grow the congestion window.
+	OnAck(ackedBytes int, rtt time.Duration, now time.Duration)
+	// OnLoss reacts to a fast-retransmit loss signal (duplicate acks).
+	OnLoss(now time.Duration)
+	// OnRTO reacts to a retransmission timeout (window collapse).
+	OnRTO(now time.Duration)
+	// Window returns the current congestion window in bytes.
+	Window() int
+	// SlowStart reports whether the controller is in slow start.
+	SlowStart() bool
+}
+
+// Common constants (bytes).
+const (
+	// DefaultMSS matches the 1460-byte TCP payload of a 1500-byte MTU.
+	DefaultMSS = 1460
+	// InitialWindow is 10 segments (RFC 6928).
+	InitialWindowSegments = 10
+	// MinWindowSegments floors the window after collapse.
+	MinWindowSegments = 2
+)
+
+// New constructs an algorithm by name with the given MSS.
+func New(name string, mss int) Algorithm {
+	switch name {
+	case "cubic":
+		return NewCubic(mss)
+	case "vegas":
+		return NewVegas(mss)
+	default:
+		return NewNewReno(mss)
+	}
+}
+
+// hystart implements the delay-increase half of HyStart (Ha & Rhee):
+// slow start ends when RTT samples rise measurably above the path
+// minimum, before the window overshoots into a burst-loss catastrophe.
+// Linux enables this by default for CUBIC; the simulation needs it for
+// the same reason kernels do.
+type hystart struct {
+	minRTT time.Duration
+}
+
+// exitSlowStart reports whether the latest RTT sample indicates queue
+// buildup during slow start.
+func (h *hystart) exitSlowStart(rtt time.Duration) bool {
+	if rtt <= 0 {
+		return false
+	}
+	if h.minRTT == 0 || rtt < h.minRTT {
+		h.minRTT = rtt
+		return false
+	}
+	thresh := h.minRTT / 8
+	if thresh < 4*time.Millisecond {
+		thresh = 4 * time.Millisecond
+	}
+	if thresh > 16*time.Millisecond {
+		thresh = 16 * time.Millisecond
+	}
+	return rtt > h.minRTT+thresh
+}
+
+// NewReno is the RFC 5681 AIMD controller with slow start.
+type NewReno struct {
+	mss      int
+	cwnd     int // bytes
+	ssthresh int // bytes
+	acked    int // byte accumulator for congestion avoidance
+	hs       hystart
+}
+
+// NewNewReno returns a NewReno controller.
+func NewNewReno(mss int) *NewReno {
+	return &NewReno{
+		mss:      mss,
+		cwnd:     InitialWindowSegments * mss,
+		ssthresh: 1 << 30,
+	}
+}
+
+// Name implements Algorithm.
+func (r *NewReno) Name() string { return "newreno" }
+
+// Window implements Algorithm.
+func (r *NewReno) Window() int { return r.cwnd }
+
+// SlowStart implements Algorithm.
+func (r *NewReno) SlowStart() bool { return r.cwnd < r.ssthresh }
+
+// ssIncrement bounds the slow-start growth per ack to 2*MSS (RFC 3465
+// Appropriate Byte Counting): a huge cumulative ack — e.g. after a
+// go-back-N retransmission fills a hole in front of buffered data —
+// must not inflate the window by the whole acked range at once.
+func ssIncrement(ackedBytes, mss int) int {
+	if ackedBytes > 2*mss {
+		return 2 * mss
+	}
+	return ackedBytes
+}
+
+// OnAck implements Algorithm.
+func (r *NewReno) OnAck(ackedBytes int, rtt time.Duration, now time.Duration) {
+	if r.SlowStart() {
+		if r.hs.exitSlowStart(rtt) {
+			r.ssthresh = r.cwnd
+		} else {
+			r.cwnd += ssIncrement(ackedBytes, r.mss)
+			return
+		}
+	}
+	// Congestion avoidance: one MSS per window of data acked.
+	r.acked += ackedBytes
+	if r.acked >= r.cwnd {
+		r.acked -= r.cwnd
+		r.cwnd += r.mss
+	}
+}
+
+// OnLoss implements Algorithm.
+func (r *NewReno) OnLoss(now time.Duration) {
+	r.ssthresh = max(r.cwnd/2, MinWindowSegments*r.mss)
+	r.cwnd = r.ssthresh
+	r.acked = 0
+}
+
+// OnRTO implements Algorithm.
+func (r *NewReno) OnRTO(now time.Duration) {
+	r.ssthresh = max(r.cwnd/2, MinWindowSegments*r.mss)
+	r.cwnd = r.mss
+	r.acked = 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

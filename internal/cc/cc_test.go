@@ -1,0 +1,194 @@
+package cc
+
+import (
+	"testing"
+	"time"
+)
+
+const mss = DefaultMSS
+
+// ackWindow feeds one full window of acks at the given RTT.
+func ackWindow(a Algorithm, rtt time.Duration, now time.Duration) time.Duration {
+	w := a.Window()
+	for got := 0; got < w; got += mss {
+		a.OnAck(mss, rtt, now)
+		now += rtt / time.Duration(w/mss+1)
+	}
+	return now
+}
+
+func TestNewRenoSlowStartDoubles(t *testing.T) {
+	r := NewNewReno(mss)
+	w0 := r.Window()
+	ackWindow(r, 10*time.Millisecond, 0)
+	if r.Window() < 2*w0-mss {
+		t.Errorf("slow start grew %d -> %d, want ~2x", w0, r.Window())
+	}
+	if !r.SlowStart() {
+		t.Error("should still be in slow start")
+	}
+}
+
+func TestNewRenoCongestionAvoidanceLinear(t *testing.T) {
+	r := NewNewReno(mss)
+	r.OnLoss(0) // forces ssthresh = cwnd/2, exits slow start
+	w0 := r.Window()
+	ackWindow(r, 10*time.Millisecond, 0)
+	if got := r.Window() - w0; got != mss {
+		t.Errorf("CA growth per window = %d bytes, want 1 MSS (%d)", got, mss)
+	}
+}
+
+func TestNewRenoLossHalvesAndRTOCollapses(t *testing.T) {
+	r := NewNewReno(mss)
+	for i := 0; i < 100; i++ {
+		r.OnAck(mss, 10*time.Millisecond, 0)
+	}
+	w := r.Window()
+	r.OnLoss(0)
+	if r.Window() != w/2 {
+		t.Errorf("after loss window = %d, want %d", r.Window(), w/2)
+	}
+	r.OnRTO(0)
+	if r.Window() != mss {
+		t.Errorf("after RTO window = %d, want 1 MSS", r.Window())
+	}
+}
+
+func TestCubicRecoversTowardWMax(t *testing.T) {
+	c := NewCubic(mss)
+	// Grow, lose, then verify the window regrows toward wMax over time.
+	now := time.Duration(0)
+	rtt := 20 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		c.OnAck(mss, rtt, now)
+		now += time.Millisecond
+	}
+	c.OnLoss(now)
+	wAfterLoss := c.Window()
+	for i := 0; i < 3000; i++ {
+		c.OnAck(mss, rtt, now)
+		now += time.Millisecond
+	}
+	if c.Window() <= wAfterLoss {
+		t.Errorf("cubic did not regrow: %d -> %d", wAfterLoss, c.Window())
+	}
+}
+
+func TestCubicBetaReduction(t *testing.T) {
+	c := NewCubic(mss)
+	for i := 0; i < 500; i++ {
+		c.OnAck(mss, 20*time.Millisecond, time.Duration(i)*time.Millisecond)
+	}
+	w := c.Window()
+	c.OnLoss(time.Second)
+	want := int(float64(w/mss)*cubicBeta) * mss
+	if c.Window() != want {
+		t.Errorf("after loss %d, want %d (beta=0.7)", c.Window(), want)
+	}
+}
+
+func TestVegasBacksOffOnQueueing(t *testing.T) {
+	v := NewVegas(mss)
+	v.ssthresh = v.cwnd // exit slow start immediately
+	base := 20 * time.Millisecond
+
+	// With RTT at base (empty queues) the window grows.
+	now := time.Duration(0)
+	w0 := v.Window()
+	for i := 0; i < 3; i++ {
+		now = ackWindow(v, base, now)
+	}
+	if v.Window() <= w0 {
+		t.Errorf("vegas did not grow on empty queue: %d -> %d", w0, v.Window())
+	}
+
+	// With strongly inflated RTTs (queueing) the window shrinks.
+	w1 := v.Window()
+	for i := 0; i < 5; i++ {
+		now = ackWindow(v, 3*base, now)
+	}
+	if v.Window() >= w1 {
+		t.Errorf("vegas did not back off under queueing: %d -> %d", w1, v.Window())
+	}
+}
+
+func TestVegasMoreConservativeThanCubicUnderQueueing(t *testing.T) {
+	// The Fig. 12 premise: share a queue-building path and CUBIC ends up
+	// with a much larger window than Vegas.
+	v := NewVegas(mss)
+	c := NewCubic(mss)
+	v.ssthresh = v.cwnd
+	base := 20 * time.Millisecond
+	now := time.Duration(0)
+	for i := 0; i < 30; i++ {
+		rtt := base + time.Duration(i)*time.Millisecond // growing queue
+		now = ackWindow(v, rtt, now)
+		ackWindow(c, rtt, now)
+	}
+	if v.Window() >= c.Window() {
+		t.Errorf("vegas window %d >= cubic window %d under queueing", v.Window(), c.Window())
+	}
+}
+
+func TestFactory(t *testing.T) {
+	for _, name := range []string{"newreno", "cubic", "vegas"} {
+		a := New(name, mss)
+		if a.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, a.Name())
+		}
+		if a.Window() != InitialWindowSegments*mss {
+			t.Errorf("%s initial window %d", name, a.Window())
+		}
+	}
+	if a := New("unknown", mss); a.Name() != "newreno" {
+		t.Error("unknown name should fall back to newreno")
+	}
+}
+
+func TestWindowsNeverCollapseBelowFloor(t *testing.T) {
+	for _, name := range []string{"newreno", "cubic", "vegas"} {
+		a := New(name, mss)
+		for i := 0; i < 50; i++ {
+			a.OnLoss(0)
+		}
+		if a.Window() < MinWindowSegments*mss {
+			t.Errorf("%s window %d below floor", name, a.Window())
+		}
+	}
+}
+
+func TestHyStartExitsSlowStartOnDelayRise(t *testing.T) {
+	// CUBIC with HyStart must leave slow start when RTT inflates, long
+	// before loss — the overshoot guard real kernels rely on.
+	c := NewCubic(mss)
+	base := 20 * time.Millisecond
+	now := time.Duration(0)
+	// Establish the minimum RTT.
+	for i := 0; i < 20; i++ {
+		c.OnAck(mss, base, now)
+		now += time.Millisecond
+	}
+	if !c.SlowStart() {
+		t.Fatal("left slow start with flat RTTs")
+	}
+	// Queue builds: RTT inflates well past min + max(4ms, min/8).
+	for i := 0; i < 10 && c.SlowStart(); i++ {
+		c.OnAck(mss, base+10*time.Millisecond, now)
+		now += time.Millisecond
+	}
+	if c.SlowStart() {
+		t.Fatal("HyStart did not exit slow start under queueing")
+	}
+}
+
+func TestSSIncrementCapped(t *testing.T) {
+	// RFC 3465: a giant cumulative ack must not inflate the window by
+	// the whole acked range in slow start.
+	r := NewNewReno(mss)
+	w0 := r.Window()
+	r.OnAck(1<<20, 10*time.Millisecond, 0) // 1 MiB acked at once
+	if r.Window() > w0+2*mss {
+		t.Fatalf("slow start grew by %d on one ack, cap is 2*MSS", r.Window()-w0)
+	}
+}

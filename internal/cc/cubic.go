@@ -1,0 +1,119 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// Cubic implements RFC 8312 CUBIC with fast convergence and the TCP-
+// friendly (Reno-estimate) region. CUBIC is the default controller in the
+// paper's testbed kernels and the program shipped over the wire in the
+// Fig. 12 experiment.
+type Cubic struct {
+	mss      int
+	cwnd     int // bytes
+	ssthresh int
+
+	wMax       float64       // window before the last reduction (segments)
+	epochStart time.Duration // start of the current congestion-avoidance epoch
+	k          float64       // time to regrow to wMax (seconds)
+	ackCount   float64       // acked segments in this epoch (for Reno estimate)
+	wTCP       float64       // Reno-friendly window estimate (segments)
+	hs         hystart
+}
+
+// CUBIC constants per RFC 8312.
+const (
+	cubicBeta = 0.7
+	cubicC    = 0.4
+)
+
+// NewCubic returns a CUBIC controller.
+func NewCubic(mss int) *Cubic {
+	return &Cubic{
+		mss:        mss,
+		cwnd:       InitialWindowSegments * mss,
+		ssthresh:   1 << 30,
+		epochStart: -1,
+	}
+}
+
+// Name implements Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Window implements Algorithm.
+func (c *Cubic) Window() int { return c.cwnd }
+
+// SlowStart implements Algorithm.
+func (c *Cubic) SlowStart() bool { return c.cwnd < c.ssthresh }
+
+// OnAck implements Algorithm.
+func (c *Cubic) OnAck(ackedBytes int, rtt time.Duration, now time.Duration) {
+	if c.SlowStart() {
+		if c.hs.exitSlowStart(rtt) {
+			c.ssthresh = c.cwnd
+			c.wMax = float64(c.cwnd) / float64(c.mss)
+		} else {
+			c.cwnd += ssIncrement(ackedBytes, c.mss)
+			return
+		}
+	}
+	if c.epochStart < 0 {
+		c.epochStart = now
+		seg := float64(c.cwnd) / float64(c.mss)
+		if seg < c.wMax {
+			c.k = math.Cbrt((c.wMax - seg) / cubicC)
+		} else {
+			c.k = 0
+			c.wMax = seg
+		}
+		c.ackCount = 0
+		c.wTCP = seg
+	}
+	t := (now - c.epochStart).Seconds()
+	// W_cubic(t + RTT): target window one RTT ahead.
+	target := cubicC*math.Pow(t+rtt.Seconds()-c.k, 3) + c.wMax
+
+	// TCP-friendly region (RFC 8312 §4.2).
+	c.ackCount += float64(ackedBytes) / float64(c.mss)
+	seg := float64(c.cwnd) / float64(c.mss)
+	c.wTCP += 3 * cubicBeta / (2 - cubicBeta) * (c.ackCount / seg)
+	c.ackCount = 0
+	if c.wTCP > target {
+		target = c.wTCP
+	}
+
+	if target > seg {
+		// Grow toward the target: (target - cwnd)/cwnd per acked
+		// window, applied proportionally to this ack.
+		inc := (target - seg) / seg * float64(ackedBytes)
+		c.cwnd += int(inc)
+	} else {
+		// Max-probing plateau: tiny growth.
+		c.cwnd += int(float64(ackedBytes) / (100 * seg))
+	}
+}
+
+// OnLoss implements Algorithm.
+func (c *Cubic) OnLoss(now time.Duration) {
+	seg := float64(c.cwnd) / float64(c.mss)
+	// Fast convergence: release bandwidth faster when the window is
+	// shrinking across epochs.
+	if seg < c.wMax {
+		c.wMax = seg * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = seg
+	}
+	c.cwnd = max(int(seg*cubicBeta)*c.mss, MinWindowSegments*c.mss)
+	c.ssthresh = c.cwnd
+	c.epochStart = -1
+}
+
+// OnRTO implements Algorithm.
+func (c *Cubic) OnRTO(now time.Duration) {
+	seg := float64(c.cwnd) / float64(c.mss)
+	c.wMax = seg
+	c.ssthresh = max(c.cwnd/2, MinWindowSegments*c.mss)
+	c.cwnd = c.mss
+	c.epochStart = -1
+}

@@ -1,0 +1,105 @@
+package cc
+
+import "time"
+
+// Vegas implements TCP Vegas (Brakmo et al., 1994): a delay-based
+// controller that backs off as soon as queues build, which is why a
+// Vegas flow starves when it shares a bottleneck with CUBIC — the
+// unfairness the Fig. 12 experiment repairs by shipping a CUBIC program
+// over the TCPLS session.
+type Vegas struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+
+	baseRTT time.Duration // minimum observed RTT
+	minRTT  time.Duration // minimum in the current window
+	cntRTT  int           // samples this window
+	acked   int           // byte accumulator
+}
+
+// Vegas alpha/beta thresholds in segments of queued data. Gamma (the
+// slow-start exit threshold) is set well above Linux's default of 1 so
+// Vegas reaches link capacity on high-BDP paths before switching to its
+// one-segment-per-RTT additive mode — matching the paper's Fig. 12,
+// where the Vegas session "rapidly reaches the full capacity".
+const (
+	vegasAlpha = 2
+	vegasBeta  = 4
+	vegasGamma = 8
+)
+
+// NewVegas returns a Vegas controller.
+func NewVegas(mss int) *Vegas {
+	return &Vegas{
+		mss:      mss,
+		cwnd:     InitialWindowSegments * mss,
+		ssthresh: 1 << 30,
+	}
+}
+
+// Name implements Algorithm.
+func (v *Vegas) Name() string { return "vegas" }
+
+// Window implements Algorithm.
+func (v *Vegas) Window() int { return v.cwnd }
+
+// SlowStart implements Algorithm.
+func (v *Vegas) SlowStart() bool { return v.cwnd < v.ssthresh }
+
+// OnAck implements Algorithm.
+func (v *Vegas) OnAck(ackedBytes int, rtt time.Duration, now time.Duration) {
+	if rtt > 0 {
+		if v.baseRTT == 0 || rtt < v.baseRTT {
+			v.baseRTT = rtt
+		}
+		if v.minRTT == 0 || rtt < v.minRTT {
+			v.minRTT = rtt
+		}
+		v.cntRTT++
+	}
+	v.acked += ackedBytes
+	if v.acked < v.cwnd {
+		return
+	}
+	// One window's worth of data acked: run the Vegas estimator.
+	v.acked -= v.cwnd
+	if v.cntRTT == 0 || v.minRTT == 0 || v.baseRTT == 0 {
+		v.cwnd += v.mss // no samples: behave like Reno
+		return
+	}
+	segs := float64(v.cwnd) / float64(v.mss)
+	// diff = cwnd * (1 - baseRTT/observedRTT): segments parked in queues.
+	diff := segs * (1 - v.baseRTT.Seconds()/v.minRTT.Seconds())
+	switch {
+	case v.SlowStart():
+		if diff > vegasGamma {
+			// Queues forming: leave slow start near the current point.
+			v.ssthresh = v.cwnd
+			v.cwnd = max(v.cwnd-(v.cwnd-int(diff)*v.mss)/8, MinWindowSegments*v.mss)
+		} else {
+			v.cwnd += ssIncrement(v.cwnd, v.mss) // double per window
+		}
+	case diff < vegasAlpha:
+		v.cwnd += v.mss
+	case diff > vegasBeta:
+		v.cwnd = max(v.cwnd-v.mss, MinWindowSegments*v.mss)
+	}
+	v.minRTT = 0
+	v.cntRTT = 0
+}
+
+// OnLoss implements Algorithm.
+func (v *Vegas) OnLoss(now time.Duration) {
+	v.ssthresh = max(v.cwnd/2, MinWindowSegments*v.mss)
+	v.cwnd = v.ssthresh
+	v.acked = 0
+}
+
+// OnRTO implements Algorithm.
+func (v *Vegas) OnRTO(now time.Duration) {
+	v.ssthresh = max(v.cwnd/2, MinWindowSegments*v.mss)
+	v.cwnd = v.mss
+	v.acked = 0
+	v.baseRTT = 0 // path may have changed
+}

@@ -1,0 +1,109 @@
+package chacha20poly1305
+
+import (
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrOpen is returned on authentication failure. The record layer's trial
+// decryption (paper §3.3.1) depends on failed opens being cheap, clean
+// errors rather than panics.
+var ErrOpen = errors.New("chacha20poly1305: message authentication failed")
+
+// aead implements cipher.AEAD for ChaCha20-Poly1305.
+type aead struct {
+	key [KeySize]byte
+}
+
+// New returns a ChaCha20-Poly1305 AEAD for a 32-byte key.
+func New(key []byte) (cipher.AEAD, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("chacha20poly1305: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	a := &aead{}
+	copy(a.key[:], key)
+	return a, nil
+}
+
+func (a *aead) NonceSize() int { return NonceSize }
+func (a *aead) Overhead() int  { return TagSize }
+
+// polyKey derives the one-time Poly1305 key from ChaCha20 block 0.
+func (a *aead) polyKey(nonce []byte) [32]byte {
+	s := initialState(a.key[:], 0, nonce)
+	var block [blockSize]byte
+	s.block(&block)
+	var pk [32]byte
+	copy(pk[:], block[:32])
+	return pk
+}
+
+// updatePadded absorbs msg zero-padded to a 16-byte boundary. The AEAD
+// construction pads with zeros to full blocks (RFC 8439 §2.8), which is
+// not the same as Poly1305's own 0x01 padding of a trailing short block,
+// so the tail is widened to a full block here before being absorbed.
+func updatePadded(p *poly1305, msg []byte) {
+	full := len(msg) / 16 * 16
+	p.update(msg[:full])
+	if rem := len(msg) - full; rem != 0 {
+		var block [16]byte
+		copy(block[:], msg[full:])
+		p.update(block[:])
+	}
+}
+
+// mac computes the RFC 8439 §2.8 AEAD MAC over aad and ciphertext.
+func mac(polyKey *[32]byte, aad, ciphertext []byte) [16]byte {
+	p := newPoly1305(polyKey)
+	updatePadded(p, aad)
+	updatePadded(p, ciphertext)
+	var lengths [16]byte
+	binary.LittleEndian.PutUint64(lengths[0:8], uint64(len(aad)))
+	binary.LittleEndian.PutUint64(lengths[8:16], uint64(len(ciphertext)))
+	p.update(lengths[:])
+	var tag [16]byte
+	p.tag(&tag)
+	return tag
+}
+
+// Seal encrypts and authenticates plaintext, appending ciphertext||tag
+// to dst. It supports in-place operation when dst shares storage with
+// plaintext (as cipher.AEAD requires).
+func (a *aead) Seal(dst, nonce, plaintext, aad []byte) []byte {
+	if len(nonce) != NonceSize {
+		panic("chacha20poly1305: bad nonce length")
+	}
+	pk := a.polyKey(nonce)
+	n := len(dst)
+	dst = append(dst, plaintext...)
+	ct := dst[n : n+len(plaintext)]
+	xorKeyStream(ct, ct, a.key[:], nonce, 1)
+	tag := mac(&pk, aad, ct)
+	return append(dst, tag[:]...)
+}
+
+// Open authenticates and decrypts ciphertext, appending the plaintext to
+// dst. On failure dst is returned unmodified alongside ErrOpen.
+func (a *aead) Open(dst, nonce, ciphertext, aad []byte) ([]byte, error) {
+	if len(nonce) != NonceSize {
+		panic("chacha20poly1305: bad nonce length")
+	}
+	if len(ciphertext) < TagSize {
+		return dst, ErrOpen
+	}
+	pk := a.polyKey(nonce)
+	ct := ciphertext[:len(ciphertext)-TagSize]
+	wantTag := ciphertext[len(ciphertext)-TagSize:]
+	tag := mac(&pk, aad, ct)
+	if subtle.ConstantTimeCompare(tag[:], wantTag) != 1 {
+		return dst, ErrOpen
+	}
+	n := len(dst)
+	dst = append(dst, ct...)
+	pt := dst[n : n+len(ct)]
+	xorKeyStream(pt, pt, a.key[:], nonce, 1)
+	return dst, nil
+}

@@ -1,0 +1,212 @@
+package chacha20poly1305
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func fromHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// RFC 8439 §2.3.2: ChaCha20 block function test vector.
+func TestChaChaBlockVector(t *testing.T) {
+	key := fromHex(t, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	nonce := fromHex(t, "000000090000004a00000000")
+	s := initialState(key, 1, nonce)
+	var block [64]byte
+	s.block(&block)
+	want := fromHex(t, "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+	if !bytes.Equal(block[:], want) {
+		t.Fatalf("block mismatch:\n got %x\nwant %x", block, want)
+	}
+}
+
+// RFC 8439 §2.4.2: ChaCha20 encryption test vector.
+func TestChaChaEncryptVector(t *testing.T) {
+	key := fromHex(t, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	nonce := fromHex(t, "000000000000004a00000000")
+	plaintext := []byte("Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.")
+	want := fromHex(t, "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0bf91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d807ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab77937365af90bbf74a35be6b40b8eedf2785e42874d")
+	got := make([]byte, len(plaintext))
+	xorKeyStream(got, plaintext, key, nonce, 1)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ciphertext mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+// RFC 8439 §2.5.2: Poly1305 test vector.
+func TestPoly1305Vector(t *testing.T) {
+	var key [32]byte
+	copy(key[:], fromHex(t, "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"))
+	msg := []byte("Cryptographic Forum Research Group")
+	p := newPoly1305(&key)
+	p.update(msg)
+	var tag [16]byte
+	p.tag(&tag)
+	want := fromHex(t, "a8061dc1305136c6c22b8baf0c0127a9")
+	if !bytes.Equal(tag[:], want) {
+		t.Fatalf("tag mismatch:\n got %x\nwant %x", tag, want)
+	}
+}
+
+// RFC 8439 §2.6.2: Poly1305 key generation vector.
+func TestPolyKeyGenVector(t *testing.T) {
+	key := fromHex(t, "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+	nonce := fromHex(t, "000000000001020304050607")
+	a := &aead{}
+	copy(a.key[:], key)
+	pk := a.polyKey(nonce)
+	want := fromHex(t, "8ad5a08b905f81cc815040274ab29471a833b637e3fd0da508dbb8e2fdd1a646")
+	if !bytes.Equal(pk[:], want) {
+		t.Fatalf("poly key mismatch:\n got %x\nwant %x", pk, want)
+	}
+}
+
+// RFC 8439 §2.8.2: full AEAD test vector.
+func TestAEADSealVector(t *testing.T) {
+	key := fromHex(t, "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+	nonce := fromHex(t, "070000004041424344454647")
+	aad := fromHex(t, "50515253c0c1c2c3c4c5c6c7")
+	plaintext := []byte("Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.")
+	wantCT := fromHex(t, "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d63dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b3692ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc3ff4def08e4b7a9de576d26586cec64b6116")
+	wantTag := fromHex(t, "1ae10b594f09e26a7e902ecbd0600691")
+
+	a, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := a.Seal(nil, nonce, plaintext, aad)
+	if !bytes.Equal(sealed[:len(plaintext)], wantCT) {
+		t.Fatalf("ciphertext mismatch:\n got %x\nwant %x", sealed[:len(plaintext)], wantCT)
+	}
+	if !bytes.Equal(sealed[len(plaintext):], wantTag) {
+		t.Fatalf("tag mismatch:\n got %x\nwant %x", sealed[len(plaintext):], wantTag)
+	}
+
+	opened, err := a.Open(nil, nonce, sealed, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened, plaintext) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestOpenRejectsTamperedInput(t *testing.T) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	a, _ := New(key)
+	sealed := a.Seal(nil, nonce, []byte("hello tcpls"), []byte("aad"))
+
+	for i := range sealed {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 0x80
+		if _, err := a.Open(nil, nonce, tampered, []byte("aad")); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+	if _, err := a.Open(nil, nonce, sealed, []byte("AAD")); err == nil {
+		t.Fatal("wrong AAD accepted")
+	}
+	if _, err := a.Open(nil, nonce, sealed[:TagSize-1], nil); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestSealInPlace(t *testing.T) {
+	key := make([]byte, KeySize)
+	key[0] = 1
+	nonce := make([]byte, NonceSize)
+	a, _ := New(key)
+
+	buf := make([]byte, 100, 100+TagSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	orig := append([]byte(nil), buf...)
+	sealed := a.Seal(buf[:0], nonce, buf, nil)
+	opened, err := a.Open(nil, nonce, sealed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened, orig) {
+		t.Fatal("in-place seal corrupted data")
+	}
+}
+
+func TestOpenInPlace(t *testing.T) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	a, _ := New(key)
+	pt := []byte("zero copy receive path for tcpls records")
+	sealed := a.Seal(nil, nonce, pt, nil)
+	opened, err := a.Open(sealed[:0], nonce, sealed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(opened, pt) {
+		t.Fatal("in-place open corrupted data")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(key [KeySize]byte, nonceSeed uint64, pt, aad []byte) bool {
+		var nonce [NonceSize]byte
+		binary.LittleEndian.PutUint64(nonce[:8], nonceSeed)
+		a, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		sealed := a.Seal(nil, nonce[:], pt, aad)
+		if len(sealed) != len(pt)+TagSize {
+			return false
+		}
+		opened, err := a.Open(nil, nonce[:], sealed, aad)
+		return err == nil && bytes.Equal(opened, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDistinctNoncesDistinctCiphertexts(t *testing.T) {
+	key := make([]byte, KeySize)
+	a, _ := New(key)
+	f := func(n1, n2 uint64) bool {
+		if n1 == n2 {
+			return true
+		}
+		var nonce1, nonce2 [NonceSize]byte
+		binary.LittleEndian.PutUint64(nonce1[:8], n1)
+		binary.LittleEndian.PutUint64(nonce2[:8], n2)
+		pt := []byte("same plaintext")
+		c1 := a.Seal(nil, nonce1[:], pt, nil)
+		c2 := a.Seal(nil, nonce2[:], pt, nil)
+		return !bytes.Equal(c1, c2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSeal16K(b *testing.B) {
+	key := make([]byte, KeySize)
+	nonce := make([]byte, NonceSize)
+	a, _ := New(key)
+	pt := make([]byte, 16384)
+	dst := make([]byte, 0, len(pt)+TagSize)
+	b.SetBytes(int64(len(pt)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = a.Seal(dst[:0], nonce, pt, nil)
+	}
+}

@@ -1,0 +1,130 @@
+package chacha20poly1305
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// poly1305 implements the one-time authenticator from RFC 8439 §2.5 with
+// three 64-bit limbs (the classic unsaturated-limb schoolbook approach).
+type poly1305 struct {
+	r0, r1     uint64 // clamped r
+	s0, s1     uint64 // the "s" half of the one-time key
+	h0, h1, h2 uint64 // accumulator, h2 holds the top bits of the 130-bit value
+}
+
+const (
+	rMask0 = 0x0FFFFFFC0FFFFFFF
+	rMask1 = 0x0FFFFFFC0FFFFFFC
+)
+
+func newPoly1305(key *[32]byte) *poly1305 {
+	return &poly1305{
+		r0: binary.LittleEndian.Uint64(key[0:8]) & rMask0,
+		r1: binary.LittleEndian.Uint64(key[8:16]) & rMask1,
+		s0: binary.LittleEndian.Uint64(key[16:24]),
+		s1: binary.LittleEndian.Uint64(key[24:32]),
+	}
+}
+
+type uint128 struct{ lo, hi uint64 }
+
+func mul64(a, b uint64) uint128 {
+	hi, lo := bits.Mul64(a, b)
+	return uint128{lo, hi}
+}
+
+func add128(a, b uint128) uint128 {
+	lo, c := bits.Add64(a.lo, b.lo, 0)
+	hi, c := bits.Add64(a.hi, b.hi, c)
+	if c != 0 {
+		panic("poly1305: unexpected overflow")
+	}
+	return uint128{lo, hi}
+}
+
+func shiftRightBy2(a uint128) uint128 {
+	a.lo = a.lo>>2 | (a.hi&3)<<62
+	a.hi = a.hi >> 2
+	return a
+}
+
+const maskLow2Bits = 0x3
+const maskNotLow2Bits = ^uint64(maskLow2Bits)
+
+// update absorbs msg into the accumulator, 16 bytes at a time. A final
+// partial block is padded with a 0x01 byte per the RFC.
+func (p *poly1305) update(msg []byte) {
+	h0, h1, h2 := p.h0, p.h1, p.h2
+	for len(msg) > 0 {
+		var c uint64
+		if len(msg) >= 16 {
+			h0, c = bits.Add64(h0, binary.LittleEndian.Uint64(msg[0:8]), 0)
+			h1, c = bits.Add64(h1, binary.LittleEndian.Uint64(msg[8:16]), c)
+			h2 += c + 1
+			msg = msg[16:]
+		} else {
+			var buf [16]byte
+			copy(buf[:], msg)
+			buf[len(msg)] = 1
+			h0, c = bits.Add64(h0, binary.LittleEndian.Uint64(buf[0:8]), 0)
+			h1, c = bits.Add64(h1, binary.LittleEndian.Uint64(buf[8:16]), c)
+			h2 += c
+			msg = nil
+		}
+
+		// Multiply the 130-bit accumulator by the clamped 124-bit r and
+		// reduce modulo 2^130 - 5.
+		h0r0 := mul64(h0, p.r0)
+		h1r0 := mul64(h1, p.r0)
+		h2r0 := mul64(h2, p.r0)
+		h0r1 := mul64(h0, p.r1)
+		h1r1 := mul64(h1, p.r1)
+		h2r1 := mul64(h2, p.r1)
+
+		// h2 is at most 7 and r is clamped, so h2r0/h2r1 fit in 64 bits.
+		m0 := h0r0
+		m1 := add128(h1r0, h0r1)
+		m2 := add128(h2r0, h1r1)
+		m3 := h2r1
+
+		t0 := m0.lo
+		t1, c := bits.Add64(m1.lo, m0.hi, 0)
+		t2, c := bits.Add64(m2.lo, m1.hi, c)
+		t3, _ := bits.Add64(m3.lo, m2.hi, c)
+
+		// Split at bit 130 and fold the high part back in as 5 * top,
+		// i.e. top + top>>2 after masking the low two bits into h2.
+		h0, h1, h2 = t0, t1, t2&maskLow2Bits
+		cc := uint128{t2 & maskNotLow2Bits, t3}
+
+		h0, c = bits.Add64(h0, cc.lo, 0)
+		h1, c = bits.Add64(h1, cc.hi, c)
+		h2 += c
+		cc = shiftRightBy2(cc)
+		h0, c = bits.Add64(h0, cc.lo, 0)
+		h1, c = bits.Add64(h1, cc.hi, c)
+		h2 += c
+	}
+	p.h0, p.h1, p.h2 = h0, h1, h2
+}
+
+// tag finalizes the accumulator into out: (h mod 2^130-5 + s) mod 2^128.
+func (p *poly1305) tag(out *[16]byte) {
+	h0, h1, h2 := p.h0, p.h1, p.h2
+
+	// Conditionally subtract p = 2^130 - 5 if h >= p (constant time).
+	t0, b := bits.Sub64(h0, 0xFFFFFFFFFFFFFFFB, 0)
+	t1, b := bits.Sub64(h1, 0xFFFFFFFFFFFFFFFF, b)
+	_, b = bits.Sub64(h2, 3, b)
+	mask := uint64(b) - 1 // all-ones when h >= p
+	h0 = (t0 & mask) | (h0 &^ mask)
+	h1 = (t1 & mask) | (h1 &^ mask)
+
+	var c uint64
+	h0, c = bits.Add64(h0, p.s0, 0)
+	h1, _ = bits.Add64(h1, p.s1, c)
+
+	binary.LittleEndian.PutUint64(out[0:8], h0)
+	binary.LittleEndian.PutUint64(out[8:16], h1)
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tcpls/internal/record"
+	"tcpls/internal/wire"
+)
+
+// Advance drives the engine's timers. With a UserTimeout configured
+// (§4.2), a connection that has been silent for longer than the timeout
+// while it still has active streams is declared failed — the encrypted
+// TCP User Timeout option's break-before-make trigger. It returns the
+// IDs of connections that failed during this call.
+func (s *Session) Advance(now time.Time) []uint32 {
+	if s.cfg.UserTimeout <= 0 {
+		return nil
+	}
+	var failed []uint32
+	for id, c := range s.conns {
+		if c.failed || c.closed {
+			continue
+		}
+		if !s.connActive(id) {
+			continue
+		}
+		if now.Sub(c.lastRecv) > s.cfg.UserTimeout {
+			c.failed = true
+			failed = append(failed, id)
+			s.lastNow = now
+			s.trace("conn_failed", id, 0, 0, 0)
+			s.emit(Event{Kind: EventConnFailed, Conn: id})
+		}
+	}
+	return failed
+}
+
+// connActive reports whether any unfinished stream is attached to conn,
+// i.e. whether silence on it is meaningful.
+func (s *Session) connActive(connID uint32) bool {
+	for _, st := range s.streams {
+		if st.conn != connID {
+			continue
+		}
+		if !st.finSent || !st.peerFin || len(st.retransmit) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ReportConnFailed lets the I/O wrapper report an explicit TCP-level
+// failure (RST, FIN, read error) — the fast failover trigger of Fig. 8.
+func (s *Session) ReportConnFailed(connID uint32) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	if !c.failed {
+		c.failed = true
+		s.emit(Event{Kind: EventConnFailed, Conn: connID})
+	}
+	return nil
+}
+
+// ConnFailed reports whether connID has been declared failed.
+func (s *Session) ConnFailed(connID uint32) bool {
+	c, ok := s.conns[connID]
+	return ok && c.failed
+}
+
+// FailoverTo resynchronizes and retransmits all streams of failedID onto
+// targetID (Fig. 4): it notifies the peer, re-attaches each stream,
+// sends a SYNC with the resume sequence, and replays every
+// unacknowledged record — byte-identical ciphertext, since per-stream
+// contexts make the sequence numbers deterministic.
+func (s *Session) FailoverTo(failedID, targetID uint32) error {
+	if !s.cfg.EnableFailover {
+		return fmt.Errorf("core: failover not enabled in config")
+	}
+	failedConn, err := s.getConn(failedID)
+	if err != nil {
+		return err
+	}
+	target, err := s.getConn(targetID)
+	if err != nil {
+		return err
+	}
+	if target.failed || target.closed {
+		return ErrConnFailed
+	}
+	failedConn.failed = true
+	s.trace("failover_started", failedID, 0, 0, 0)
+
+	if err := s.sendCtl(target, appendFailover(nil, failedID)); err != nil {
+		return err
+	}
+	for _, id := range s.sortedStreamIDs() {
+		st := s.streams[id]
+		if st.conn != failedID {
+			continue
+		}
+		// Re-home the send side.
+		st.conn = targetID
+		target.attached[st.id] = true
+		// Move our receive context to the target's demux so the peer's
+		// records for this stream (it fails over too) authenticate here.
+		failedConn.demux.Detach(st.id)
+		if target.demux.Context(st.id) == nil {
+			target.demux.Attach(st.recvCtx)
+		}
+		if err := s.sendCtl(target, appendStreamAttach(nil, st.id)); err != nil {
+			return err
+		}
+		resume := st.sendCtx.Seq()
+		if len(st.retransmit) > 0 {
+			resume = st.retransmit[0].seq
+		}
+		if err := s.sendCtl(target, appendSync(nil, st.id, resume)); err != nil {
+			return err
+		}
+		s.trace("sync_sent", targetID, st.id, resume, 0)
+		// Replay unacknowledged records in order.
+		for _, r := range st.retransmit {
+			var trailer [9]byte
+			var tlen int
+			if r.typ == typeStreamDataCoupled {
+				wire.PutUint64(trailer[:8], r.aggSeq)
+				trailer[8] = byte(typeStreamDataCoupled)
+				tlen = 9
+			} else {
+				trailer[0] = byte(typeStreamData)
+				tlen = 1
+			}
+			out, err := st.sendCtx.SealSeqV(target.out, r.seq, record.ContentTypeApplicationData, s.cfg.PadRecordsTo, r.payload, trailer[:tlen])
+			if err != nil {
+				return err
+			}
+			target.out = out
+			s.stats.Retransmits++
+			s.stats.RecordsSent++
+			s.trace("retransmit", targetID, st.id, r.seq, len(r.payload))
+		}
+		// Re-send a FIN marker if it may have been lost with the
+		// connection.
+		if st.finSent {
+			if err := s.sendCtl(target, appendStreamFin(nil, st.id, st.sendCtx.Seq())); err != nil {
+				return err
+			}
+		}
+	}
+	s.emit(Event{Kind: EventFailoverDone, Conn: targetID})
+	return nil
+}
+
+// handleSync resynchronizes a stream's receive context after the peer's
+// failover: the next record of stream f.id on this connection carries
+// sequence f.seq. Records below nextDeliverSeq will be decrypted and
+// discarded by the duplicate filter.
+func (s *Session) handleSync(c *conn, f *frame) error {
+	st, err := s.getStream(f.id)
+	if err != nil {
+		return err
+	}
+	// The stream should already be attached here by the preceding
+	// STREAM_ATTACH; tolerate reordering of control frames by attaching
+	// now if needed.
+	if c.demux.Context(f.id) == nil {
+		if old, ok := s.conns[st.conn]; ok {
+			old.demux.Detach(f.id)
+		}
+		c.demux.Attach(st.recvCtx)
+		st.conn = c.id
+	}
+	st.recvCtx.SetSeq(f.seq)
+	s.trace("sync_received", c.id, f.id, f.seq, 0)
+	return nil
+}
+
+// handleFailoverNotice processes the peer's explicit failure
+// notification for one of our connections (shortens reaction time,
+// Fig. 4 step 2).
+func (s *Session) handleFailoverNotice(c *conn, f *frame) error {
+	failed, ok := s.conns[f.id]
+	if !ok {
+		return nil
+	}
+	if !failed.failed {
+		failed.failed = true
+		s.emit(Event{Kind: EventConnFailed, Conn: f.id})
+	}
+	return nil
+}

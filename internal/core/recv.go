@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tcpls/internal/record"
+)
+
+// Receive feeds raw bytes read from connID's TCP connection into the
+// engine: records are deframed, trial-decrypted to their stream, and
+// dispatched. now stamps connection activity for the UserTimeout timer.
+func (s *Session) Receive(connID uint32, data []byte, now time.Time) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	c.lastRecv = now
+	s.lastNow = now
+	c.deframer.Feed(data)
+	defer c.deframer.Compact() // data may be a reused read buffer
+	for {
+		rec, ok, err := c.deframer.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := s.handleRecord(c, rec); err != nil {
+			return err
+		}
+	}
+}
+
+// handleRecord demultiplexes and dispatches one full TLS record.
+func (s *Session) handleRecord(c *conn, rec []byte) error {
+	streamID, _, content, err := c.demux.Open(rec)
+	if err != nil {
+		if errors.Is(err, record.ErrNoStreamMatch) {
+			// Forgery or desynchronized peer: the paper counts these
+			// against the AEAD forgery budget and drops them. On a real
+			// TCP connection this is unrecoverable (record boundaries
+			// stay intact, so it is not a resync issue) — but dropping
+			// keeps the engine alive for the sim's adversarial tests.
+			s.stats.FailedDecrypts++
+			return nil
+		}
+		return err
+	}
+	s.stats.RecordsReceived++
+	f, err := parseFrame(content)
+	if err != nil {
+		return err
+	}
+	switch f.typ {
+	case typeStreamData, typeStreamDataCoupled:
+		return s.handleStreamData(c, streamID, f)
+	default:
+		return s.handleControl(c, streamID, f)
+	}
+}
+
+// handleStreamData delivers stream payload, filtering failover
+// duplicates and running the ack policy.
+func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
+	st, err := s.getStream(streamID)
+	if err != nil {
+		return err
+	}
+	// The record's sequence number is the one the context just consumed.
+	seq := st.recvCtx.Seq() - 1
+	s.stats.BytesReceived += uint64(len(f.payload))
+
+	if seq < st.nextDeliverSeq {
+		// Failover replay of a record we already delivered (the peer's
+		// ack state lagged): count and drop.
+		s.stats.DupRecordsDropped++
+		s.trace("dup_dropped", c.id, streamID, seq, len(f.payload))
+		s.maybeAck(c, st)
+		return nil
+	}
+	st.nextDeliverSeq = seq + 1
+	s.trace("record_received", c.id, streamID, seq, len(f.payload))
+
+	if f.typ == typeStreamDataCoupled {
+		st.coupled = true // receiver learns coupling from the records
+		// Coupled delivery: order across the group by aggregation
+		// sequence number through the reordering heap (§4.3). In the
+		// in-order fast path the record buffer is delivered as is; only
+		// out-of-order records are copied for the heap to hold.
+		var delivered [][]byte
+		if f.aggSeq == s.coupled.buf.Next() && s.coupled.buf.Pending() == 0 {
+			delivered = s.coupled.buf.Offer(f.aggSeq, f.payload)
+		} else {
+			delivered = s.coupled.buf.Offer(f.aggSeq, append([]byte(nil), f.payload...))
+		}
+		if s.DeliverCoupled != nil {
+			for _, d := range delivered {
+				s.DeliverCoupled(d)
+			}
+		} else {
+			for _, d := range delivered {
+				s.coupled.recvData = append(s.coupled.recvData, d...)
+			}
+			if len(delivered) > 0 {
+				s.emit(Event{Kind: EventCoupledData, Stream: streamID, Conn: c.id})
+			}
+		}
+	} else if s.DeliverData != nil {
+		s.DeliverData(streamID, f.payload)
+	} else {
+		st.recvData = append(st.recvData, f.payload...)
+		s.emit(Event{Kind: EventStreamData, Stream: streamID, Conn: c.id})
+	}
+
+	st.recvSinceAck++
+	st.bytesSinceAck += len(f.payload)
+	s.maybeAck(c, st)
+	return nil
+}
+
+// maybeAck applies the §4.2 acknowledgment policy: every AckPeriod
+// records or AckBytes bytes, when failover is enabled.
+func (s *Session) maybeAck(c *conn, st *stream) {
+	if !s.cfg.EnableFailover {
+		return
+	}
+	if st.recvSinceAck < s.cfg.ackPeriod() && st.bytesSinceAck < s.cfg.ackBytes() {
+		return
+	}
+	s.sendAck(c, st)
+}
+
+func (s *Session) sendAck(c *conn, st *stream) {
+	if err := s.sendCtl(c, appendAck(nil, st.id, st.recvCtx.Seq())); err != nil {
+		return
+	}
+	s.trace("ack_sent", c.id, st.id, st.recvCtx.Seq(), 0)
+	s.stats.AcksSent++
+	st.recvSinceAck = 0
+	st.bytesSinceAck = 0
+}
+
+// FlushAcks forces acknowledgments for all streams with unacked receipts
+// (used at transfer end so the sender can drain retransmit buffers).
+func (s *Session) FlushAcks() {
+	for _, st := range s.streams {
+		if st.recvSinceAck > 0 {
+			if c, ok := s.conns[st.conn]; ok && !c.failed {
+				s.sendAck(c, st)
+			}
+		}
+	}
+}
+
+// handleControl dispatches a non-data frame.
+func (s *Session) handleControl(c *conn, streamID uint32, f *frame) error {
+	switch f.typ {
+	case typeAck:
+		return s.handleAck(f)
+	case typeSync:
+		return s.handleSync(c, f)
+	case typeFailover:
+		return s.handleFailoverNotice(c, f)
+	case typeStreamAttach:
+		return s.handleStreamAttach(c, f)
+	case typeStreamDetach:
+		return s.handleStreamDetach(c, f)
+	case typeStreamFin:
+		return s.handleStreamFin(c, f)
+	case typeTCPOption:
+		s.emit(Event{Kind: EventTCPOption, Conn: c.id, OptKind: f.optKind,
+			OptVal: append([]byte(nil), f.optVal...)})
+		return nil
+	case typeAddAddr:
+		s.emit(Event{Kind: EventAddAddr, Conn: c.id, Addr: append([]byte(nil), f.addr...)})
+		return nil
+	case typeRemoveAddr:
+		s.emit(Event{Kind: EventRemoveAddr, Conn: c.id, Addr: append([]byte(nil), f.addr...)})
+		return nil
+	case typeNewCookie:
+		s.emit(Event{Kind: EventNewCookies, Conn: c.id, Cookies: f.cookies})
+		return nil
+	case typeBPFCC:
+		return s.handleBPFChunk(c, f)
+	case typeEchoRequest:
+		return s.sendCtl(c, appendEcho(nil, typeEchoReply, f.token))
+	case typeEchoReply:
+		s.emit(Event{Kind: EventEchoReply, Conn: c.id, Token: f.token})
+		return nil
+	case typeConnClose:
+		c.closed = true
+		s.emit(Event{Kind: EventConnClosed, Conn: c.id})
+		return nil
+	case typeSessionTicket:
+		s.emit(Event{Kind: EventSessionTicket, Conn: c.id,
+			Data: append([]byte(nil), f.chunk...), Nonce: f.nonce})
+		return nil
+	default:
+		return fmt.Errorf("core: unhandled control type %#x", uint8(f.typ))
+	}
+}
+
+// handleAck advances the peer-acked watermark and trims the retransmit
+// buffer (Fig. 4's sender-side bookkeeping).
+func (s *Session) handleAck(f *frame) error {
+	st, err := s.getStream(f.id)
+	if err != nil {
+		// Acks may race stream teardown; ignore unknown streams.
+		return nil
+	}
+	s.stats.AcksReceived++
+	s.trace("ack_received", 0, f.id, f.seq, 0)
+	if f.seq > st.peerAcked {
+		st.peerAcked = f.seq
+	}
+	i := 0
+	for i < len(st.retransmit) && st.retransmit[i].seq < st.peerAcked {
+		i++
+	}
+	if i > 0 {
+		st.retransmit = append(st.retransmit[:0], st.retransmit[i:]...)
+	}
+	return nil
+}
+
+// handleStreamAttach installs a peer-initiated stream, or re-homes an
+// existing stream's receive context onto this connection (failover).
+func (s *Session) handleStreamAttach(c *conn, f *frame) error {
+	if st, ok := s.streams[f.id]; ok {
+		// Existing stream moving here (failover path). Detach the recv
+		// context from its old conn's demux and attach it here.
+		if old, ok := s.conns[st.conn]; ok && old != c {
+			old.demux.Detach(f.id)
+		}
+		if c.demux.Context(f.id) == nil {
+			c.demux.Attach(st.recvCtx)
+		}
+		st.conn = c.id
+		return nil
+	}
+	st, err := s.installStream(f.id, c.id)
+	if err != nil {
+		return err
+	}
+	_ = st
+	s.trace("stream_attached", c.id, f.id, 0, 0)
+	s.emit(Event{Kind: EventStreamOpen, Stream: f.id, Conn: c.id})
+	return nil
+}
+
+func (s *Session) handleStreamDetach(c *conn, f *frame) error {
+	st, ok := s.streams[f.id]
+	if !ok {
+		return nil
+	}
+	c.demux.Detach(f.id)
+	_ = st
+	return nil
+}
+
+// handleStreamFin records the peer's final sequence for a stream.
+func (s *Session) handleStreamFin(c *conn, f *frame) error {
+	st, err := s.getStream(f.id)
+	if err != nil {
+		return nil
+	}
+	st.peerFin = true
+	st.peerFinalSeq = f.seq
+	s.trace("stream_fin", c.id, f.id, f.seq, 0)
+	// Final ack so the peer can drain its retransmit buffer.
+	if s.cfg.EnableFailover && st.recvSinceAck > 0 {
+		s.sendAck(c, st)
+	}
+	s.emit(Event{Kind: EventStreamFin, Stream: f.id, Conn: c.id})
+	return nil
+}
+
+// handleBPFChunk reassembles an eBPF congestion-controller program.
+func (s *Session) handleBPFChunk(c *conn, f *frame) error {
+	if int(f.chunkCount) == 0 {
+		return ErrBadFrame
+	}
+	if s.bpfChunks == nil || s.bpfTotal != int(f.chunkCount) || s.bpfProgLen != f.progLen {
+		s.bpfChunks = make([][]byte, f.chunkCount)
+		s.bpfGot = 0
+		s.bpfTotal = int(f.chunkCount)
+		s.bpfProgLen = f.progLen
+	}
+	idx := int(f.chunkIdx)
+	if idx >= s.bpfTotal {
+		return ErrBadFrame
+	}
+	if s.bpfChunks[idx] == nil {
+		s.bpfChunks[idx] = append([]byte(nil), f.chunk...)
+		s.bpfGot++
+	}
+	if s.bpfGot < s.bpfTotal {
+		return nil
+	}
+	var prog []byte
+	for _, ch := range s.bpfChunks {
+		prog = append(prog, ch...)
+	}
+	s.bpfChunks = nil
+	if len(prog) != int(s.bpfProgLen) {
+		return ErrBadFrame
+	}
+	s.emit(Event{Kind: EventBPFCC, Conn: c.id, Data: prog})
+	return nil
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"tcpls/internal/record"
+	"tcpls/internal/wire"
+)
+
+// Scheduler chooses which coupled stream carries the next record. The
+// engine calls it once per record with the coupled streams' IDs and the
+// running record index; it returns an index into streams. This is the
+// paper's application-exposed sender-side record scheduler (§3.3.3):
+// round-robin by default, replaceable by the application.
+type Scheduler func(recordIdx uint64, streams []uint32) int
+
+// RoundRobin is the default coupled-stream scheduler (§5.1 uses it).
+func RoundRobin(recordIdx uint64, streams []uint32) int {
+	return int(recordIdx % uint64(len(streams)))
+}
+
+// SetScheduler replaces the coupled-stream scheduler.
+func (s *Session) SetScheduler(sched Scheduler) { s.sched = sched }
+
+func (s *Session) scheduler() Scheduler {
+	if s.sched != nil {
+		return s.sched
+	}
+	return RoundRobin
+}
+
+// Flush frames all queued application data into encrypted records on
+// their connections' output buffers. Call before draining Outgoing.
+func (s *Session) Flush() error {
+	// Coupled group first: distribute records across coupled streams.
+	if err := s.flushCoupled(); err != nil {
+		return err
+	}
+	// Then per-stream queues, in stream-ID order for determinism.
+	for _, id := range s.sortedStreamIDs() {
+		st := s.streams[id]
+		if err := s.flushStream(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Session) sortedStreamIDs() []uint32 {
+	ids := s.Streams()
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	return ids
+}
+
+// flushStream frames one stream's pending bytes.
+func (s *Session) flushStream(st *stream) error {
+	max := s.cfg.maxPayload()
+	for len(st.pending) > 0 {
+		n := len(st.pending)
+		if n > max {
+			n = max
+		}
+		chunk := st.pending[:n]
+		if err := s.sendStreamRecord(st, chunk, st.coupled); err != nil {
+			return err
+		}
+		st.pending = st.pending[n:]
+	}
+	if len(st.pending) == 0 {
+		st.pending = nil
+	}
+	if st.finQueued && !st.finSent {
+		c, err := s.getConn(st.conn)
+		if err != nil {
+			return err
+		}
+		if err := s.sendCtl(c, appendStreamFin(nil, st.id, st.sendCtx.Seq())); err != nil {
+			return err
+		}
+		st.finSent = true
+	}
+	return nil
+}
+
+// flushCoupled distributes the coupled group's pending bytes across the
+// coupled streams, one record at a time, via the scheduler.
+func (s *Session) flushCoupled() error {
+	if len(s.coupled.pendingData) == 0 {
+		return nil
+	}
+	cs := s.coupledStreams()
+	if len(cs) == 0 {
+		return ErrNotCoupled
+	}
+	ids := make([]uint32, len(cs))
+	for i, st := range cs {
+		ids[i] = st.id
+	}
+	max := s.cfg.maxPayload()
+	sched := s.scheduler()
+	for len(s.coupled.pendingData) > 0 {
+		n := len(s.coupled.pendingData)
+		if n > max {
+			n = max
+		}
+		chunk := s.coupled.pendingData[:n]
+		idx := sched(s.coupled.sendSeq, ids)
+		if idx < 0 || idx >= len(cs) {
+			idx = 0
+		}
+		st := cs[idx]
+		if err := s.sendStreamRecord(st, chunk, true); err != nil {
+			return err
+		}
+		s.coupled.pendingData = s.coupled.pendingData[n:]
+	}
+	s.coupled.pendingData = nil
+	return nil
+}
+
+// sendStreamRecord seals one stream data record onto the stream's
+// connection and, when failover is enabled, retains it for replay.
+func (s *Session) sendStreamRecord(st *stream, payload []byte, coupled bool) error {
+	c, err := s.getConn(st.conn)
+	if err != nil {
+		return err
+	}
+	if c.failed {
+		return ErrConnFailed
+	}
+	// Scatter-gather seal: payload plus the TCPLS trailer go straight
+	// into the connection buffer — the zero-copy send path of §3.1.
+	var aggSeq uint64
+	typ := typeStreamData
+	var trailer [9]byte
+	var tlen int
+	if coupled {
+		typ = typeStreamDataCoupled
+		aggSeq = s.coupled.sendSeq
+		s.coupled.sendSeq++
+		wire.PutUint64(trailer[:8], aggSeq)
+		trailer[8] = byte(typeStreamDataCoupled)
+		tlen = 9
+	} else {
+		trailer[0] = byte(typeStreamData)
+		tlen = 1
+	}
+	seq := st.sendCtx.Seq()
+	out, err := st.sendCtx.SealV(c.out, record.ContentTypeApplicationData, s.cfg.PadRecordsTo, payload, trailer[:tlen])
+	if err != nil {
+		return err
+	}
+	c.out = out
+	s.stats.RecordsSent++
+	s.stats.BytesSent += uint64(len(payload))
+	s.trace("record_sent", c.id, st.id, seq, len(payload))
+	if s.cfg.EnableFailover {
+		st.retransmit = append(st.retransmit, sentRecord{
+			seq:     seq,
+			typ:     typ,
+			payload: append([]byte(nil), payload...),
+			aggSeq:  aggSeq,
+		})
+	}
+	return nil
+}
+
+// SendTCPOption ships an encrypted TCP option on connID's control stream
+// (§3.1): reliable, unconstrained by the 40-byte TCP option space, and
+// invisible to middleboxes.
+func (s *Session) SendTCPOption(connID uint32, kind uint8, value []byte) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	return s.sendCtl(c, appendTCPOption(nil, kind, value))
+}
+
+// SendAddAddr advertises a local address to the peer mid-session.
+func (s *Session) SendAddAddr(connID uint32, addr []byte) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	return s.sendCtl(c, appendAddr(nil, typeAddAddr, addr))
+}
+
+// SendRemoveAddr withdraws a previously advertised address.
+func (s *Session) SendRemoveAddr(connID uint32, addr []byte) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	return s.sendCtl(c, appendAddr(nil, typeRemoveAddr, addr))
+}
+
+// SendNewCookies replenishes the peer's join-cookie budget (server side).
+func (s *Session) SendNewCookies(connID uint32, cookies [][16]byte) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	return s.sendCtl(c, appendNewCookie(nil, cookies))
+}
+
+// SendEcho sends a path probe on connID; the peer echoes Token back
+// (§3.3.3's active delay measurement).
+func (s *Session) SendEcho(connID uint32, token uint64) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	return s.sendCtl(c, appendEcho(nil, typeEchoRequest, token))
+}
+
+// SendBPFCC ships an eBPF congestion-controller program over connID,
+// chunked across records when needed (§4.4).
+func (s *Session) SendBPFCC(connID uint32, program []byte) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	max := s.cfg.maxPayload()
+	chunks := (len(program) + max - 1) / max
+	if chunks == 0 {
+		chunks = 1
+	}
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*max, (i+1)*max
+		if hi > len(program) {
+			hi = len(program)
+		}
+		content := appendBPFCC(nil, program[lo:hi], uint16(i), uint16(chunks), uint32(len(program)))
+		if err := s.sendCtl(c, content); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendSessionTicket ships a resumption ticket to the peer (§4.5).
+func (s *Session) SendSessionTicket(connID uint32, nonce [16]byte, ticket []byte) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	return s.sendCtl(c, appendSessionTicket(nil, nonce, ticket))
+}
+
+// CloseConnection sends an orderly connection close.
+func (s *Session) CloseConnection(connID uint32) error {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return err
+	}
+	if err := s.sendCtl(c, appendConnClose(nil)); err != nil {
+		return err
+	}
+	c.closed = true
+	return nil
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tcpls/internal/handshake"
+	"tcpls/internal/record"
+	"tcpls/internal/reorder"
+)
+
+// Role distinguishes the two endpoints of a session.
+type Role int
+
+// Session roles.
+const (
+	RoleClient Role = iota
+	RoleServer
+)
+
+// Stream ID allocation. The ID space is split between client and server
+// (paper §3.3.1); stream 0 is the handshake-derived context used for
+// control records on the initial connection, and every joined connection
+// gets its own control stream so control records never share a sequence
+// space across connections.
+const (
+	// ctlStreamBase tags per-connection control streams: control stream
+	// of connection k (k > 0) is ctlStreamBase | k.
+	ctlStreamBase     uint32 = 0xc0000000
+	firstClientStream uint32 = 2
+	firstServerStream uint32 = 3
+)
+
+func ctlStreamID(connID uint32) uint32 {
+	if connID == 0 {
+		return 0
+	}
+	return ctlStreamBase | connID
+}
+
+// Config tunes a session.
+type Config struct {
+	// EnableFailover turns on record-level acknowledgments and
+	// retransmission buffering (§4.2). Costs a few percent of raw
+	// throughput (Fig. 7).
+	EnableFailover bool
+	// AckPeriod acknowledges every n received stream records
+	// (default 16, the paper's default policy).
+	AckPeriod int
+	// AckBytes acknowledges after this many received bytes since the
+	// last ack regardless of record count (default 256 KiB).
+	AckBytes int
+	// MaxRecordPayload bounds stream bytes per record. Default fills the
+	// 16384-byte TLS record; Fig. 13 uses ~1400 to smooth aggregation.
+	MaxRecordPayload int
+	// UserTimeout is the encrypted TCP User Timeout option value: a
+	// connection with no inbound traffic for this long while data is
+	// outstanding is declared failed (§4.2). Zero disables the timer.
+	UserTimeout time.Duration
+	// PadRecordsTo pads every record's inner plaintext to this many
+	// bytes (RFC 8446 record padding): all records — stream data and
+	// control alike — become indistinguishable by size on the wire,
+	// at a bandwidth cost. Zero disables padding.
+	PadRecordsTo int
+}
+
+func (c Config) ackPeriod() int {
+	if c.AckPeriod > 0 {
+		return c.AckPeriod
+	}
+	return 16
+}
+
+func (c Config) ackBytes() int {
+	if c.AckBytes > 0 {
+		return c.AckBytes
+	}
+	return 256 << 10
+}
+
+func (c Config) maxPayload() int {
+	if c.MaxRecordPayload > 0 {
+		return c.MaxRecordPayload
+	}
+	// Leave room for the largest trailer (coupled: 8-byte agg seq +
+	// type byte) within the 16384-byte inner plaintext.
+	return record.MaxPlaintextLen - 16
+}
+
+// EventKind enumerates session events.
+type EventKind int
+
+// Session events, drained by the I/O wrapper via Events.
+const (
+	// EventStreamOpen: the peer attached a new stream (Stream field).
+	EventStreamOpen EventKind = iota
+	// EventStreamData: a stream has new readable bytes.
+	EventStreamData
+	// EventCoupledData: the coupled group has new readable bytes.
+	EventCoupledData
+	// EventStreamFin: a stream finished cleanly.
+	EventStreamFin
+	// EventConnFailed: a connection was declared failed (UserTimeout
+	// expiry, peer FAILOVER notification, or explicit report).
+	EventConnFailed
+	// EventFailoverDone: all streams of a failed connection were
+	// resynchronized onto Conn.
+	EventFailoverDone
+	// EventAddAddr / EventRemoveAddr: the peer updated its address list.
+	EventAddAddr
+	EventRemoveAddr
+	// EventNewCookies: the server replenished join cookies.
+	EventNewCookies
+	// EventTCPOption: an encrypted TCP option arrived (§4.2).
+	EventTCPOption
+	// EventBPFCC: a complete eBPF congestion-controller program arrived.
+	EventBPFCC
+	// EventEchoReply: a path probe returned; Token matches the request.
+	EventEchoReply
+	// EventConnClosed: the peer closed this connection gracefully.
+	EventConnClosed
+	// EventSessionTicket: a resumption ticket arrived (Data = opaque
+	// ticket, Nonce = PSK-derivation nonce).
+	EventSessionTicket
+)
+
+// Event is one session-level occurrence.
+type Event struct {
+	Kind    EventKind
+	Stream  uint32
+	Conn    uint32
+	Data    []byte
+	Addr    []byte
+	Cookies [][16]byte
+	OptKind uint8
+	OptVal  []byte
+	Token   uint64
+	Nonce   [16]byte
+}
+
+// Session errors.
+var (
+	ErrUnknownConn    = errors.New("core: unknown connection")
+	ErrUnknownStream  = errors.New("core: unknown stream")
+	ErrConnFailed     = errors.New("core: connection already failed")
+	ErrStreamFinished = errors.New("core: stream already finished")
+	ErrNotCoupled     = errors.New("core: no coupled streams configured")
+	ErrDuplicateConn  = errors.New("core: connection ID already exists")
+)
+
+// Session is the sans-IO TCPLS protocol engine for one endpoint of one
+// TCPLS session. It is not safe for concurrent use; wrappers serialize
+// access.
+type Session struct {
+	role       Role
+	cfg        Config
+	suite      *record.Suite
+	sendSecret []byte // this endpoint's application traffic secret
+	recvSecret []byte // the peer's
+
+	conns        map[uint32]*conn
+	streams      map[uint32]*stream
+	nextStreamID uint32
+
+	events []Event
+
+	// DeliverData, when set, receives stream payload directly from the
+	// decrypted record buffer instead of the engine buffering it for
+	// Read — the zero-copy delivery API of §4.1. The slice is only
+	// valid during the call.
+	DeliverData func(streamID uint32, payload []byte)
+	// DeliverCoupled is the coupled-group equivalent: in-order chunks
+	// straight from the reordering path.
+	DeliverCoupled func(payload []byte)
+
+	sched   Scheduler
+	coupled coupledState
+
+	// bpf reassembly state (one program in flight at a time, §4.4).
+	bpfChunks  [][]byte
+	bpfGot     int
+	bpfTotal   int
+	bpfProgLen uint32
+
+	// outPool recycles drained connection output buffers (see
+	// RecycleOutgoing).
+	outPool [][]byte
+
+	// tracer and lastNow drive the QLOG-style event trace (trace.go).
+	tracer  func(TraceEvent)
+	lastNow time.Time
+
+	// Stats counters.
+	stats Stats
+}
+
+// Stats exposes engine counters for instrumentation and tests.
+type Stats struct {
+	RecordsSent       uint64
+	RecordsReceived   uint64
+	BytesSent         uint64
+	BytesReceived     uint64
+	AcksSent          uint64
+	AcksReceived      uint64
+	Retransmits       uint64
+	DupRecordsDropped uint64
+	FailedDecrypts    uint64
+}
+
+// coupledState is the session-wide coupled-stream group (§4.3; the
+// prototype couples all coupled-flagged streams together).
+type coupledState struct {
+	sendSeq     uint64
+	rr          int // round-robin cursor over coupled streams
+	pendingData []byte
+	buf         *reorder.Buffer
+	recvData    []byte
+}
+
+// NewSession builds an engine from completed handshake secrets.
+func NewSession(role Role, secrets handshake.Secrets, cfg Config) *Session {
+	s := &Session{
+		role:    role,
+		cfg:     cfg,
+		suite:   secrets.Suite,
+		conns:   make(map[uint32]*conn),
+		streams: make(map[uint32]*stream),
+	}
+	if role == RoleClient {
+		s.sendSecret = secrets.ClientApp
+		s.recvSecret = secrets.ServerApp
+		s.nextStreamID = firstClientStream
+	} else {
+		s.sendSecret = secrets.ServerApp
+		s.recvSecret = secrets.ClientApp
+		s.nextStreamID = firstServerStream
+	}
+	s.coupled.buf = reorder.New(0)
+	return s
+}
+
+// Stats returns a copy of the engine counters.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Events drains and returns pending events.
+func (s *Session) Events() []Event {
+	ev := s.events
+	s.events = nil
+	return ev
+}
+
+func (s *Session) emit(ev Event) { s.events = append(s.events, ev) }
+
+// newContext derives a stream context in one direction.
+func (s *Session) newContext(secret []byte, streamID uint32) (*record.StreamContext, error) {
+	key, iv := record.DeriveTrafficKeys(s.suite, secret)
+	return record.NewStreamContext(s.suite, key, iv, streamID)
+}
+
+// AddConnection registers a (just-established or just-joined) TCP
+// connection under id and installs its control stream. now stamps
+// last-activity for the UserTimeout machinery.
+func (s *Session) AddConnection(id uint32, now time.Time) error {
+	if _, ok := s.conns[id]; ok {
+		return ErrDuplicateConn
+	}
+	c := &conn{id: id, lastRecv: now, attached: make(map[uint32]bool)}
+	ctlID := ctlStreamID(id)
+	var err error
+	if c.ctlSend, err = s.newContext(s.sendSecret, ctlID); err != nil {
+		return err
+	}
+	ctlRecv, err := s.newContext(s.recvSecret, ctlID)
+	if err != nil {
+		return err
+	}
+	c.demux.Attach(ctlRecv)
+	s.conns[id] = c
+	return nil
+}
+
+// Connections returns the IDs of all live (non-failed) connections.
+func (s *Session) Connections() []uint32 {
+	var out []uint32
+	for id, c := range s.conns {
+		if !c.failed && !c.closed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ConnOutstanding reports whether any stream attached to conn has
+// unacknowledged records (drives the UserTimeout failure heuristic).
+func (s *Session) ConnOutstanding(connID uint32) bool {
+	for _, st := range s.streams {
+		if st.conn == connID && len(st.retransmit) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// conn is per-TCP-connection state.
+type conn struct {
+	id       uint32
+	demux    record.Demux
+	deframer record.Deframer
+	ctlSend  *record.StreamContext
+	out      []byte
+	attached map[uint32]bool // send-side data-stream attachment
+	lastRecv time.Time
+	failed   bool
+	closed   bool
+}
+
+// sendCtl seals a control record onto the connection immediately,
+// preserving control/data ordering on the byte stream.
+func (s *Session) sendCtl(c *conn, content []byte) error {
+	out, err := c.ctlSend.Seal(c.out, record.ContentTypeApplicationData, content, s.cfg.PadRecordsTo)
+	if err != nil {
+		return err
+	}
+	c.out = out
+	s.stats.RecordsSent++
+	return nil
+}
+
+func (s *Session) getConn(id uint32) (*conn, error) {
+	c, ok := s.conns[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownConn, id)
+	}
+	return c, nil
+}
+
+func (s *Session) getStream(id uint32) (*stream, error) {
+	st, ok := s.streams[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownStream, id)
+	}
+	return st, nil
+}
+
+// Outgoing drains the bytes queued for transmission on conn. Ownership
+// of the returned slice passes to the caller; returning it later with
+// RecycleOutgoing avoids reallocating record buffers on every flush.
+func (s *Session) Outgoing(connID uint32) ([]byte, error) {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return nil, err
+	}
+	out := c.out
+	if n := len(s.outPool); n > 0 {
+		c.out = s.outPool[n-1]
+		s.outPool = s.outPool[:n-1]
+	} else {
+		c.out = nil
+	}
+	return out, nil
+}
+
+// RecycleOutgoing returns a buffer obtained from Outgoing once the
+// caller has finished writing it to the transport.
+func (s *Session) RecycleOutgoing(buf []byte) {
+	if cap(buf) == 0 || len(s.outPool) >= 8 {
+		return
+	}
+	s.outPool = append(s.outPool, buf[:0])
+}
+
+// HasOutgoing reports whether conn has bytes waiting without draining.
+func (s *Session) HasOutgoing(connID uint32) bool {
+	c, ok := s.conns[connID]
+	return ok && len(c.out) > 0
+}

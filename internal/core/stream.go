@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"tcpls/internal/record"
+)
+
+// stream is per-stream state. Streams are bidirectional and attached to
+// exactly one TCP connection at a time (paper §3.3.1); only Failover
+// moves an existing stream between connections.
+type stream struct {
+	id   uint32
+	conn uint32
+
+	// Send side.
+	sendCtx    *record.StreamContext
+	pending    []byte       // application bytes not yet sealed
+	retransmit []sentRecord // sealed but unacknowledged (failover only)
+	peerAcked  uint64       // next seq the peer has NOT acknowledged
+	coupled    bool
+	finQueued  bool
+	finSent    bool
+
+	// Receive side. The receive context lives in the owning conn's
+	// demux; recvCtx duplicates the pointer for direct access.
+	recvCtx        *record.StreamContext
+	recvData       []byte
+	nextDeliverSeq uint64 // duplicate filter across failover replays
+	recvSinceAck   int
+	bytesSinceAck  int
+	peerFin        bool
+	peerFinalSeq   uint64
+}
+
+// sentRecord is one record buffered for potential failover replay.
+type sentRecord struct {
+	seq     uint64
+	typ     recordType
+	payload []byte
+	aggSeq  uint64
+}
+
+// CreateStream opens a new locally-initiated stream attached to connID
+// and announces it to the peer. It returns the new stream ID.
+func (s *Session) CreateStream(connID uint32) (uint32, error) {
+	c, err := s.getConn(connID)
+	if err != nil {
+		return 0, err
+	}
+	if c.failed || c.closed {
+		return 0, ErrConnFailed
+	}
+	id := s.nextStreamID
+	s.nextStreamID += 2
+	st, err := s.installStream(id, connID)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.sendCtl(c, appendStreamAttach(nil, id)); err != nil {
+		return 0, err
+	}
+	c.attached[id] = true
+	_ = st
+	return id, nil
+}
+
+// installStream builds both directions' contexts for stream id and
+// registers the receive side with connID's demux.
+func (s *Session) installStream(id, connID uint32) (*stream, error) {
+	if _, exists := s.streams[id]; exists {
+		return nil, fmt.Errorf("core: stream %d already exists", id)
+	}
+	c, err := s.getConn(connID)
+	if err != nil {
+		return nil, err
+	}
+	st := &stream{id: id, conn: connID}
+	if st.sendCtx, err = s.newContext(s.sendSecret, id); err != nil {
+		return nil, err
+	}
+	if st.recvCtx, err = s.newContext(s.recvSecret, id); err != nil {
+		return nil, err
+	}
+	c.demux.Attach(st.recvCtx)
+	s.streams[id] = st
+	return st, nil
+}
+
+// Streams returns the IDs of all open streams.
+func (s *Session) Streams() []uint32 {
+	out := make([]uint32, 0, len(s.streams))
+	for id := range s.streams {
+		out = append(out, id)
+	}
+	return out
+}
+
+// StreamsOnConn returns the IDs of streams attached to connID.
+func (s *Session) StreamsOnConn(connID uint32) []uint32 {
+	var out []uint32
+	for id, st := range s.streams {
+		if st.conn == connID {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// StreamConn returns the connection a stream is attached to.
+func (s *Session) StreamConn(streamID uint32) (uint32, error) {
+	st, err := s.getStream(streamID)
+	if err != nil {
+		return 0, err
+	}
+	return st.conn, nil
+}
+
+// Write queues application bytes on a stream. Bytes are framed into
+// records and encrypted at the next Flush.
+func (s *Session) Write(streamID uint32, data []byte) (int, error) {
+	st, err := s.getStream(streamID)
+	if err != nil {
+		return 0, err
+	}
+	if st.finQueued {
+		return 0, ErrStreamFinished
+	}
+	st.pending = append(st.pending, data...)
+	return len(data), nil
+}
+
+// Read drains buffered in-order bytes from a stream.
+func (s *Session) Read(streamID uint32, p []byte) (int, error) {
+	st, err := s.getStream(streamID)
+	if err != nil {
+		return 0, err
+	}
+	n := copy(p, st.recvData)
+	st.recvData = st.recvData[n:]
+	if len(st.recvData) == 0 {
+		st.recvData = nil
+	}
+	return n, nil
+}
+
+// Readable returns the number of buffered readable bytes on a stream.
+func (s *Session) Readable(streamID uint32) int {
+	st, ok := s.streams[streamID]
+	if !ok {
+		return 0
+	}
+	return len(st.recvData)
+}
+
+// PeerFinished reports whether the peer finished the stream and all its
+// data has been read.
+func (s *Session) PeerFinished(streamID uint32) bool {
+	st, ok := s.streams[streamID]
+	return ok && st.peerFin && len(st.recvData) == 0 &&
+		st.recvCtx.Seq() >= st.peerFinalSeq
+}
+
+// FinishStream marks the local send side of a stream as done; the FIN
+// control record goes out with the next Flush, after all queued data.
+func (s *Session) FinishStream(streamID uint32) error {
+	st, err := s.getStream(streamID)
+	if err != nil {
+		return err
+	}
+	if st.finQueued {
+		return ErrStreamFinished
+	}
+	st.finQueued = true
+	return nil
+}
+
+// SetCoupled flags a stream as part of the session's coupled group
+// (§3.3.3): its records carry aggregation sequence numbers and the
+// receiver delivers the coupled group's bytes in aggregate order.
+func (s *Session) SetCoupled(streamID uint32, coupled bool) error {
+	st, err := s.getStream(streamID)
+	if err != nil {
+		return err
+	}
+	st.coupled = coupled
+	return nil
+}
+
+// coupledStreams lists coupled streams in deterministic (creation) order.
+func (s *Session) coupledStreams() []*stream {
+	var out []*stream
+	// Iterate in stream-ID order for determinism.
+	ids := s.Streams()
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		if st := s.streams[id]; st.coupled && !st.finSent {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// WriteCoupled queues bytes on the coupled group; records are spread
+// across the coupled streams (and hence their connections) by the
+// scheduler at Flush time.
+func (s *Session) WriteCoupled(data []byte) (int, error) {
+	cs := s.coupledStreams()
+	if len(cs) == 0 {
+		return 0, ErrNotCoupled
+	}
+	// Queue on the group: stash bytes on the first coupled stream's
+	// group buffer; Flush distributes per record.
+	s.coupled.pendingData = append(s.coupled.pendingData, data...)
+	return len(data), nil
+}
+
+// ReadCoupled drains in-order bytes delivered by the coupled group.
+func (s *Session) ReadCoupled(p []byte) int {
+	n := copy(p, s.coupled.recvData)
+	s.coupled.recvData = s.coupled.recvData[n:]
+	if len(s.coupled.recvData) == 0 {
+		s.coupled.recvData = nil
+	}
+	return n
+}
+
+// CoupledReadable returns buffered coupled bytes.
+func (s *Session) CoupledReadable() int { return len(s.coupled.recvData) }
+
+// CoupledActive reports whether any stream is currently coupled (so a
+// receiver knows to read the aggregate instead of individual streams).
+func (s *Session) CoupledActive() bool {
+	for _, st := range s.streams {
+		if st.coupled {
+			return true
+		}
+	}
+	return false
+}

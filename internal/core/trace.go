@@ -1,0 +1,38 @@
+package core
+
+import "time"
+
+// TraceEvent is one protocol-level occurrence for offline analysis — the
+// moral equivalent of the paper artifact's QLOG/QVIS support: every
+// record sent and received, every acknowledgment, and every failover
+// action, with enough identifiers to reconstruct per-stream timelines.
+type TraceEvent struct {
+	Time time.Time
+	Name string // record_sent, record_received, ack_sent, ack_received,
+	// dup_dropped, stream_attached, stream_fin, conn_failed,
+	// failover_started, sync_sent, sync_received, retransmit
+	Conn   uint32
+	Stream uint32
+	Seq    uint64
+	Bytes  int
+}
+
+// SetTracer installs a trace callback. The callback runs synchronously
+// on the engine's path: keep it cheap (append to a buffer, write a
+// line). nil disables tracing.
+func (s *Session) SetTracer(fn func(TraceEvent)) { s.tracer = fn }
+
+// trace emits one event when tracing is enabled.
+func (s *Session) trace(name string, conn, stream uint32, seq uint64, bytes int) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer(TraceEvent{
+		Time:   s.lastNow,
+		Name:   name,
+		Conn:   conn,
+		Stream: stream,
+		Seq:    seq,
+		Bytes:  bytes,
+	})
+}

@@ -1,0 +1,289 @@
+package ebpfvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a small assembly dialect into a program. One
+// instruction per line; ';' starts a comment; 'label:' defines a jump
+// target. Registers are r0..r10. Examples:
+//
+//	mov   r0, 42          ; r0 = 42
+//	add   r0, r1          ; r0 += r1
+//	ldxdw r2, [r1+8]      ; r2 = *(u64*)(r1+8)
+//	stxdw [r1+16], r2     ; *(u64*)(r1+16) = r2
+//	jsgt  r2, 5, done     ; if (s64)r2 > 5 goto done
+//	call  cbrt            ; r0 = cbrt(r1)
+//	done: exit
+//
+// The congestion-control programs in programs.go are written in this
+// dialect, so the bytecode that crosses the wire in the Fig. 12
+// experiment is assembled from readable source.
+func Assemble(src string) ([]Instruction, error) {
+	type pending struct {
+		insIdx int
+		label  string
+	}
+	var (
+		prog    []Instruction
+		labels  = map[string]int{}
+		fixups  []pending
+		lineNum int
+	)
+	for _, raw := range strings.Split(src, "\n") {
+		lineNum++
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if strings.ContainsAny(label, " \t,") {
+				break // ':' belonged to something else
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("asm line %d: duplicate label %q", lineNum, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		ins, fix, err := parseInstruction(line)
+		if err != nil {
+			return nil, fmt.Errorf("asm line %d: %w", lineNum, err)
+		}
+		if fix != "" {
+			fixups = append(fixups, pending{len(prog), fix})
+		}
+		prog = append(prog, ins)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		prog[f.insIdx].Off = int16(target - f.insIdx - 1)
+	}
+	return prog, nil
+}
+
+// MustAssemble panics on assembly errors; for the built-in programs.
+func MustAssemble(src string) []Instruction {
+	prog, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+var helperNames = map[string]int32{
+	"cbrt":    HelperCbrt,
+	"mul_div": HelperMulDiv,
+	"max":     HelperMax,
+	"min":     HelperMin,
+}
+
+var jumpOps = map[string][2]uint8{ // name -> {imm form, reg form}
+	"jeq":  {OpJeqImm, OpJeqReg},
+	"jne":  {OpJneImm, OpJneReg},
+	"jgt":  {OpJgtImm, OpJgtReg},
+	"jge":  {OpJgeImm, OpJgeReg},
+	"jlt":  {OpJltImm, OpJltReg},
+	"jle":  {OpJleImm, OpJleReg},
+	"jsgt": {OpJsgtImm, OpJsgtReg},
+	"jslt": {OpJsltImm, OpJsltReg},
+}
+
+var aluOps = map[string][2]uint8{ // name -> {imm form, reg form}
+	"mov": {OpMovImm, OpMovReg},
+	"add": {OpAddImm, OpAddReg},
+	"sub": {OpSubImm, OpSubReg},
+	"mul": {OpMulImm, OpMulReg},
+	"div": {OpDivImm, OpDivReg},
+	"mod": {OpModImm, OpModReg},
+	"and": {OpAndImm, OpAndReg},
+	"or":  {OpOrImm, OpOrReg},
+	"xor": {OpXorImm, OpXorReg},
+}
+
+func parseInstruction(line string) (Instruction, string, error) {
+	fields := strings.Fields(line)
+	op := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	args := splitArgs(rest)
+
+	switch {
+	case op == "exit":
+		return Instruction{Op: OpExit}, "", nil
+	case op == "call":
+		if len(args) != 1 {
+			return Instruction{}, "", fmt.Errorf("call needs one helper name")
+		}
+		id, ok := helperNames[args[0]]
+		if !ok {
+			return Instruction{}, "", fmt.Errorf("unknown helper %q", args[0])
+		}
+		return Instruction{Op: OpCall, Imm: id}, "", nil
+	case op == "ja":
+		if len(args) != 1 {
+			return Instruction{}, "", fmt.Errorf("ja needs one label")
+		}
+		return Instruction{Op: OpJa}, args[0], nil
+	case op == "neg":
+		r, err := parseReg(args[0])
+		return Instruction{Op: OpNeg, Dst: r}, "", err
+	case op == "lsh" || op == "rsh" || op == "arsh":
+		if len(args) != 2 {
+			return Instruction{}, "", fmt.Errorf("%s needs reg, imm", op)
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		n, err := strconv.ParseInt(args[1], 0, 32)
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		o := map[string]uint8{"lsh": OpLshImm, "rsh": OpRshImm, "arsh": OpArshImm}[op]
+		return Instruction{Op: o, Dst: r, Imm: int32(n)}, "", nil
+	case op == "ldxdw":
+		// ldxdw rD, [rS+off]
+		if len(args) != 2 {
+			return Instruction{}, "", fmt.Errorf("ldxdw needs reg, [reg+off]")
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		src, off, err := parseMem(args[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return Instruction{Op: OpLdxDW, Dst: dst, Src: src, Off: off}, "", nil
+	case op == "stxdw":
+		// stxdw [rD+off], rS
+		if len(args) != 2 {
+			return Instruction{}, "", fmt.Errorf("stxdw needs [reg+off], reg")
+		}
+		dst, off, err := parseMem(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		src, err := parseReg(args[1])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return Instruction{Op: OpStxDW, Dst: dst, Src: src, Off: off}, "", nil
+	case op == "stdw":
+		// stdw [rD+off], imm
+		if len(args) != 2 {
+			return Instruction{}, "", fmt.Errorf("stdw needs [reg+off], imm")
+		}
+		dst, off, err := parseMem(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		n, err := strconv.ParseInt(args[1], 0, 32)
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		return Instruction{Op: OpStDW, Dst: dst, Off: off, Imm: int32(n)}, "", nil
+	}
+
+	if forms, ok := jumpOps[op]; ok {
+		// jXX rD, imm|rS, label
+		if len(args) != 3 {
+			return Instruction{}, "", fmt.Errorf("%s needs reg, operand, label", op)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		if src, err := parseReg(args[1]); err == nil {
+			return Instruction{Op: forms[1], Dst: dst, Src: src}, args[2], nil
+		}
+		n, err := strconv.ParseInt(args[1], 0, 32)
+		if err != nil {
+			return Instruction{}, "", fmt.Errorf("bad operand %q", args[1])
+		}
+		return Instruction{Op: forms[0], Dst: dst, Imm: int32(n)}, args[2], nil
+	}
+	if forms, ok := aluOps[op]; ok {
+		if len(args) != 2 {
+			return Instruction{}, "", fmt.Errorf("%s needs reg, operand", op)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, "", err
+		}
+		if src, err := parseReg(args[1]); err == nil {
+			return Instruction{Op: forms[1], Dst: dst, Src: src}, "", nil
+		}
+		n, err := strconv.ParseInt(args[1], 0, 32)
+		if err != nil {
+			return Instruction{}, "", fmt.Errorf("bad operand %q", args[1])
+		}
+		return Instruction{Op: forms[0], Dst: dst, Imm: int32(n)}, "", nil
+	}
+	return Instruction{}, "", fmt.Errorf("unknown mnemonic %q", op)
+}
+
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("not a register: %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= numRegs {
+		return 0, fmt.Errorf("not a register: %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseMem parses "[rN+off]" or "[rN-off]" or "[rN]".
+func parseMem(s string) (uint8, int16, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := strconv.ParseInt(inner[sep:], 0, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, int16(off), nil
+}

@@ -1,0 +1,102 @@
+package ebpfvm
+
+import (
+	"time"
+
+	"tcpls/internal/cc"
+	"tcpls/internal/wire"
+)
+
+// Congestion-control context layout shared between the VM programs and
+// the bridge. All fields are 8-byte little... network-order words
+// accessed with ldxdw/stxdw. Scratch words persist across invocations,
+// which is how programs keep algorithm state (like eBPF per-socket
+// storage).
+const (
+	ctxEvent    = 0  // 1 = ack, 2 = loss, 3 = rto
+	ctxCwnd     = 8  // bytes (read-write)
+	ctxSsthresh = 16 // bytes (read-write)
+	ctxMSS      = 24 // bytes
+	ctxAcked    = 32 // bytes acked by this event
+	ctxRTTus    = 40 // latest RTT sample, microseconds
+	ctxNowUs    = 48 // current time, microseconds
+	ctxScratch0 = 56 // 8 persistent scratch words: 56..112
+	ctxLen      = 120
+)
+
+// CC event codes.
+const (
+	EventAck  = 1
+	EventLoss = 2
+	EventRTO  = 3
+)
+
+// CCProgram adapts a verified VM program to the cc.Algorithm interface,
+// so a congestion controller received over a TCPLS session can be
+// attached to a live (simulated) TCP connection — the paper's §4.4.
+type CCProgram struct {
+	name string
+	vm   *VM
+	ctx  [ctxLen]byte
+	err  error // first execution error; controller freezes after
+}
+
+// NewCCProgram verifies bytecode and builds a controller with the given
+// MSS and initial window.
+func NewCCProgram(name string, bytecode []byte, mss int) (*CCProgram, error) {
+	vm, err := NewFromBytes(bytecode)
+	if err != nil {
+		return nil, err
+	}
+	p := &CCProgram{name: name, vm: vm}
+	p.put(ctxMSS, uint64(mss))
+	p.put(ctxCwnd, uint64(cc.InitialWindowSegments*mss))
+	p.put(ctxSsthresh, 1<<30)
+	return p, nil
+}
+
+func (p *CCProgram) put(off int, v uint64) { wire.PutUint64(p.ctx[off:], v) }
+func (p *CCProgram) get(off int) uint64    { return wire.Uint64(p.ctx[off:]) }
+
+// Err returns the first runtime error, if any.
+func (p *CCProgram) Err() error { return p.err }
+
+func (p *CCProgram) run(event uint64, acked int, rtt, now time.Duration) {
+	if p.err != nil {
+		return
+	}
+	p.put(ctxEvent, event)
+	p.put(ctxAcked, uint64(acked))
+	p.put(ctxRTTus, uint64(rtt.Microseconds()))
+	p.put(ctxNowUs, uint64(now.Microseconds()))
+	if _, err := p.vm.Run(p.ctx[:]); err != nil {
+		p.err = err
+	}
+	// Defensive floor: a buggy program cannot stall the connection.
+	mss := p.get(ctxMSS)
+	if p.get(ctxCwnd) < mss {
+		p.put(ctxCwnd, mss)
+	}
+}
+
+// Name implements cc.Algorithm.
+func (p *CCProgram) Name() string { return p.name }
+
+// OnAck implements cc.Algorithm.
+func (p *CCProgram) OnAck(ackedBytes int, rtt time.Duration, now time.Duration) {
+	p.run(EventAck, ackedBytes, rtt, now)
+}
+
+// OnLoss implements cc.Algorithm.
+func (p *CCProgram) OnLoss(now time.Duration) { p.run(EventLoss, 0, 0, now) }
+
+// OnRTO implements cc.Algorithm.
+func (p *CCProgram) OnRTO(now time.Duration) { p.run(EventRTO, 0, 0, now) }
+
+// Window implements cc.Algorithm.
+func (p *CCProgram) Window() int { return int(p.get(ctxCwnd)) }
+
+// SlowStart implements cc.Algorithm.
+func (p *CCProgram) SlowStart() bool { return p.get(ctxCwnd) < p.get(ctxSsthresh) }
+
+var _ cc.Algorithm = (*CCProgram)(nil)

@@ -1,0 +1,329 @@
+package ebpfvm
+
+// Built-in congestion-controller programs in the assembly dialect of
+// asm.go. These are the payloads of the paper's §4.4 / Fig. 12
+// experiment: a server assembles one, ships the Encode()d bytes over a
+// TCPLS BPF_CC record, and the client verifies and attaches it.
+//
+// Register conventions inside the programs: r9 holds the context pointer
+// (saved from r1 before any helper call clobbers the argument
+// registers); helper arguments go in r1..r3 and results come back in r0.
+//
+// Context offsets match ccbridge.go:
+//
+//	+0 event  +8 cwnd  +16 ssthresh  +24 mss  +32 acked
+//	+40 rtt_us  +48 now_us  +56.. scratch
+
+// NewRenoSrc is RFC 5681 AIMD: slow start, 1-MSS-per-window congestion
+// avoidance (scratch0 = byte accumulator), halving on loss, collapse on
+// RTO.
+const NewRenoSrc = `
+        mov   r9, r1
+        ldxdw r2, [r9+0]
+        jeq   r2, 2, loss
+        jeq   r2, 3, rto
+; ---- ack ----
+        ldxdw r3, [r9+8]        ; cwnd
+        ldxdw r4, [r9+16]       ; ssthresh
+        ldxdw r5, [r9+32]       ; acked bytes
+        jge   r3, r4, ca
+        add   r3, r5            ; slow start: cwnd += acked
+        stxdw [r9+8], r3
+        exit
+ca:     ldxdw r6, [r9+56]       ; accumulator
+        add   r6, r5
+        jge   r6, r3, bump
+        stxdw [r9+56], r6
+        exit
+bump:   sub   r6, r3
+        stxdw [r9+56], r6
+        ldxdw r7, [r9+24]       ; mss
+        add   r3, r7
+        stxdw [r9+8], r3
+        exit
+; ---- loss: ssthresh = cwnd = max(cwnd/2, 2*mss) ----
+loss:   ldxdw r1, [r9+8]
+        div   r1, 2
+        ldxdw r2, [r9+24]
+        mul   r2, 2
+        call  max
+        stxdw [r9+16], r0
+        stxdw [r9+8], r0
+        stdw  [r9+56], 0
+        exit
+; ---- rto: ssthresh = max(cwnd/2, 2*mss); cwnd = mss ----
+rto:    ldxdw r1, [r9+8]
+        div   r1, 2
+        ldxdw r2, [r9+24]
+        mul   r2, 2
+        call  max
+        stxdw [r9+16], r0
+        ldxdw r7, [r9+24]
+        stxdw [r9+8], r7
+        stdw  [r9+56], 0
+        exit
+`
+
+// CubicSrc is RFC 8312 CUBIC in 10-bit fixed point (windows in
+// segments*1024, C = 410/1024 ≈ 0.4, beta = 717/1024 ≈ 0.7). Scratch:
+//
+//	s0 (+56) wMax, scaled segments
+//	s1 (+64) epoch start, ms
+//	s2 (+72) epoch-started flag
+//	s3 (+80) K, ms
+//
+// This is the program the Fig. 12 server ships to repair Vegas-vs-CUBIC
+// unfairness.
+const CubicSrc = `
+        mov   r9, r1
+        ldxdw r2, [r9+0]
+        jeq   r2, 2, loss
+        jeq   r2, 3, rto
+; ---- ack ----
+        ldxdw r3, [r9+8]        ; cwnd
+        ldxdw r4, [r9+16]       ; ssthresh
+        ldxdw r5, [r9+32]       ; acked
+        jge   r3, r4, ca
+        add   r3, r5            ; slow start
+        stxdw [r9+8], r3
+        exit
+ca:     ; curS = cwnd * 1024 / mss
+        mov   r1, r3
+        mov   r2, 1024
+        ldxdw r3, [r9+24]
+        call  mul_div
+        mov   r6, r0            ; r6 = curS
+        ldxdw r2, [r9+72]       ; epoch flag
+        jne   r2, 0, epoch_ok
+        ; start a new epoch
+        ldxdw r2, [r9+48]       ; now_us
+        div   r2, 1000
+        stxdw [r9+64], r2       ; epoch start ms
+        stdw  [r9+72], 1
+        ldxdw r7, [r9+56]       ; wMaxS
+        jsgt  r7, r6, compute_k
+        stxdw [r9+56], r6       ; wMax = cur (we grew past it)
+        stdw  [r9+80], 0        ; K = 0
+        ja    epoch_ok
+compute_k:
+        mov   r1, r7
+        sub   r1, r6            ; dW = wMaxS - curS
+        mov   r2, 1000000000
+        mov   r3, 410           ; C scaled
+        call  mul_div           ; r0 = dW * 1e9 / CS
+        mov   r1, r0
+        call  cbrt              ; r0 = K in ms
+        stxdw [r9+80], r0
+epoch_ok:
+        ; t = now_ms + rtt_ms - epoch_ms - K
+        ldxdw r2, [r9+48]
+        div   r2, 1000
+        ldxdw r3, [r9+40]
+        div   r3, 1000
+        add   r2, r3
+        ldxdw r3, [r9+64]
+        sub   r2, r3
+        ldxdw r3, [r9+80]
+        sub   r2, r3            ; r2 = t - K (ms, signed)
+        ; cube = (t-K)^3 (signed)
+        mov   r7, r2
+        mul   r7, r2
+        mul   r7, r2            ; r7 = (t-K)^3
+        mov   r1, r7
+        mov   r2, 410
+        mov   r3, 1000000000
+        call  mul_div           ; r0 = C*(t-K)^3/1e9, scaled segments
+        ldxdw r7, [r9+56]
+        add   r0, r7            ; target = wMax + term
+        ; if target > curS grow proportionally, else tiny growth
+        jsgt  r0, r6, grow
+        ; plateau: cwnd += acked * 1024 / (100 * curS)  (in bytes via mss)
+        ldxdw r1, [r9+32]
+        mov   r2, 10
+        mov   r3, r6
+        call  mul_div           ; acked*10/curS  (~acked/(100*seg))
+        ldxdw r3, [r9+8]
+        add   r3, r0
+        stxdw [r9+8], r3
+        exit
+grow:   ; inc = (target - curS) * acked / curS   (bytes)
+        mov   r1, r0
+        sub   r1, r6
+        ldxdw r2, [r9+32]
+        mov   r3, r6
+        call  mul_div
+        ldxdw r3, [r9+8]
+        add   r3, r0
+        stxdw [r9+8], r3
+        exit
+; ---- loss ----
+loss:   ldxdw r3, [r9+8]
+        mov   r1, r3
+        mov   r2, 1024
+        ldxdw r3, [r9+24]
+        call  mul_div
+        mov   r6, r0            ; curS
+        ldxdw r7, [r9+56]       ; wMaxS
+        jsgt  r7, r6, fastconv
+        stxdw [r9+56], r6       ; wMax = cur
+        ja    reduce
+fastconv:
+        ; fast convergence: wMax = cur * (1+beta)/2 = cur * 870/1024
+        mov   r1, r6
+        mov   r2, 870
+        mov   r3, 1024
+        call  mul_div
+        stxdw [r9+56], r0
+reduce: ; cwnd = max(cwnd * 717/1024, 2*mss)
+        ldxdw r1, [r9+8]
+        mov   r2, 717
+        mov   r3, 1024
+        call  mul_div
+        mov   r1, r0
+        ldxdw r2, [r9+24]
+        mul   r2, 2
+        call  max
+        stxdw [r9+8], r0
+        stxdw [r9+16], r0
+        stdw  [r9+72], 0        ; reset epoch
+        exit
+; ---- rto ----
+rto:    ldxdw r3, [r9+8]
+        mov   r1, r3
+        mov   r2, 1024
+        ldxdw r3, [r9+24]
+        call  mul_div
+        stxdw [r9+56], r0       ; wMax = cur
+        ldxdw r1, [r9+8]
+        div   r1, 2
+        ldxdw r2, [r9+24]
+        mul   r2, 2
+        call  max
+        stxdw [r9+16], r0
+        ldxdw r7, [r9+24]
+        stxdw [r9+8], r7
+        stdw  [r9+72], 0
+        exit
+`
+
+// VegasSrc is delay-based TCP Vegas. Scratch:
+//
+//	s0 (+56) baseRTT us (0 = none)
+//	s1 (+64) minRTT us in current window (0 = none)
+//	s2 (+72) acked-bytes accumulator
+const VegasSrc = `
+        mov   r9, r1
+        ldxdw r2, [r9+0]
+        jeq   r2, 2, loss
+        jeq   r2, 3, rto
+; ---- ack ----
+        ldxdw r5, [r9+40]       ; rtt sample
+        jeq   r5, 0, no_sample
+        ldxdw r6, [r9+56]       ; baseRTT
+        jeq   r6, 0, set_base
+        jge   r5, r6, base_ok
+set_base:
+        stxdw [r9+56], r5
+base_ok:
+        ldxdw r6, [r9+64]       ; minRTT
+        jeq   r6, 0, set_min
+        jge   r5, r6, no_sample
+set_min:
+        stxdw [r9+64], r5
+no_sample:
+        ldxdw r6, [r9+72]       ; accumulator
+        ldxdw r5, [r9+32]
+        add   r6, r5
+        ldxdw r3, [r9+8]        ; cwnd
+        jge   r6, r3, estimate
+        stxdw [r9+72], r6
+        exit
+estimate:
+        sub   r6, r3
+        stxdw [r9+72], r6
+        ldxdw r6, [r9+64]       ; minRTT
+        jeq   r6, 0, reno_grow
+        ldxdw r7, [r9+56]       ; baseRTT
+        jeq   r7, 0, reno_grow
+        ; diffS = curSeg_scaled * (min - base) / min, scale 1024
+        mov   r1, r3
+        mov   r2, 1024
+        ldxdw r3, [r9+24]
+        call  mul_div           ; r0 = curS
+        mov   r8, r0
+        mov   r1, r6
+        sub   r1, r7            ; min - base
+        mov   r2, r8
+        mov   r3, r6
+        call  mul_div           ; r0 = diff scaled (segments*1024)
+        stdw  [r9+64], 0        ; reset window minRTT
+        ldxdw r3, [r9+8]        ; cwnd (reload)
+        ldxdw r4, [r9+16]       ; ssthresh
+        jge   r3, r4, vegas_ca
+        ; slow start: exit when diff > gamma (1 seg = 1024)
+        jsgt  r0, 1024, ss_exit
+        ldxdw r5, [r9+32]
+        add   r3, r5
+        stxdw [r9+8], r3
+        exit
+ss_exit:
+        stxdw [r9+16], r3       ; ssthresh = cwnd
+        exit
+vegas_ca:
+        jslt  r0, 2048, inc_win ; diff < alpha (2 segs)
+        jsgt  r0, 4096, dec_win ; diff > beta (4 segs)
+        exit
+inc_win:
+        ldxdw r7, [r9+24]
+        add   r3, r7
+        stxdw [r9+8], r3
+        exit
+dec_win:
+        ldxdw r7, [r9+24]
+        sub   r3, r7
+        mov   r1, r3
+        mov   r2, r7
+        mul   r2, 2
+        call  max
+        stxdw [r9+8], r0
+        exit
+reno_grow:
+        ldxdw r7, [r9+24]
+        add   r3, r7
+        stxdw [r9+8], r3
+        exit
+; ---- loss ----
+loss:   ldxdw r1, [r9+8]
+        div   r1, 2
+        ldxdw r2, [r9+24]
+        mul   r2, 2
+        call  max
+        stxdw [r9+16], r0
+        stxdw [r9+8], r0
+        stdw  [r9+72], 0
+        exit
+; ---- rto ----
+rto:    ldxdw r1, [r9+8]
+        div   r1, 2
+        ldxdw r2, [r9+24]
+        mul   r2, 2
+        call  max
+        stxdw [r9+16], r0
+        ldxdw r7, [r9+24]
+        stxdw [r9+8], r7
+        stdw  [r9+72], 0
+        stdw  [r9+56], 0        ; path may have changed: forget baseRTT
+        exit
+`
+
+// Program returns the encoded bytecode for a built-in program name.
+func Program(name string) []byte {
+	switch name {
+	case "cubic":
+		return Encode(MustAssemble(CubicSrc))
+	case "vegas":
+		return Encode(MustAssemble(VegasSrc))
+	default:
+		return Encode(MustAssemble(NewRenoSrc))
+	}
+}

@@ -1,0 +1,87 @@
+package ebpfvm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verification errors.
+var (
+	ErrProgramTooLong = errors.New("ebpfvm: program too long")
+	ErrEmptyProgram   = errors.New("ebpfvm: empty program")
+	ErrNoExit         = errors.New("ebpfvm: program does not end with exit")
+)
+
+// Verify statically checks a program before attachment, standing in for
+// the kernel eBPF verifier: opcode and register validity, jump targets
+// in bounds, frame-pointer immutability, helper IDs known, and a
+// terminating exit. Runtime complements this with memory bounds checks
+// and an instruction budget.
+func Verify(prog []Instruction) error {
+	if len(prog) == 0 {
+		return ErrEmptyProgram
+	}
+	if len(prog) > MaxProgramLen {
+		return ErrProgramTooLong
+	}
+	if prog[len(prog)-1].Op != OpExit {
+		return ErrNoExit
+	}
+	for pc, ins := range prog {
+		if ins.Op == 0 || ins.Op >= opMax {
+			return fmt.Errorf("ebpfvm: invalid opcode %d at %d", ins.Op, pc)
+		}
+		if int(ins.Dst) >= numRegs || int(ins.Src) >= numRegs {
+			return fmt.Errorf("ebpfvm: invalid register at %d", pc)
+		}
+		if writesDst(ins.Op) && ins.Dst == R10 {
+			return fmt.Errorf("ebpfvm: write to frame pointer at %d", pc)
+		}
+		if isJump(ins.Op) {
+			target := pc + 1 + int(ins.Off)
+			if target < 0 || target >= len(prog) {
+				return fmt.Errorf("ebpfvm: jump target %d out of bounds at %d", target, pc)
+			}
+		}
+		if ins.Op == OpCall {
+			switch ins.Imm {
+			case HelperCbrt, HelperMulDiv, HelperMax, HelperMin:
+			default:
+				return fmt.Errorf("ebpfvm: unknown helper %d at %d", ins.Imm, pc)
+			}
+		}
+		if (ins.Op == OpDivImm || ins.Op == OpModImm) && ins.Imm == 0 {
+			return fmt.Errorf("ebpfvm: divide by constant zero at %d", pc)
+		}
+		if ins.Op == OpLshImm || ins.Op == OpRshImm || ins.Op == OpArshImm {
+			if ins.Imm < 0 || ins.Imm > 63 {
+				return fmt.Errorf("ebpfvm: shift amount %d out of range at %d", ins.Imm, pc)
+			}
+		}
+	}
+	return nil
+}
+
+// writesDst reports whether op modifies its destination register.
+func writesDst(op uint8) bool {
+	switch op {
+	case OpJa, OpJeqImm, OpJeqReg, OpJneImm, OpJneReg,
+		OpJgtImm, OpJgtReg, OpJgeImm, OpJgeReg,
+		OpJltImm, OpJltReg, OpJleImm, OpJleReg,
+		OpJsgtImm, OpJsgtReg, OpJsltImm, OpJsltReg,
+		OpStxDW, OpStDW, OpCall, OpExit:
+		return false
+	}
+	return true
+}
+
+func isJump(op uint8) bool {
+	switch op {
+	case OpJa, OpJeqImm, OpJeqReg, OpJneImm, OpJneReg,
+		OpJgtImm, OpJgtReg, OpJgeImm, OpJgeReg,
+		OpJltImm, OpJltReg, OpJleImm, OpJleReg,
+		OpJsgtImm, OpJsgtReg, OpJsltImm, OpJsltReg:
+		return true
+	}
+	return false
+}

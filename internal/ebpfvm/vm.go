@@ -1,0 +1,456 @@
+// Package ebpfvm implements the execution substrate for the paper's §4.4:
+// congestion-control programs shipped as bytecode over the encrypted
+// TCPLS session and attached to a live connection. Linux attaches real
+// eBPF to the kernel TCP stack; this repository substitutes a
+// self-contained register VM with the same shape — 8-byte fixed
+// instructions, eleven 64-bit registers, a frame pointer, bounded stack,
+// helper calls, and a static verifier run before attachment — so "code
+// crosses the wire, is validated, and swaps the congestion controller
+// mid-session" is exercised for real (see DESIGN.md).
+//
+// The VM is general-purpose; the congestion-control bridge (ccbridge.go)
+// maps VM programs onto the cc.Algorithm interface used by the simulated
+// TCP stack.
+package ebpfvm
+
+import (
+	"errors"
+	"fmt"
+
+	"tcpls/internal/wire"
+)
+
+// Register file: r0 is the return/scratch register, r1-r5 are arguments
+// and caller-saved scratch, r6-r9 callee scratch, r10 the read-only
+// frame pointer.
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	numRegs
+)
+
+// Opcodes. ALU operations are 64-bit; Div/Mod/Arsh and the Js* jumps are
+// signed, everything else unsigned (matching how the CC programs use
+// them). Imm forms carry a 32-bit immediate sign-extended to 64 bits.
+const (
+	OpMovImm uint8 = iota + 1
+	OpMovReg
+	OpAddImm
+	OpAddReg
+	OpSubImm
+	OpSubReg
+	OpMulImm
+	OpMulReg
+	OpDivImm // signed; divide-by-zero traps
+	OpDivReg
+	OpModImm
+	OpModReg
+	OpAndImm
+	OpAndReg
+	OpOrImm
+	OpOrReg
+	OpXorImm
+	OpXorReg
+	OpLshImm
+	OpRshImm // logical
+	OpArshImm
+	OpNeg
+
+	OpLdxDW // dst = *(u64*)(src + off)
+	OpStxDW // *(u64*)(dst + off) = src
+	OpStDW  // *(u64*)(dst + off) = imm
+
+	OpJa
+	OpJeqImm
+	OpJeqReg
+	OpJneImm
+	OpJneReg
+	OpJgtImm // unsigned
+	OpJgtReg
+	OpJgeImm
+	OpJgeReg
+	OpJltImm
+	OpJltReg
+	OpJleImm
+	OpJleReg
+	OpJsgtImm // signed
+	OpJsgtReg
+	OpJsltImm
+	OpJsltReg
+
+	OpCall
+	OpExit
+
+	opMax
+)
+
+// Instruction is one fixed-size VM instruction.
+type Instruction struct {
+	Op  uint8
+	Dst uint8
+	Src uint8
+	Off int16
+	Imm int32
+}
+
+// InstructionSize is the wire size of one encoded instruction.
+const InstructionSize = 8
+
+// Encode serializes a program to the byte string carried in TCPLS BPF_CC
+// records.
+func Encode(prog []Instruction) []byte {
+	out := make([]byte, 0, len(prog)*InstructionSize)
+	for _, ins := range prog {
+		// dst and src share one byte, nibble-packed as in kernel eBPF.
+		out = append(out, ins.Op, ins.Dst<<4|ins.Src&0x0f)
+		out = append(out, byte(uint16(ins.Off)>>8), byte(uint16(ins.Off)))
+		out = wire.AppendUint32(out, uint32(ins.Imm))
+	}
+	return out
+}
+
+// Decode parses an encoded program.
+func Decode(b []byte) ([]Instruction, error) {
+	if len(b)%InstructionSize != 0 {
+		return nil, fmt.Errorf("ebpfvm: program length %d not a multiple of %d", len(b), InstructionSize)
+	}
+	prog := make([]Instruction, 0, len(b)/InstructionSize)
+	for i := 0; i < len(b); i += InstructionSize {
+		prog = append(prog, Instruction{
+			Op:  b[i],
+			Dst: b[i+1] >> 4,
+			Src: b[i+1] & 0x0f,
+			Off: int16(uint16(b[i+2])<<8 | uint16(b[i+3])),
+			Imm: int32(wire.Uint32(b[i+4 : i+8])),
+		})
+	}
+	return prog, nil
+}
+
+// Virtual address layout: the context region and the stack live at
+// distinct high bases so runtime bounds checks can classify a pointer.
+const (
+	ctxBase   uint64 = 0x10000000
+	stackBase uint64 = 0x20000000
+	// StackSize matches the kernel eBPF stack budget.
+	StackSize = 512
+)
+
+// Runtime limits.
+const (
+	// MaxInstructions bounds a single invocation, standing in for the
+	// kernel verifier's complexity budget.
+	MaxInstructions = 100000
+	// MaxProgramLen bounds program size.
+	MaxProgramLen = 4096
+)
+
+// Execution errors.
+var (
+	ErrDivideByZero   = errors.New("ebpfvm: divide by zero")
+	ErrOutOfBounds    = errors.New("ebpfvm: memory access out of bounds")
+	ErrBudgetExceeded = errors.New("ebpfvm: instruction budget exceeded")
+	ErrBadHelper      = errors.New("ebpfvm: unknown helper")
+)
+
+// Helper IDs callable with OpCall, mirroring kernel helper functions.
+// Arguments in r1..r3, result in r0.
+const (
+	// HelperCbrt: r0 = signed integer cube root of r1.
+	HelperCbrt = 1
+	// HelperMulDiv: r0 = r1 * r2 / r3 with a 128-bit intermediate
+	// (fixed-point workhorse; traps on r3 == 0).
+	HelperMulDiv = 2
+	// HelperMax / HelperMin: signed comparisons of r1, r2.
+	HelperMax = 3
+	HelperMin = 4
+)
+
+// VM executes one verified program against a context buffer.
+type VM struct {
+	prog  []Instruction
+	stack [StackSize]byte
+}
+
+// New verifies and loads a program.
+func New(prog []Instruction) (*VM, error) {
+	if err := Verify(prog); err != nil {
+		return nil, err
+	}
+	return &VM{prog: prog}, nil
+}
+
+// NewFromBytes decodes, verifies, and loads a wire-format program.
+func NewFromBytes(b []byte) (*VM, error) {
+	prog, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	return New(prog)
+}
+
+// Run executes the program with r1 pointing at ctx. It returns r0.
+// ctx is read-write: programs persist state by writing to it.
+func (vm *VM) Run(ctx []byte) (uint64, error) {
+	var r [numRegs]uint64
+	r[R1] = ctxBase
+	r[R10] = stackBase + StackSize
+
+	load := func(addr uint64) (uint64, error) {
+		switch {
+		case addr >= ctxBase && addr+8 <= ctxBase+uint64(len(ctx)):
+			return wire.Uint64(ctx[addr-ctxBase:]), nil
+		case addr >= stackBase && addr+8 <= stackBase+StackSize:
+			return wire.Uint64(vm.stack[addr-stackBase:]), nil
+		}
+		return 0, ErrOutOfBounds
+	}
+	store := func(addr, val uint64) error {
+		switch {
+		case addr >= ctxBase && addr+8 <= ctxBase+uint64(len(ctx)):
+			wire.PutUint64(ctx[addr-ctxBase:], val)
+			return nil
+		case addr >= stackBase && addr+8 <= stackBase+StackSize:
+			wire.PutUint64(vm.stack[addr-stackBase:], val)
+			return nil
+		}
+		return ErrOutOfBounds
+	}
+
+	pc := 0
+	for steps := 0; ; steps++ {
+		if steps >= MaxInstructions {
+			return 0, ErrBudgetExceeded
+		}
+		ins := vm.prog[pc]
+		imm := uint64(int64(ins.Imm)) // sign-extended
+		switch ins.Op {
+		case OpMovImm:
+			r[ins.Dst] = imm
+		case OpMovReg:
+			r[ins.Dst] = r[ins.Src]
+		case OpAddImm:
+			r[ins.Dst] += imm
+		case OpAddReg:
+			r[ins.Dst] += r[ins.Src]
+		case OpSubImm:
+			r[ins.Dst] -= imm
+		case OpSubReg:
+			r[ins.Dst] -= r[ins.Src]
+		case OpMulImm:
+			r[ins.Dst] *= imm
+		case OpMulReg:
+			r[ins.Dst] *= r[ins.Src]
+		case OpDivImm, OpDivReg, OpModImm, OpModReg:
+			d := int64(imm)
+			if ins.Op == OpDivReg || ins.Op == OpModReg {
+				d = int64(r[ins.Src])
+			}
+			if d == 0 {
+				return 0, ErrDivideByZero
+			}
+			if ins.Op == OpDivImm || ins.Op == OpDivReg {
+				r[ins.Dst] = uint64(int64(r[ins.Dst]) / d)
+			} else {
+				r[ins.Dst] = uint64(int64(r[ins.Dst]) % d)
+			}
+		case OpAndImm:
+			r[ins.Dst] &= imm
+		case OpAndReg:
+			r[ins.Dst] &= r[ins.Src]
+		case OpOrImm:
+			r[ins.Dst] |= imm
+		case OpOrReg:
+			r[ins.Dst] |= r[ins.Src]
+		case OpXorImm:
+			r[ins.Dst] ^= imm
+		case OpXorReg:
+			r[ins.Dst] ^= r[ins.Src]
+		case OpLshImm:
+			r[ins.Dst] <<= uint(ins.Imm) & 63
+		case OpRshImm:
+			r[ins.Dst] >>= uint(ins.Imm) & 63
+		case OpArshImm:
+			r[ins.Dst] = uint64(int64(r[ins.Dst]) >> (uint(ins.Imm) & 63))
+		case OpNeg:
+			r[ins.Dst] = uint64(-int64(r[ins.Dst]))
+
+		case OpLdxDW:
+			v, err := load(r[ins.Src] + uint64(int64(ins.Off)))
+			if err != nil {
+				return 0, err
+			}
+			r[ins.Dst] = v
+		case OpStxDW:
+			if err := store(r[ins.Dst]+uint64(int64(ins.Off)), r[ins.Src]); err != nil {
+				return 0, err
+			}
+		case OpStDW:
+			if err := store(r[ins.Dst]+uint64(int64(ins.Off)), imm); err != nil {
+				return 0, err
+			}
+
+		case OpJa:
+			pc += int(ins.Off)
+		case OpJeqImm, OpJeqReg, OpJneImm, OpJneReg,
+			OpJgtImm, OpJgtReg, OpJgeImm, OpJgeReg,
+			OpJltImm, OpJltReg, OpJleImm, OpJleReg,
+			OpJsgtImm, OpJsgtReg, OpJsltImm, OpJsltReg:
+			rhs := imm
+			switch ins.Op {
+			case OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg, OpJleReg, OpJsgtReg, OpJsltReg:
+				rhs = r[ins.Src]
+			}
+			lhs := r[ins.Dst]
+			var taken bool
+			switch ins.Op {
+			case OpJeqImm, OpJeqReg:
+				taken = lhs == rhs
+			case OpJneImm, OpJneReg:
+				taken = lhs != rhs
+			case OpJgtImm, OpJgtReg:
+				taken = lhs > rhs
+			case OpJgeImm, OpJgeReg:
+				taken = lhs >= rhs
+			case OpJltImm, OpJltReg:
+				taken = lhs < rhs
+			case OpJleImm, OpJleReg:
+				taken = lhs <= rhs
+			case OpJsgtImm, OpJsgtReg:
+				taken = int64(lhs) > int64(rhs)
+			case OpJsltImm, OpJsltReg:
+				taken = int64(lhs) < int64(rhs)
+			}
+			if taken {
+				pc += int(ins.Off)
+			}
+
+		case OpCall:
+			v, err := callHelper(ins.Imm, r[R1], r[R2], r[R3])
+			if err != nil {
+				return 0, err
+			}
+			r[R0] = v
+		case OpExit:
+			return r[R0], nil
+		default:
+			return 0, fmt.Errorf("ebpfvm: bad opcode %d at pc %d", ins.Op, pc)
+		}
+		pc++
+	}
+}
+
+func callHelper(id int32, a, b, c uint64) (uint64, error) {
+	switch id {
+	case HelperCbrt:
+		return uint64(icbrt(int64(a))), nil
+	case HelperMulDiv:
+		if c == 0 {
+			return 0, ErrDivideByZero
+		}
+		return mulDiv(int64(a), int64(b), int64(c)), nil
+	case HelperMax:
+		if int64(a) > int64(b) {
+			return a, nil
+		}
+		return b, nil
+	case HelperMin:
+		if int64(a) < int64(b) {
+			return a, nil
+		}
+		return b, nil
+	}
+	return 0, fmt.Errorf("%w: %d", ErrBadHelper, id)
+}
+
+// icbrt computes the signed integer cube root.
+func icbrt(x int64) int64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	// Binary search; x < 2^63 so root < 2^21.
+	var lo, hi int64 = 0, 1 << 21
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if mid*mid*mid <= x {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	if neg {
+		return -lo
+	}
+	return lo
+}
+
+// mulDiv computes a*b/c with a 128-bit intermediate, signed.
+func mulDiv(a, b, c int64) uint64 {
+	neg := false
+	ua, ub, uc := a, b, c
+	if ua < 0 {
+		ua, neg = -ua, !neg
+	}
+	if ub < 0 {
+		ub, neg = -ub, !neg
+	}
+	if uc < 0 {
+		uc, neg = -uc, !neg
+	}
+	hi, lo := mul128(uint64(ua), uint64(ub))
+	q := div128(hi, lo, uint64(uc))
+	if neg {
+		return uint64(-int64(q))
+	}
+	return q
+}
+
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	hi = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi += t >> 32
+	hi += aHi * bHi
+	return hi, lo
+}
+
+func div128(hi, lo, d uint64) uint64 {
+	if hi == 0 {
+		return lo / d
+	}
+	// Long division, bit by bit (d fits in 64 bits; result truncated).
+	var rem, q uint64
+	for i := 127; i >= 0; i-- {
+		var bit uint64
+		if i >= 64 {
+			bit = (hi >> (i - 64)) & 1
+		} else {
+			bit = (lo >> i) & 1
+		}
+		rem = rem<<1 | bit
+		q <<= 1
+		if rem >= d {
+			rem -= d
+			q |= 1
+		}
+	}
+	return q
+}

@@ -1,0 +1,370 @@
+package ebpfvm
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tcpls/internal/cc"
+	"tcpls/internal/wire"
+)
+
+func run(t *testing.T, src string, ctx []byte) uint64 {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	if got := run(t, "mov r0, 40\nadd r0, 2\nexit", nil); got != 42 {
+		t.Fatalf("got %d", got)
+	}
+	if got := run(t, "mov r0, 7\nmul r0, 6\nexit", nil); got != 42 {
+		t.Fatalf("got %d", got)
+	}
+	if got := run(t, "mov r0, -10\ndiv r0, 3\nexit", nil); int64(got) != -3 {
+		t.Fatalf("signed div got %d", int64(got))
+	}
+	if got := run(t, "mov r0, 1\nlsh r0, 10\nexit", nil); got != 1024 {
+		t.Fatalf("got %d", got)
+	}
+	if got := run(t, "mov r0, -8\narsh r0, 2\nexit", nil); int64(got) != -2 {
+		t.Fatalf("arsh got %d", int64(got))
+	}
+}
+
+func TestJumpsAndLabels(t *testing.T) {
+	src := `
+		mov r0, 0
+		mov r1, 5
+	loop:	add r0, r1
+		sub r1, 1
+		jsgt r1, 0, loop
+		exit
+	`
+	if got := run(t, src, nil); got != 15 {
+		t.Fatalf("sum 5..1 = %d, want 15", got)
+	}
+}
+
+func TestContextLoadStore(t *testing.T) {
+	ctx := make([]byte, 32)
+	wire.PutUint64(ctx[8:], 100)
+	src := `
+		ldxdw r2, [r1+8]
+		add   r2, 1
+		stxdw [r1+16], r2
+		mov   r0, r2
+		exit
+	`
+	if got := run(t, src, ctx); got != 101 {
+		t.Fatalf("got %d", got)
+	}
+	if wire.Uint64(ctx[16:]) != 101 {
+		t.Fatal("store to ctx did not persist")
+	}
+}
+
+func TestStackAccess(t *testing.T) {
+	src := `
+		mov   r2, 77
+		stxdw [r10-8], r2
+		ldxdw r0, [r10-8]
+		exit
+	`
+	if got := run(t, src, nil); got != 77 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := run(t, "mov r1, 27\ncall cbrt\nexit", nil); got != 3 {
+		t.Fatalf("cbrt(27) = %d", got)
+	}
+	if got := run(t, "mov r1, -27\ncall cbrt\nexit", nil); int64(got) != -3 {
+		t.Fatalf("cbrt(-27) = %d", int64(got))
+	}
+	// mul_div with 128-bit intermediate: 1e12 * 1e7 / 1e9 = 1e10.
+	src := `
+		mov r1, 1000000000
+		mul r1, 1000           ; 1e12
+		mov r2, 10000000       ; 1e7
+		mov r3, 1000000000     ; 1e9
+		call mul_div
+		exit
+	`
+	if got := run(t, src, nil); got != 10000000000 {
+		t.Fatalf("mul_div got %d", got)
+	}
+	if got := run(t, "mov r1, -5\nmov r2, 3\ncall max\nexit", nil); got != 3 {
+		t.Fatalf("max got %d", int64(got))
+	}
+	if got := run(t, "mov r1, -5\nmov r2, 3\ncall min\nexit", nil); int64(got) != -5 {
+		t.Fatalf("min got %d", int64(got))
+	}
+}
+
+func TestRuntimeTraps(t *testing.T) {
+	prog := MustAssemble("mov r2, 0\nmov r0, 1\ndiv r0, r2\nexit")
+	vm, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(nil); err != ErrDivideByZero {
+		t.Fatalf("err=%v", err)
+	}
+
+	prog = MustAssemble("ldxdw r0, [r1+4096]\nexit")
+	vm, _ = New(prog)
+	if _, err := vm.Run(make([]byte, 16)); err != ErrOutOfBounds {
+		t.Fatalf("err=%v", err)
+	}
+
+	prog = MustAssemble("loop: ja loop\nexit")
+	vm, _ = New(prog)
+	if _, err := vm.Run(nil); err != ErrBudgetExceeded {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestVerifierRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []Instruction
+	}{
+		{"empty", nil},
+		{"no exit", []Instruction{{Op: OpMovImm, Dst: R0}}},
+		{"bad opcode", []Instruction{{Op: 200}, {Op: OpExit}}},
+		{"bad register", []Instruction{{Op: OpMovImm, Dst: 12}, {Op: OpExit}}},
+		{"write fp", []Instruction{{Op: OpMovImm, Dst: R10}, {Op: OpExit}}},
+		{"jump oob", []Instruction{{Op: OpJa, Off: 100}, {Op: OpExit}}},
+		{"bad helper", []Instruction{{Op: OpCall, Imm: 99}, {Op: OpExit}}},
+		{"div zero imm", []Instruction{{Op: OpDivImm, Dst: R0, Imm: 0}, {Op: OpExit}}},
+		{"bad shift", []Instruction{{Op: OpLshImm, Dst: R0, Imm: 64}, {Op: OpExit}}},
+	}
+	for _, tc := range cases {
+		if err := Verify(tc.prog); err == nil {
+			t.Errorf("%s: verifier accepted invalid program", tc.name)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prog := MustAssemble(NewRenoSrc)
+	decoded, err := Decode(Encode(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(prog) {
+		t.Fatalf("length %d vs %d", len(decoded), len(prog))
+	}
+	for i := range prog {
+		if decoded[i] != prog[i] {
+			t.Fatalf("instruction %d: %+v vs %+v", i, decoded[i], prog[i])
+		}
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("partial instruction accepted")
+	}
+}
+
+func TestQuickCbrt(t *testing.T) {
+	f := func(x int64) bool {
+		if x < 0 {
+			x = -x
+		}
+		x %= 1 << 60
+		r := icbrt(x)
+		return r*r*r <= x && (r+1)*(r+1)*(r+1) > x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulDiv(t *testing.T) {
+	f := func(a, b uint32, c uint32) bool {
+		if c == 0 {
+			return true
+		}
+		got := mulDiv(int64(a), int64(b), int64(c))
+		want := uint64(a) * uint64(b) / uint64(c)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- CC program behavioural tests: the bytecode controllers must track
+// their native Go counterparts qualitatively. ---
+
+func newCC(t *testing.T, name string) *CCProgram {
+	t.Helper()
+	p, err := NewCCProgram(name, Program(name), cc.DefaultMSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func ackWindow(a cc.Algorithm, rtt, now time.Duration) time.Duration {
+	w := a.Window()
+	for got := 0; got < w; got += cc.DefaultMSS {
+		a.OnAck(cc.DefaultMSS, rtt, now)
+		now += time.Millisecond
+	}
+	return now
+}
+
+func TestBytecodeNewRenoMatchesNative(t *testing.T) {
+	vm := newCC(t, "newreno")
+	native := cc.NewNewReno(cc.DefaultMSS)
+	now := time.Duration(0)
+	step := func(n int, rtt time.Duration) {
+		for i := 0; i < n; i++ {
+			vm.OnAck(cc.DefaultMSS, rtt, now)
+			native.OnAck(cc.DefaultMSS, rtt, now)
+			now += time.Millisecond
+		}
+	}
+	step(50, 20*time.Millisecond) // slow start
+	if vm.Err() != nil {
+		t.Fatal(vm.Err())
+	}
+	if vm.Window() != native.Window() {
+		t.Fatalf("slow start diverged: vm=%d native=%d", vm.Window(), native.Window())
+	}
+	vm.OnLoss(now)
+	native.OnLoss(now)
+	if vm.Window() != native.Window() {
+		t.Fatalf("post-loss diverged: vm=%d native=%d", vm.Window(), native.Window())
+	}
+	step(200, 20*time.Millisecond) // congestion avoidance
+	if vm.Window() != native.Window() {
+		t.Fatalf("CA diverged: vm=%d native=%d", vm.Window(), native.Window())
+	}
+	vm.OnRTO(now)
+	if vm.Window() != cc.DefaultMSS {
+		t.Fatalf("RTO window %d", vm.Window())
+	}
+}
+
+func TestBytecodeCubicGrowsAndReduces(t *testing.T) {
+	vm := newCC(t, "cubic")
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ { // bounded slow start
+		vm.OnAck(cc.DefaultMSS, 20*time.Millisecond, now)
+		now += time.Millisecond
+	}
+	if vm.Err() != nil {
+		t.Fatal(vm.Err())
+	}
+	w := vm.Window()
+	vm.OnLoss(now)
+	if vm.Err() != nil {
+		t.Fatal(vm.Err())
+	}
+	reduced := vm.Window()
+	// beta = 0.7 within fixed-point rounding.
+	lo, hi := int(float64(w)*0.65), int(float64(w)*0.75)
+	if reduced < lo || reduced > hi {
+		t.Fatalf("loss reduction %d -> %d outside beta range [%d,%d]", w, reduced, lo, hi)
+	}
+	// Post-loss the window regrows toward wMax in congestion avoidance.
+	for i := 0; i < 2000; i++ {
+		vm.OnAck(cc.DefaultMSS, 20*time.Millisecond, now)
+		now += time.Millisecond
+	}
+	if vm.Err() != nil {
+		t.Fatal(vm.Err())
+	}
+	if vm.Window() <= reduced {
+		t.Fatalf("cubic bytecode did not regrow: %d -> %d", reduced, vm.Window())
+	}
+}
+
+func TestBytecodeVegasBacksOffUnderQueueing(t *testing.T) {
+	vm := newCC(t, "vegas")
+	base := 20 * time.Millisecond
+	now := time.Duration(0)
+	// Establish baseRTT, then leave slow start via queue growth.
+	for i := 0; i < 200; i++ {
+		rtt := base + time.Duration(i/4)*time.Millisecond
+		vm.OnAck(cc.DefaultMSS, rtt, now)
+		now += time.Millisecond
+	}
+	if vm.Err() != nil {
+		t.Fatal(vm.Err())
+	}
+	w := vm.Window()
+	for i := 0; i < 600; i++ { // heavy queueing: RTT 4x base
+		vm.OnAck(cc.DefaultMSS, 4*base, now)
+		now += time.Millisecond
+	}
+	if vm.Err() != nil {
+		t.Fatal(vm.Err())
+	}
+	if vm.Window() > w {
+		t.Fatalf("vegas bytecode grew under heavy queueing: %d -> %d", w, vm.Window())
+	}
+}
+
+func TestBuggyProgramCannotStallConnection(t *testing.T) {
+	// A program that zeroes cwnd must be floored to 1 MSS by the bridge.
+	src := `
+		mov r9, r1
+		stdw [r9+8], 0
+		exit
+	`
+	p, err := NewCCProgram("bad", Encode(MustAssemble(src)), cc.DefaultMSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.OnAck(1000, time.Millisecond, time.Millisecond)
+	if p.Window() < cc.DefaultMSS {
+		t.Fatalf("window %d below 1 MSS", p.Window())
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []string{
+		"bogus r0, 1",
+		"mov r11, 1",
+		"jeq r0, 1",        // missing label
+		"ja nowhere\nexit", // undefined label
+		"dup: mov r0, 1\ndup: exit",
+		"ldxdw r0, r1", // not a memory operand
+		"call frobnicate",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func BenchmarkVMAckEvent(b *testing.B) {
+	p, err := NewCCProgram("cubic", Program("cubic"), cc.DefaultMSS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.OnAck(cc.DefaultMSS, 20*time.Millisecond, time.Duration(i)*time.Millisecond)
+	}
+	if p.Err() != nil {
+		b.Fatal(p.Err())
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"time"
+
+	"tcpls/internal/core"
+	"tcpls/internal/mptcp"
+	"tcpls/internal/sim"
+	"tcpls/internal/simtcp"
+	"tcpls/internal/simtcpls"
+)
+
+// Fig11Result compares bandwidth aggregation (paper Fig. 11, and
+// Appendix A's Fig. 13 when run with a 1500-byte record size): a 60 MiB
+// transfer starts on one path; the second path is enabled at t = 5 s.
+// Both stacks should converge to the ~50 Mbps aggregate; MPTCP ramps
+// later (kernel interface-configuration delay) and TCPLS's goodput is
+// jitterier at 16 KiB records than at 1500-byte records.
+type Fig11Result struct {
+	RecordSize int
+	TCPLS      Series
+	MPTCP      Series
+	TCPLSDone  time.Duration
+	MPTCPDone  time.Duration
+}
+
+const (
+	fig11Rate       = 25_000_000
+	fig11Delay      = 10 * time.Millisecond
+	fig11File       = 60 << 20
+	fig11SecondPath = 5 * time.Second
+	fig11ConfDelay  = 1500 * time.Millisecond // MPTCP address-config lag [74]
+	fig11RunFor     = 40 * time.Second
+)
+
+// Fig11 runs the aggregation experiment with the given TCPLS record
+// payload size (16368 for Fig. 11, 1500 for Fig. 13).
+func Fig11(recordSize int) (*Fig11Result, error) {
+	res := &Fig11Result{RecordSize: recordSize}
+
+	// ---------- TCPLS ----------
+	{
+		s := sim.New()
+		p0 := newPath(s, fig11Rate, fig11Delay)
+		p1 := newPath(s, fig11Rate, fig11Delay)
+		client, server := simtcpls.Pair(s, core.Config{MaxRecordPayload: recordSize})
+
+		var received uint64
+		var done time.Duration
+		client.OnEvent = func(ev core.Event) {
+			if ev.Kind == core.EventCoupledData {
+				buf := make([]byte, 256<<10)
+				for client.Sess.CoupledReadable() > 0 {
+					received += uint64(client.Sess.ReadCoupled(buf))
+				}
+				if received >= fig11File && done == 0 {
+					done = s.Now()
+				}
+			}
+		}
+		var written uint64
+		chunk := make([]byte, 256<<10)
+		var pace func()
+		pace = func() {
+			if done != 0 {
+				return
+			}
+			for written < fig11File && written < received+(1500<<10) {
+				n := uint64(len(chunk))
+				if written+n > fig11File {
+					n = fig11File - written
+				}
+				if err := server.WriteCoupled(chunk[:n]); err != nil {
+					break
+				}
+				written += n
+			}
+			s.After(10*time.Millisecond, pace)
+		}
+		client.AddPath(p0, 0, simtcp.Options{CC: "cubic"}, func() {
+			sid, err := server.Sess.CreateStream(0)
+			if err != nil {
+				panic(err)
+			}
+			server.Sess.SetCoupled(sid, true)
+			pace()
+		})
+		// The application enables the second path at t = 5 s: join, new
+		// coupled stream, aggregated bandwidth from there on (§5.5).
+		s.At(fig11SecondPath, func() {
+			client.AddPath(p1, 1, simtcp.Options{CC: "cubic"}, func() {
+				sid, err := server.Sess.CreateStream(1)
+				if err != nil {
+					panic(err)
+				}
+				server.Sess.SetCoupled(sid, true)
+			})
+		})
+		res.TCPLS = Series{Label: "tcpls-aggregation"}
+		sample(s, &res.TCPLS, sampleEvery, func() uint64 { return received })
+		s.RunUntil(fig11RunFor)
+		res.TCPLSDone = done
+	}
+
+	// ---------- MPTCP ----------
+	{
+		s := sim.New()
+		p0 := newPath(s, fig11Rate, fig11Delay)
+		p1 := newPath(s, fig11Rate, fig11Delay)
+		client, server := mptcp.Pair(s)
+		client.AddSubflow(p0, simtcp.Options{CC: "cubic"}, false, 0)
+
+		var done time.Duration
+		client.OnRecv = func(p []byte) {
+			if client.Received() >= fig11File && done == 0 {
+				done = s.Now()
+			}
+		}
+		s.After(0, func() { server.Write(make([]byte, fig11File)) })
+		// Interface comes up at 5 s; the kernel needs to configure the
+		// address and routes before MPTCP can use it (Fig. 11's delayed
+		// ramp, [74]).
+		s.At(fig11SecondPath, func() {
+			client.AddSubflow(p1, simtcp.Options{CC: "cubic"}, false, fig11ConfDelay)
+		})
+		res.MPTCP = Series{Label: "mptcp-aggregation"}
+		sample(s, &res.MPTCP, sampleEvery, client.Received)
+		s.RunUntil(fig11RunFor)
+		res.MPTCPDone = done
+	}
+	return res, nil
+}
+
+// Jitter quantifies goodput irregularity over [from, to): the standard
+// deviation of the per-sample goodput. Fig. 11 vs Fig. 13's claim is
+// that 16 KiB records reorder in coarser chunks and so produce larger
+// goodput irregularities than 1500-byte records.
+func Jitter(s Series, from, to time.Duration) float64 {
+	mean := s.MeanBetween(from, to)
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.T >= from && p.T < to {
+			d := p.Mbps - mean
+			sum += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sqrt(sum / float64(n))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"time"
+
+	"tcpls/internal/core"
+	"tcpls/internal/handshake"
+	"tcpls/internal/miniquic"
+	"tcpls/internal/record"
+)
+
+// Fig7Row is one bar of the paper's Fig. 7: a protocol stack's raw
+// in-memory throughput at a given MTU.
+type Fig7Row struct {
+	Stack string
+	MTU   int
+	Gbps  float64
+	KPPS  float64 // thousand wire packets per second
+}
+
+// Fig7 measures every stack of the paper's Fig. 7 moving totalBytes of
+// bulk data through its full userspace data plane (encrypt, frame,
+// deframe, decrypt, plus each stack's bookkeeping). Absolute numbers are
+// this machine's, not the paper's 40 GbE testbed; DESIGN.md's claim
+// under test is the ordering and rough ratios: TCPLS ≈ TLS/TCP,
+// failover a few percent below, multipath coupling below that, and
+// every QUIC configuration well under half of TCPLS.
+func Fig7(mtu int, totalBytes int) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	add := func(stack string, bytes int, seconds float64, packets uint64) {
+		rows = append(rows, Fig7Row{
+			Stack: stack,
+			MTU:   mtu,
+			Gbps:  float64(bytes) * 8 / seconds / 1e9,
+			KPPS:  float64(packets) / seconds / 1e3,
+		})
+	}
+
+	// --- TLS/TCP: plain 16 KiB record pipeline (seal → deframe → open).
+	secs, err := tlsTCPPipeline(totalBytes, mtu)
+	if err != nil {
+		return nil, err
+	}
+	add("tls-tcp", totalBytes, secs, uint64(totalBytes/mtu))
+
+	// --- TCPLS variants through the real engine.
+	for _, v := range []struct {
+		name string
+		cfg  core.Config
+		mp   bool
+	}{
+		{"tcpls", core.Config{}, false},
+		{"tcpls-failover", core.Config{EnableFailover: true, AckPeriod: 16}, false},
+		{"tcpls-multipath", core.Config{EnableFailover: true, AckPeriod: 16}, true},
+	} {
+		secs, err := tcplsPipeline(totalBytes, v.cfg, v.mp, pipelineOpts{})
+		if err != nil {
+			return nil, err
+		}
+		add(v.name, totalBytes, secs, uint64(totalBytes/mtu))
+	}
+
+	// --- QUIC implementations.
+	for _, cfg := range []miniquic.Config{miniquic.Quicly, miniquic.MsQuic, miniquic.Mvfst} {
+		if mtu >= 9000 {
+			cfg = cfg.Jumbo()
+		}
+		p, err := miniquic.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, 1<<20)
+		start := time.Now()
+		moved := 0
+		for moved < totalBytes {
+			n, err := p.Transfer(data)
+			if err != nil {
+				return nil, err
+			}
+			moved += n
+		}
+		secs := time.Since(start).Seconds()
+		add(cfg.Name, moved, secs, p.Packets)
+	}
+	return rows, nil
+}
+
+// tlsTCPPipeline is the TCP/TLS baseline: the picotls-equivalent loop of
+// §5.1 — full 16 KiB records sealed by the sender, deframed and opened
+// in place by the receiver. MTU does not change the crypto (TSO).
+func tlsTCPPipeline(totalBytes, mtu int) (float64, error) {
+	suite, err := record.SuiteByID(record.TLSAES128GCMSHA256)
+	if err != nil {
+		return 0, err
+	}
+	secret := make([]byte, 32)
+	key, iv := record.DeriveTrafficKeys(suite, secret)
+	send, err := record.NewStreamContext(suite, key, iv, 0)
+	if err != nil {
+		return 0, err
+	}
+	recv, err := record.NewStreamContext(suite, key, iv, 0)
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, record.MaxPlaintextLen)
+	var deframer record.Deframer
+	buf := make([]byte, 0, record.MaxRecordLen)
+
+	start := time.Now()
+	moved := 0
+	for moved < totalBytes {
+		buf, err = send.Seal(buf[:0], record.ContentTypeApplicationData, payload, 0)
+		if err != nil {
+			return 0, err
+		}
+		deframer.Feed(buf)
+		rec, ok, err := deframer.Next()
+		if err != nil || !ok {
+			return 0, err
+		}
+		_, content, err := recv.Open(rec)
+		if err != nil {
+			return 0, err
+		}
+		moved += len(content)
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// TLSTCPPipeline exposes the TLS/TCP baseline for benches.
+func TLSTCPPipeline(totalBytes, mtu int) (float64, error) {
+	return tlsTCPPipeline(totalBytes, mtu)
+}
+
+// TCPLSPipeline exposes the engine pipeline for benches.
+func TCPLSPipeline(totalBytes int, failover, multipath bool) (float64, error) {
+	cfg := core.Config{}
+	if failover {
+		cfg.EnableFailover = true
+		cfg.AckPeriod = 16
+	}
+	return tcplsPipeline(totalBytes, cfg, multipath, pipelineOpts{})
+}
+
+// TCPLSPipelineAck runs the failover pipeline with an explicit ack
+// period (ablation X3).
+func TCPLSPipelineAck(totalBytes, ackPeriod int) (float64, error) {
+	return tcplsPipeline(totalBytes, core.Config{EnableFailover: true, AckPeriod: ackPeriod}, false, pipelineOpts{})
+}
+
+// TCPLSPipelineSched runs the multipath pipeline under a named coupled
+// scheduler ("roundrobin" or "pinned").
+func TCPLSPipelineSched(totalBytes int, sched string) (float64, error) {
+	opts := pipelineOpts{}
+	if sched == "pinned" {
+		opts.scheduler = func(recordIdx uint64, streams []uint32) int { return 0 }
+	}
+	return tcplsPipeline(totalBytes, core.Config{}, true, opts)
+}
+
+// TCPLSPipelineDelivery compares the zero-copy delivery callback against
+// the buffered Read path (the §4.1 ablation).
+func TCPLSPipelineDelivery(totalBytes int, callback bool) (float64, error) {
+	return tcplsPipeline(totalBytes, core.Config{}, false, pipelineOpts{bufferedRead: !callback})
+}
+
+// pipelineOpts tunes the engine pipeline variants.
+type pipelineOpts struct {
+	scheduler    core.Scheduler
+	bufferedRead bool
+}
+
+// tcplsPipeline pushes bytes through a real engine pair in memory:
+// framing, per-stream contexts, trial decryption, and — when enabled —
+// acknowledgments and retransmission buffering, or multipath coupling
+// with receiver reordering.
+func tcplsPipeline(totalBytes int, cfg core.Config, multipath bool, opts pipelineOpts) (float64, error) {
+	suite, _ := record.SuiteByID(record.TLSAES128GCMSHA256)
+	mk := func(tag byte) []byte {
+		b := make([]byte, 32)
+		for i := range b {
+			b[i] = tag
+		}
+		return b
+	}
+	sec := handshake.Secrets{Suite: suite, ClientApp: mk(1), ServerApp: mk(2)}
+	now := time.Unix(0, 0)
+	sender := core.NewSession(core.RoleServer, sec, cfg)
+	receiver := core.NewSession(core.RoleClient, sec, cfg)
+
+	conns := []uint32{0}
+	if multipath {
+		conns = []uint32{0, 1}
+	}
+	for _, id := range conns {
+		if err := sender.AddConnection(id, now); err != nil {
+			return 0, err
+		}
+		if err := receiver.AddConnection(id, now); err != nil {
+			return 0, err
+		}
+	}
+	var streams []uint32
+	for _, id := range conns {
+		sid, err := sender.CreateStream(id)
+		if err != nil {
+			return 0, err
+		}
+		streams = append(streams, sid)
+	}
+	if opts.scheduler != nil {
+		sender.SetScheduler(opts.scheduler)
+	}
+	var moved int
+	readBuf := make([]byte, 1<<20)
+	if opts.bufferedRead {
+		// Buffered mode: data accumulates in engine buffers and is
+		// drained with Read/ReadCoupled (one extra copy each way).
+		defer func() {}()
+	} else {
+		receiver.DeliverData = func(streamID uint32, payload []byte) { moved += len(payload) }
+		receiver.DeliverCoupled = func(payload []byte) { moved += len(payload) }
+	}
+	pump := func() error {
+		if err := sender.Flush(); err != nil && err != core.ErrNotCoupled {
+			return err
+		}
+		for _, id := range conns {
+			out, err := sender.Outgoing(id)
+			if err != nil {
+				return err
+			}
+			if len(out) == 0 {
+				continue
+			}
+			if err := receiver.Receive(id, out, now); err != nil {
+				return err
+			}
+			sender.RecycleOutgoing(out)
+			// Acks flow back.
+			back, err := receiver.Outgoing(id)
+			if err != nil {
+				return err
+			}
+			if len(back) > 0 {
+				if err := sender.Receive(id, back, now); err != nil {
+					return err
+				}
+			}
+			receiver.RecycleOutgoing(back)
+		}
+		return nil
+	}
+	if multipath {
+		for _, sid := range streams {
+			sender.SetCoupled(sid, true)
+		}
+	}
+	if err := pump(); err != nil { // deliver stream attaches
+		return 0, err
+	}
+	receiver.Events()
+
+	chunk := make([]byte, 1<<20)
+	start := time.Now()
+	for moved < totalBytes {
+		if multipath {
+			if _, err := sender.WriteCoupled(chunk); err != nil {
+				return 0, err
+			}
+		} else {
+			if _, err := sender.Write(streams[0], chunk); err != nil {
+				return 0, err
+			}
+		}
+		if err := pump(); err != nil {
+			return 0, err
+		}
+		receiver.Events()
+		if opts.bufferedRead {
+			for {
+				var n int
+				if multipath {
+					n = receiver.ReadCoupled(readBuf)
+				} else {
+					n, _ = receiver.Read(streams[0], readBuf)
+				}
+				if n == 0 {
+					break
+				}
+				moved += n
+			}
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}

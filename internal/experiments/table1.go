@@ -1,0 +1,28 @@
+package experiments
+
+// ServiceRow is one row of the paper's Table 1: which transport services
+// each stack provides. Values: "yes", "partial", "no".
+type ServiceRow struct {
+	Service string
+	TCP     string
+	MPTCP   string
+	TLSTCP  string
+	QUIC    string
+	TCPLS   string
+}
+
+// Table1 reproduces the paper's Table 1 service matrix. The TCPLS column
+// is backed by this repository: each "yes" corresponds to implemented,
+// tested functionality (the test or experiment exercising it is listed
+// in EXPERIMENTS.md).
+func Table1() []ServiceRow {
+	return []ServiceRow{
+		{"Reliability & congestion control", "yes", "yes", "yes", "yes", "yes"},
+		{"Message confidentiality & authentication", "no", "no", "yes", "yes", "yes"},
+		{"Failover", "no", "yes", "no", "partial", "yes"},
+		{"HoL blocking avoidance", "no", "no", "no", "yes", "partial"},
+		{"Streams", "no", "no", "no", "yes", "yes"},
+		{"Connection migration", "no", "partial", "no", "partial", "yes"},
+		{"Concurrent paths", "no", "yes", "no", "no", "yes"},
+	}
+}

@@ -1,0 +1,179 @@
+package handshake
+
+import (
+	"io"
+)
+
+// Server runs the server side of the TCPLS handshake over rw.
+// See Client for the message flow.
+func Server(rw MessageRW, cfg *Config) (*Result, error) {
+	chBytes, err := rw.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	typ, body, err := splitMessage(chBytes)
+	if err != nil {
+		return nil, err
+	}
+	if typ != typeClientHello {
+		return nil, ErrUnexpectedMessage
+	}
+	ch, err := parseClientHello(body)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := pickSuite(ch.suites, cfg.suites())
+	if err != nil {
+		return nil, err
+	}
+
+	// Evaluate a join request before committing to the handshake shape.
+	// An invalid cookie rejects the connection outright: a client that
+	// guessed a session ID learns nothing but "handshake failed".
+	isJoin := false
+	var joinID SessID
+	var joinConnID uint32
+	if ch.join != nil {
+		if cfg.Sessions == nil || !cfg.Sessions.ValidateJoin(ch.join.SessID, ch.join.Cookie) {
+			return nil, ErrJoinRejected
+		}
+		isJoin = true
+		joinID = ch.join.SessID
+		joinConnID = ch.join.ConnID
+	}
+
+	// PSK resumption: recover the PSK from the ticket; failure falls
+	// back to a full handshake (the client notices via the missing echo).
+	var psk []byte
+	if len(ch.pskTicket) > 0 && cfg.DecryptTicket != nil && !isJoin {
+		if p, ok := cfg.DecryptTicket(ch.pskTicket); ok {
+			psk = p
+		}
+	}
+
+	priv, err := generateKeyShare(cfg.rand())
+	if err != nil {
+		return nil, err
+	}
+	sh := &serverHello{
+		sessionID:   ch.sessionID,
+		suite:       suite.ID,
+		keyShare:    priv.PublicKey().Bytes(),
+		pskAccepted: psk != nil,
+	}
+	if _, err := io.ReadFull(cfg.rand(), sh.random[:]); err != nil {
+		return nil, err
+	}
+	shBytes := sh.marshal()
+	if err := rw.WriteMessage(shBytes); err != nil {
+		return nil, err
+	}
+
+	ks := newKeySchedulePSK(suite, psk)
+	ks.addTranscript(chBytes)
+	ks.addTranscript(shBytes)
+
+	shared, err := sharedSecret(priv, ch.keyShare)
+	if err != nil {
+		return nil, err
+	}
+	ks.advance(shared)
+	clientHS := ks.trafficSecret("c hs traffic")
+	serverHS := ks.trafficSecret("s hs traffic")
+	if err := rw.SetHandshakeKeys(suite, serverHS, clientHS); err != nil {
+		return nil, err
+	}
+
+	tcpls := cfg.TCPLSServer && ch.tcplsHello
+	res := &Result{TCPLSEnabled: tcpls, JoinAccepted: isJoin, Resumed: psk != nil}
+
+	ee := &encryptedExtensions{tcplsHello: tcpls}
+	switch {
+	case isJoin:
+		ee.joinAck = true
+		res.SessID = joinID
+		res.JoinConnID = joinConnID
+	case tcpls:
+		// New TCPLS session: mint the session identifier and the initial
+		// cookie budget (Fig. 3's α and β_1..β_n).
+		var id SessID
+		if _, err := io.ReadFull(cfg.rand(), id[:]); err != nil {
+			return nil, err
+		}
+		ee.sessID = &id
+		res.SessID = id
+		for i := 0; i < cfg.numCookies(); i++ {
+			var c Cookie
+			if _, err := io.ReadFull(cfg.rand(), c[:]); err != nil {
+				return nil, err
+			}
+			ee.cookies = append(ee.cookies, c)
+		}
+		res.Cookies = ee.cookies
+		ee.addrs = cfg.AdvertiseAddrs
+		res.PeerAddrs = cfg.AdvertiseAddrs
+		if cfg.OnSessionIssued != nil {
+			cfg.OnSessionIssued(id, ee.cookies)
+		}
+	}
+	eeBytes := ee.marshal()
+	if err := rw.WriteMessage(eeBytes); err != nil {
+		return nil, err
+	}
+	ks.addTranscript(eeBytes)
+
+	if !isJoin && psk == nil {
+		if cfg.Certificate == nil {
+			return nil, ErrNoCertificate
+		}
+		cert := &certificateMsg{name: cfg.Certificate.Name, pubKey: cfg.Certificate.Public}
+		certBytes := cert.marshal()
+		if err := rw.WriteMessage(certBytes); err != nil {
+			return nil, err
+		}
+		ks.addTranscript(certBytes)
+
+		sig := signCertificateVerify(cfg.Certificate, ks.transcriptHash())
+		cvBytes := (&certificateVerify{signature: sig}).marshal()
+		if err := rw.WriteMessage(cvBytes); err != nil {
+			return nil, err
+		}
+		ks.addTranscript(cvBytes)
+	}
+
+	fin := &finishedMsg{verifyData: ks.finishedMAC(serverHS)}
+	finBytes := fin.marshal()
+	if err := rw.WriteMessage(finBytes); err != nil {
+		return nil, err
+	}
+	ks.addTranscript(finBytes)
+
+	res.Secrets = deriveAppSecrets(ks)
+
+	// Client Finished.
+	cfinBytes, err := rw.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	typ, body, err = splitMessage(cfinBytes)
+	if err != nil {
+		return nil, err
+	}
+	if typ != typeFinished {
+		return nil, ErrUnexpectedMessage
+	}
+	cfin, err := parseFinished(body)
+	if err != nil {
+		return nil, err
+	}
+	if !ks.verifyFinished(clientHS, cfin.verifyData) {
+		return nil, ErrBadFinished
+	}
+	ks.addTranscript(cfinBytes)
+	res.Secrets.Resumption = ks.trafficSecret("res master")
+	return res, nil
+}
+
+func signCertificateVerify(cert *Certificate, transcriptHash []byte) []byte {
+	return ed25519Sign(cert, signatureInput(transcriptHash))
+}

@@ -1,0 +1,147 @@
+package handshake
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"tcpls/internal/record"
+	"tcpls/internal/wire"
+)
+
+// Transport carries handshake messages over a byte stream using TLS
+// records: ClientHello and ServerHello travel in plaintext handshake
+// records (content type 22, as on a real TLS wire — this is what
+// middleboxes inspect, Sec. 5.2), and everything after the key exchange
+// travels in encrypted records indistinguishable from application data.
+type Transport struct {
+	rw io.ReadWriter
+
+	deframer record.Deframer
+	readBuf  []byte // raw bytes staging area
+	pending  []byte // accumulated handshake payload awaiting full messages
+
+	send *record.StreamContext // nil until handshake keys installed
+	recv *record.StreamContext
+}
+
+// NewTransport wraps a byte stream (usually a TCP connection).
+func NewTransport(rw io.ReadWriter) *Transport {
+	return &Transport{rw: rw, readBuf: make([]byte, 16*1024)}
+}
+
+// ErrPlaintextTooLarge guards the plaintext handshake phase.
+var ErrPlaintextTooLarge = errors.New("handshake: message exceeds record size")
+
+// WriteMessage sends one handshake message.
+func (t *Transport) WriteMessage(msg []byte) error {
+	if t.send == nil {
+		if len(msg) > record.MaxPlaintextLen {
+			return ErrPlaintextTooLarge
+		}
+		hdr := []byte{
+			record.ContentTypeHandshake, 0x03, 0x03,
+			byte(len(msg) >> 8), byte(len(msg)),
+		}
+		if _, err := t.rw.Write(append(hdr, msg...)); err != nil {
+			return err
+		}
+		return nil
+	}
+	// Encrypted phase: chunk long messages across records.
+	for len(msg) > 0 {
+		n := len(msg)
+		if n > record.MaxPlaintextLen {
+			n = record.MaxPlaintextLen
+		}
+		rec, err := t.send.Seal(nil, record.ContentTypeHandshake, msg[:n], 0)
+		if err != nil {
+			return err
+		}
+		if _, err := t.rw.Write(rec); err != nil {
+			return err
+		}
+		msg = msg[n:]
+	}
+	return nil
+}
+
+// ReadMessage returns the next complete handshake message.
+func (t *Transport) ReadMessage() ([]byte, error) {
+	for {
+		if msg, ok, err := t.nextFromPending(); err != nil || ok {
+			return msg, err
+		}
+		rec, ok, err := t.deframer.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			t.deframer.Compact() // about to reuse readBuf
+			n, err := t.rw.Read(t.readBuf)
+			if n > 0 {
+				t.deframer.Feed(t.readBuf[:n])
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := t.consumeRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (t *Transport) consumeRecord(rec []byte) error {
+	if t.recv == nil {
+		if rec[0] != record.ContentTypeHandshake {
+			return fmt.Errorf("handshake: unexpected record type %d during plaintext phase", rec[0])
+		}
+		t.pending = append(t.pending, rec[record.HeaderLen:]...)
+		return nil
+	}
+	ct, content, err := t.recv.Open(rec)
+	if err != nil {
+		return err
+	}
+	if ct != record.ContentTypeHandshake {
+		return fmt.Errorf("handshake: unexpected inner type %d", ct)
+	}
+	t.pending = append(t.pending, content...)
+	return nil
+}
+
+// nextFromPending extracts one complete handshake message if buffered.
+func (t *Transport) nextFromPending() ([]byte, bool, error) {
+	if len(t.pending) < 4 {
+		return nil, false, nil
+	}
+	bodyLen := int(wire.Uint24(t.pending[1:4]))
+	total := 4 + bodyLen
+	if len(t.pending) < total {
+		return nil, false, nil
+	}
+	msg := append([]byte(nil), t.pending[:total]...)
+	t.pending = t.pending[total:]
+	return msg, true, nil
+}
+
+// SetHandshakeKeys switches the transport to encrypted handshake records.
+// Stream ID 0 matches the context TLS 1.3 itself would use.
+func (t *Transport) SetHandshakeKeys(suite *record.Suite, sendSecret, recvSecret []byte) error {
+	sendKey, sendIV := record.DeriveTrafficKeys(suite, sendSecret)
+	recvKey, recvIV := record.DeriveTrafficKeys(suite, recvSecret)
+	var err error
+	if t.send, err = record.NewStreamContext(suite, sendKey, sendIV, 0); err != nil {
+		return err
+	}
+	t.recv, err = record.NewStreamContext(suite, recvKey, recvIV, 0)
+	return err
+}
+
+// Leftover returns raw application-phase bytes that arrived coalesced
+// behind the final handshake record (including partial records), so the
+// session layer does not lose them.
+func (t *Transport) Leftover() []byte { return t.deframer.Drain() }

@@ -1,0 +1,73 @@
+// Package hkdf implements HKDF (RFC 5869) together with the TLS 1.3
+// HKDF-Expand-Label and Derive-Secret constructions (RFC 8446 §7.1).
+//
+// TCPLS derives all of its per-stream cryptographic material from the TLS
+// application traffic secret, so the exact TLS 1.3 labeled-expansion wire
+// format matters: it keeps our records byte-compatible with what a TLS 1.3
+// middlebox expects to see negotiated.
+package hkdf
+
+import (
+	"crypto/hmac"
+	"fmt"
+	"hash"
+)
+
+// Extract performs HKDF-Extract: PRK = HMAC-Hash(salt, ikm).
+// A nil salt is replaced by a string of HashLen zero bytes, per RFC 5869.
+func Extract(newHash func() hash.Hash, secret, salt []byte) []byte {
+	if salt == nil {
+		salt = make([]byte, newHash().Size())
+	}
+	mac := hmac.New(newHash, salt)
+	mac.Write(secret)
+	return mac.Sum(nil)
+}
+
+// Expand performs HKDF-Expand, producing length bytes of output keying
+// material from prk and info.
+func Expand(newHash func() hash.Hash, prk, info []byte, length int) []byte {
+	hashLen := newHash().Size()
+	if length > 255*hashLen {
+		panic(fmt.Sprintf("hkdf: requested %d bytes, max %d", length, 255*hashLen))
+	}
+	var (
+		out  = make([]byte, 0, length)
+		prev []byte
+	)
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(newHash, prk)
+		mac.Write(prev)
+		mac.Write(info)
+		mac.Write([]byte{counter})
+		prev = mac.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length]
+}
+
+// tls13LabelPrefix is prepended to every label per RFC 8446 §7.1.
+const tls13LabelPrefix = "tls13 "
+
+// ExpandLabel implements TLS 1.3 HKDF-Expand-Label:
+//
+//	HKDF-Expand(secret, HkdfLabel{length, "tls13 "+label, context}, length)
+func ExpandLabel(newHash func() hash.Hash, secret []byte, label string, context []byte, length int) []byte {
+	if len(tls13LabelPrefix)+len(label) > 255 || len(context) > 255 {
+		panic("hkdf: label or context too long")
+	}
+	info := make([]byte, 0, 4+len(tls13LabelPrefix)+len(label)+len(context))
+	info = append(info, byte(length>>8), byte(length))
+	info = append(info, byte(len(tls13LabelPrefix)+len(label)))
+	info = append(info, tls13LabelPrefix...)
+	info = append(info, label...)
+	info = append(info, byte(len(context)))
+	info = append(info, context...)
+	return Expand(newHash, secret, info, length)
+}
+
+// DeriveSecret implements TLS 1.3 Derive-Secret: ExpandLabel with the
+// transcript hash as context and the hash length as output length.
+func DeriveSecret(newHash func() hash.Hash, secret []byte, label string, transcriptHash []byte) []byte {
+	return ExpandLabel(newHash, secret, label, transcriptHash, newHash().Size())
+}

@@ -1,0 +1,233 @@
+// Package middlebox implements the interference zoo of the paper's
+// Sec. 2 and Sec. 5.2 as TCP relays: each middlebox accepts client
+// connections and forwards bytes to the real server while applying its
+// class of mangling. TCPLS's design claim — everything past the
+// handshake is indistinguishable from TLS 1.3, so only extension-visible
+// middleboxes can interfere, and then only to the point of fallback —
+// is exercised against each class.
+//
+// Classes (paper Sec. 2's taxonomy):
+//
+//   - NAT / address rewriting: invisible at the byte-stream layer;
+//     modeled by the plain relay (addresses change, payload untouched).
+//   - Resegmentation (TSO/GRO-style splitting and coalescing): the relay
+//     re-chunks the stream arbitrarily.
+//   - Extension-dropping firewall: kills connections whose ClientHello
+//     carries unknown (TCPLS) extensions — the explicit-fallback case.
+//   - Payload-corrupting ALG: flips bytes in the stream; TCPLS must
+//     detect (AEAD) and fail closed rather than deliver corrupt data.
+//   - Delaying/shaping proxy: adds latency.
+//   - TLS-terminating proxy: a real man-in-the-middle that terminates
+//     the TLS session with its own certificate and re-originates it;
+//     TCPLS must fall back to plain TLS (the proxy strips the TCPLS
+//     echo) and the client must notice the changed identity if it pins
+//     keys.
+package middlebox
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tcpls/internal/wire"
+)
+
+// Relay is a generic TCP forwarder with pluggable byte mangling in each
+// direction. Zero mangling models a NAT: the TCP payload is untouched.
+type Relay struct {
+	ln     net.Listener
+	target string
+	// MangleC2S / MangleS2C transform each chunk before forwarding.
+	// They may return multiple chunks (resegmentation) or signal
+	// connection abort by returning an error.
+	MangleC2S func(chunk []byte) ([][]byte, error)
+	MangleS2C func(chunk []byte) ([][]byte, error)
+	// Inspect sees the first client chunk (the ClientHello) before any
+	// forwarding; returning an error aborts the connection (the
+	// extension-filtering firewall).
+	Inspect func(firstChunk []byte) error
+	// Delay adds fixed latency to every forwarded chunk.
+	Delay time.Duration
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewRelay starts a relay listening on a random local port, forwarding
+// to target.
+func NewRelay(target string) (*Relay, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{ln: ln, target: target}
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the relay's listening address (what clients dial).
+func (r *Relay) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the relay.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	return r.ln.Close()
+}
+
+func (r *Relay) acceptLoop() {
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		go r.handle(c)
+	}
+}
+
+func (r *Relay) handle(client net.Conn) {
+	defer client.Close()
+	server, err := net.Dial("tcp", r.target)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		r.pump(client, server, r.MangleC2S, true)
+		// Half-close towards the server so EOF propagates.
+		if tc, ok := server.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		r.pump(server, client, r.MangleS2C, false)
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	wg.Wait()
+}
+
+func (r *Relay) pump(src, dst net.Conn, mangle func([]byte) ([][]byte, error), inspectFirst bool) {
+	buf := make([]byte, 32<<10)
+	first := inspectFirst
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if first && r.Inspect != nil {
+				if r.Inspect(chunk) != nil {
+					// Simulate a firewall RST: abort both directions.
+					src.Close()
+					dst.Close()
+					return
+				}
+			}
+			first = false
+			chunks := [][]byte{chunk}
+			if mangle != nil {
+				var merr error
+				chunks, merr = mangle(chunk)
+				if merr != nil {
+					src.Close()
+					dst.Close()
+					return
+				}
+			}
+			if r.Delay > 0 {
+				time.Sleep(r.Delay)
+			}
+			for _, c := range chunks {
+				if _, err := dst.Write(c); err != nil {
+					return
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Resegmenter returns a mangler that re-chunks the byte stream into
+// sizes cycling through the given list (the paper's "high-speed network
+// adapters that fragment large TCP packets" class). Record boundaries
+// are destroyed; a correct deframer must not care.
+func Resegmenter(sizes ...int) func([]byte) ([][]byte, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1, 7, 64, 512, 4096}
+	}
+	idx := 0
+	return func(chunk []byte) ([][]byte, error) {
+		var out [][]byte
+		for len(chunk) > 0 {
+			n := sizes[idx%len(sizes)]
+			idx++
+			if n > len(chunk) {
+				n = len(chunk)
+			}
+			out = append(out, append([]byte(nil), chunk[:n]...))
+			chunk = chunk[n:]
+		}
+		return out, nil
+	}
+}
+
+// Corrupter returns a mangler that flips one bit every intervalBytes
+// (the payload-rewriting ALG class). AEAD-protected records must reject
+// the corruption.
+func Corrupter(intervalBytes int) func([]byte) ([][]byte, error) {
+	seen := 0
+	return func(chunk []byte) ([][]byte, error) {
+		out := append([]byte(nil), chunk...)
+		for i := range out {
+			seen++
+			if seen%intervalBytes == 0 {
+				out[i] ^= 0x01
+			}
+		}
+		return [][]byte{out}, nil
+	}
+}
+
+// RejectTCPLSHello returns an Inspect hook that aborts connections whose
+// ClientHello advertises the TCPLS Hello extension — the overly strict
+// firewall of Sec. 5.2 that forces the client's explicit fallback.
+func RejectTCPLSHello() func([]byte) error {
+	return func(first []byte) error {
+		if containsTCPLSHello(first) {
+			return errBlocked
+		}
+		return nil
+	}
+}
+
+var errBlocked = io.ErrClosedPipe
+
+// containsTCPLSHello scans a raw first flight for the TCPLS Hello
+// extension codepoint inside a TLS handshake record. The scan is the
+// kind of shallow pattern match real DPI boxes perform.
+func containsTCPLSHello(b []byte) bool {
+	// Must look like a TLS handshake record carrying a ClientHello.
+	if len(b) < 6 || b[0] != 22 || b[5] != 1 {
+		return false
+	}
+	// Scan for the extension codepoint 0xfa00 followed by a plausible
+	// length field.
+	for i := 5; i+4 <= len(b); i++ {
+		if b[i] == 0xfa && b[i+1] == 0x00 {
+			elen := int(wire.Uint16(b[i+2:]))
+			if i+4+elen <= len(b) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package miniquic
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTransferMovesAllBytes(t *testing.T) {
+	for _, cfg := range []Config{Quicly, MsQuic, Mvfst, Quicly.Jumbo()} {
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 1<<20)
+		moved, err := p.Transfer(data)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if moved != len(data) {
+			t.Fatalf("%s: moved %d of %d", cfg.Name, moved, len(data))
+		}
+		if p.Packets == 0 || p.Acks == 0 {
+			t.Fatalf("%s: packets=%d acks=%d", cfg.Name, p.Packets, p.Acks)
+		}
+	}
+}
+
+func TestPacketCountScalesWithMTU(t *testing.T) {
+	small, _ := New(Quicly)
+	big, _ := New(Quicly.Jumbo())
+	data := make([]byte, 4<<20)
+	small.Transfer(data)
+	big.Transfer(data)
+	if small.Packets <= big.Packets {
+		t.Fatalf("1500-MTU packets (%d) should exceed 9000-MTU packets (%d)", small.Packets, big.Packets)
+	}
+}
+
+func TestAckMapDrains(t *testing.T) {
+	p, _ := New(Quicly)
+	p.Transfer(make([]byte, 1<<20))
+	// With an ack every 2 packets, the in-flight map stays bounded.
+	if len(p.sentSizes) > 4 {
+		t.Fatalf("sent map holds %d entries after transfer", len(p.sentSizes))
+	}
+}
+
+func BenchmarkPipelines(b *testing.B) {
+	for _, cfg := range []Config{Quicly, MsQuic, Mvfst} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			p, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]byte, 1<<20)
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Transfer(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(p.Packets)/float64(b.N), "pkts/op")
+		})
+	}
+}
+
+func ExampleNew() {
+	p, _ := New(Quicly)
+	moved, _ := p.Transfer(make([]byte, 10000))
+	fmt.Println(moved)
+	// Output: 10000
+}

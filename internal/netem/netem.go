@@ -1,0 +1,162 @@
+// Package netem provides real-time link emulation over net.Conn — a
+// lightweight tc-netem stand-in used by the runnable examples to shape
+// loopback TCP into "a 25 Mbps path with 20 ms RTT" so multipath
+// behaviour is observable on one machine.
+//
+// The shaping wraps a TCP relay: dial the relay instead of the server
+// and every byte pays the configured rate and delay in each direction.
+package netem
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile describes one direction's link behaviour.
+type Profile struct {
+	// RateBps limits throughput in bits per second (0 = unlimited).
+	RateBps int64
+	// Delay adds one-way latency.
+	Delay time.Duration
+}
+
+// Relay is a shaping TCP forwarder.
+type Relay struct {
+	ln      net.Listener
+	target  string
+	c2s     Profile
+	s2c     Profile
+	dropped atomic.Bool // when set, new and existing conns are killed
+	conns   sync.Map    // net.Conn -> struct{}
+}
+
+// NewRelay starts a shaping relay toward target.
+func NewRelay(target string, c2s, s2c Profile) (*Relay, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r := &Relay{ln: ln, target: target, c2s: c2s, s2c: s2c}
+	go r.accept()
+	return r, nil
+}
+
+// Addr returns the relay's dialable address.
+func (r *Relay) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the relay and closes all forwarded connections.
+func (r *Relay) Close() error {
+	err := r.ln.Close()
+	r.conns.Range(func(k, _ interface{}) bool {
+		k.(net.Conn).Close()
+		return true
+	})
+	return err
+}
+
+// Blackhole kills all current connections and refuses new ones — the
+// examples' outage switch.
+func (r *Relay) Blackhole() {
+	r.dropped.Store(true)
+	r.conns.Range(func(k, _ interface{}) bool {
+		k.(net.Conn).Close()
+		return true
+	})
+}
+
+// Restore re-enables forwarding for new connections.
+func (r *Relay) Restore() { r.dropped.Store(false) }
+
+func (r *Relay) accept() {
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		if r.dropped.Load() {
+			c.Close()
+			continue
+		}
+		go r.handle(c)
+	}
+}
+
+func (r *Relay) handle(client net.Conn) {
+	server, err := net.Dial("tcp", r.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	r.conns.Store(client, struct{}{})
+	r.conns.Store(server, struct{}{})
+	defer func() {
+		r.conns.Delete(client)
+		r.conns.Delete(server)
+		client.Close()
+		server.Close()
+	}()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); shapePump(client, server, r.c2s) }()
+	go func() { defer wg.Done(); shapePump(server, client, r.s2c) }()
+	wg.Wait()
+}
+
+// shapePump forwards src→dst applying rate and delay.
+func shapePump(src, dst net.Conn, p Profile) {
+	type chunk struct {
+		data  []byte
+		dueAt time.Time
+	}
+	// A small queue keeps the shaper from absorbing megabytes of the
+	// sender's data: when the shaped rate falls behind, reads stall and
+	// TCP backpressure propagates to the sender (as a real bottleneck
+	// queue would).
+	ch := make(chan chunk, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for c := range ch {
+			if d := time.Until(c.dueAt); d > 0 {
+				time.Sleep(d)
+			}
+			if _, err := dst.Write(c.data); err != nil {
+				return
+			}
+		}
+	}()
+
+	buf := make([]byte, 16<<10)
+	// sendAt models serialization: the time the last byte finishes
+	// transmitting at RateBps.
+	sendAt := time.Now()
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			data := append([]byte(nil), buf[:n]...)
+			now := time.Now()
+			if sendAt.Before(now) {
+				sendAt = now
+			}
+			if p.RateBps > 0 {
+				sendAt = sendAt.Add(time.Duration(int64(n) * 8 * int64(time.Second) / p.RateBps))
+			}
+			select {
+			case ch <- chunk{data: data, dueAt: sendAt.Add(p.Delay)}:
+			case <-done:
+				close(ch)
+				return
+			}
+		}
+		if err != nil {
+			close(ch)
+			<-done
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}

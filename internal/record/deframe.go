@@ -1,0 +1,121 @@
+package record
+
+// Deframer incrementally reassembles TLS records from a TCP byte stream.
+// TCP does not respect record boundaries: a read may deliver half a
+// record or several records back to back (and middleboxes resegment at
+// will, Sec. 2 of the paper), so the deframer buffers bytes until a full
+// record is available.
+//
+// The deframer is sans-IO: callers Feed it bytes from wherever they came
+// from (a socket, a simulator, a test) and pull complete records with
+// Next. Records returned by Next alias the internal buffer and remain
+// valid until the next call to Feed.
+type Deframer struct {
+	buf []byte
+	off int // start of unparsed data within buf
+	// view references the caller's last Feed slice directly when the
+	// internal buffer was empty — the zero-copy fast path for the
+	// common case of whole records arriving in one read. Any unparsed
+	// tail is copied into buf when the next Feed arrives.
+	view    []byte
+	viewOff int
+}
+
+// Feed hands the deframer raw bytes received from the transport. When no
+// partial record is buffered the slice is referenced without copying;
+// records returned by Next then alias p and remain valid until the next
+// Feed. Otherwise bytes are appended to the internal buffer.
+func (d *Deframer) Feed(p []byte) {
+	// Absorb any unparsed view tail first.
+	if d.view != nil {
+		d.buf = append(d.buf[:0], d.view[d.viewOff:]...)
+		d.off = 0
+		d.view = nil
+		d.viewOff = 0
+	}
+	if d.off > 0 {
+		n := copy(d.buf, d.buf[d.off:])
+		d.buf = d.buf[:n]
+		d.off = 0
+	}
+	if len(d.buf) == 0 {
+		d.view = p
+		d.viewOff = 0
+		return
+	}
+	d.buf = append(d.buf, p...)
+}
+
+// Next returns the next complete record (header plus ciphertext), or
+// ok=false when more bytes are needed. It returns ErrRecordTooLarge for a
+// header announcing an impossible length, which on a real connection is
+// fatal (the stream can never resynchronize).
+func (d *Deframer) Next() (rec []byte, ok bool, err error) {
+	var avail []byte
+	if d.view != nil {
+		avail = d.view[d.viewOff:]
+	} else {
+		avail = d.buf[d.off:]
+	}
+	if len(avail) < HeaderLen {
+		return nil, false, nil
+	}
+	ctLen := int(avail[3])<<8 | int(avail[4])
+	if ctLen > MaxCiphertextLen {
+		return nil, false, ErrRecordTooLarge
+	}
+	total := HeaderLen + ctLen
+	if len(avail) < total {
+		return nil, false, nil
+	}
+	if d.view != nil {
+		d.viewOff += total
+	} else {
+		d.off += total
+	}
+	return avail[:total:total], true, nil
+}
+
+// Compact internalizes any zero-copy view tail into the deframer's own
+// buffer. Callers that reuse their read buffer MUST call Compact after
+// draining records and before the next read: records and the view are
+// only valid until then.
+func (d *Deframer) Compact() {
+	if d.view == nil {
+		return
+	}
+	d.buf = append(d.buf[:0], d.view[d.viewOff:]...)
+	d.off = 0
+	d.view = nil
+	d.viewOff = 0
+}
+
+// Buffered returns the number of bytes waiting to be parsed.
+func (d *Deframer) Buffered() int {
+	if d.view != nil {
+		return len(d.view) - d.viewOff
+	}
+	return len(d.buf) - d.off
+}
+
+// Drain consumes and returns all unparsed bytes, including any partial
+// record tail. Session setup uses this to hand coalesced post-handshake
+// bytes from the handshake transport to the application record loop.
+func (d *Deframer) Drain() []byte {
+	var out []byte
+	if d.view != nil {
+		out = append(out, d.view[d.viewOff:]...)
+	} else {
+		out = append(out, d.buf[d.off:]...)
+	}
+	d.Reset()
+	return out
+}
+
+// Reset discards all buffered data.
+func (d *Deframer) Reset() {
+	d.buf = d.buf[:0]
+	d.off = 0
+	d.view = nil
+	d.viewOff = 0
+}

@@ -1,0 +1,92 @@
+package record
+
+// Demux recovers the implicit stream ID of incoming records by trial
+// decryption (paper §3.3.1, §4.1). The stream ID is deliberately absent
+// from the wire — a TCPLS record must be indistinguishable from a TLS 1.3
+// AppData record — so the receiver checks the AEAD tag against the
+// cryptographic context of each stream attached to the TCP connection the
+// record arrived on, trying the stream that matched last time first.
+//
+// The search cost is bounded by the number of streams attached to one
+// connection, and in the common case (sender keeps scheduling the same
+// stream) the first probe hits.
+type Demux struct {
+	contexts []*StreamContext
+	last     int    // index of the last successful context
+	scratch  []byte // ciphertext backup for the in-place fast path
+	// Probes counts tag checks performed, including successful ones.
+	// The paper treats each failed check as a forgery attempt against
+	// the AEAD limits; exposing the count lets tests and benchmarks
+	// verify the last-successful-first optimization.
+	Probes uint64
+}
+
+// Attach adds a stream context to the trial set.
+func (m *Demux) Attach(c *StreamContext) { m.contexts = append(m.contexts, c) }
+
+// Detach removes the context for streamID, if present.
+func (m *Demux) Detach(streamID uint32) {
+	for i, c := range m.contexts {
+		if c.streamID == streamID {
+			m.contexts = append(m.contexts[:i], m.contexts[i+1:]...)
+			if m.last >= len(m.contexts) {
+				m.last = 0
+			}
+			return
+		}
+	}
+}
+
+// Streams returns the number of attached contexts.
+func (m *Demux) Streams() int { return len(m.contexts) }
+
+// Context returns the attached context for streamID, or nil.
+func (m *Demux) Context(streamID uint32) *StreamContext {
+	for _, c := range m.contexts {
+		if c.streamID == streamID {
+			return c
+		}
+	}
+	return nil
+}
+
+// Open finds the stream whose context authenticates rec, decrypts the
+// record in place (zero copy) and advances that stream's receive
+// sequence. It returns ErrNoStreamMatch when no attached stream
+// authenticates the record — a forgery, a desynchronized peer, or a
+// record for a stream not attached to this connection.
+func (m *Demux) Open(rec []byte) (streamID uint32, contentType uint8, content []byte, err error) {
+	n := len(m.contexts)
+	if n == 0 {
+		return 0, 0, nil, ErrNoStreamMatch
+	}
+	// Single attached stream: decrypt fully in place (zero copy).
+	if n == 1 {
+		m.Probes++
+		c := m.contexts[0]
+		contentType, content, err = c.Open(rec)
+		if err != nil {
+			return 0, 0, nil, ErrNoStreamMatch
+		}
+		return c.streamID, contentType, content, nil
+	}
+	// Several candidates: decrypt into the reusable scratch buffer so a
+	// failed trial leaves the ciphertext intact for the next candidate.
+	// The AEAD writes its output either way; only the destination
+	// differs, so the fast path still costs exactly one crypto pass.
+	if cap(m.scratch) < len(rec) {
+		m.scratch = make([]byte, 0, MaxRecordLen)
+	}
+	for i := 0; i < n; i++ {
+		idx := (m.last + i) % n
+		c := m.contexts[idx]
+		m.Probes++
+		contentType, content, err = c.OpenInto(rec, m.scratch)
+		if err != nil {
+			continue
+		}
+		m.last = idx
+		return c.streamID, contentType, content, nil
+	}
+	return 0, 0, nil, ErrNoStreamMatch
+}

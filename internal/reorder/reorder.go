@@ -1,0 +1,95 @@
+// Package reorder provides the efficient reordering heap TCPLS uses for
+// coupled streams (paper §4.3): records arriving out of aggregation-
+// sequence order are pushed on a min-heap and popped as the contiguous
+// prefix fills in. In-sequence records bypass the heap entirely, which is
+// what lets the receive path stay zero-copy when paths do not reorder.
+package reorder
+
+import "container/heap"
+
+// Item is one out-of-order unit awaiting delivery.
+type Item struct {
+	Seq  uint64
+	Data []byte
+}
+
+type itemHeap []Item
+
+func (h itemHeap) Len() int            { return len(h) }
+func (h itemHeap) Less(i, j int) bool  { return h[i].Seq < h[j].Seq }
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = Item{}
+	*h = old[:n-1]
+	return it
+}
+
+// Buffer reassembles a sequence of items into delivery order. Next is the
+// sequence number of the item the consumer needs next.
+type Buffer struct {
+	next  uint64
+	heap  itemHeap
+	bytes int // buffered payload bytes, for accounting
+}
+
+// New returns a Buffer expecting firstSeq as its first item.
+func New(firstSeq uint64) *Buffer { return &Buffer{next: firstSeq} }
+
+// Next returns the next in-order sequence number the buffer expects.
+func (b *Buffer) Next() uint64 { return b.next }
+
+// Pending returns the number of items parked in the heap.
+func (b *Buffer) Pending() int { return len(b.heap) }
+
+// PendingBytes returns the payload bytes parked in the heap.
+func (b *Buffer) PendingBytes() int { return b.bytes }
+
+// Offer hands one item to the buffer. It returns the data that became
+// deliverable, in order. The common case — item arrives in sequence and
+// nothing is parked — returns the item's own slice without copying.
+// Duplicates (seq < next, or already parked) are discarded.
+func (b *Buffer) Offer(seq uint64, data []byte) [][]byte {
+	if seq < b.next {
+		return nil // duplicate of something already delivered
+	}
+	if seq == b.next && len(b.heap) == 0 {
+		b.next++
+		return [][]byte{data} // fast path: zero copy, no heap traffic
+	}
+	if seq > b.next {
+		for _, it := range b.heap {
+			if it.Seq == seq {
+				return nil // duplicate of something already parked
+			}
+		}
+		heap.Push(&b.heap, Item{Seq: seq, Data: data})
+		b.bytes += len(data)
+		return nil
+	}
+	// seq == next with parked items: deliver it plus the contiguous run.
+	out := [][]byte{data}
+	b.next++
+	for len(b.heap) > 0 && b.heap[0].Seq == b.next {
+		it := heap.Pop(&b.heap).(Item)
+		b.bytes -= len(it.Data)
+		out = append(out, it.Data)
+		b.next++
+	}
+	// Drop any duplicates of what we just delivered.
+	for len(b.heap) > 0 && b.heap[0].Seq < b.next {
+		it := heap.Pop(&b.heap).(Item)
+		b.bytes -= len(it.Data)
+	}
+	return out
+}
+
+// Reset empties the buffer and restarts at firstSeq.
+func (b *Buffer) Reset(firstSeq uint64) {
+	b.next = firstSeq
+	b.heap = b.heap[:0]
+	b.bytes = 0
+}

@@ -1,0 +1,154 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func collect(b *Buffer, seq uint64, data []byte) [][]byte {
+	return b.Offer(seq, data)
+}
+
+func TestInOrderFastPath(t *testing.T) {
+	b := New(0)
+	for i := uint64(0); i < 100; i++ {
+		data := []byte{byte(i)}
+		out := b.Offer(i, data)
+		if len(out) != 1 || &out[0][0] != &data[0] {
+			t.Fatalf("seq %d: in-order item not returned zero-copy", i)
+		}
+	}
+	if b.Pending() != 0 {
+		t.Fatal("heap grew on in-order delivery")
+	}
+}
+
+func TestSimpleReorder(t *testing.T) {
+	b := New(0)
+	if out := b.Offer(1, []byte{1}); out != nil {
+		t.Fatal("out-of-order item delivered early")
+	}
+	if b.Pending() != 1 || b.PendingBytes() != 1 {
+		t.Fatalf("pending=%d bytes=%d", b.Pending(), b.PendingBytes())
+	}
+	out := b.Offer(0, []byte{0})
+	if len(out) != 2 || out[0][0] != 0 || out[1][0] != 1 {
+		t.Fatalf("got %v", out)
+	}
+	if b.Next() != 2 || b.Pending() != 0 || b.PendingBytes() != 0 {
+		t.Fatalf("state after drain: next=%d pending=%d", b.Next(), b.Pending())
+	}
+}
+
+func TestDuplicatesDiscarded(t *testing.T) {
+	b := New(0)
+	b.Offer(0, []byte{0})
+	if out := b.Offer(0, []byte{0}); out != nil {
+		t.Fatal("delivered duplicate")
+	}
+	b.Offer(2, []byte{2})
+	if out := b.Offer(2, []byte{2}); out != nil {
+		t.Fatal("parked duplicate accepted")
+	}
+	out := b.Offer(1, []byte{1})
+	if len(out) != 2 {
+		t.Fatalf("got %d items, want 2", len(out))
+	}
+}
+
+func TestStaleParkedDuplicatesDropped(t *testing.T) {
+	// Park 2 and 3, then deliver 1..3 via a retransmission burst that
+	// also includes stale copies.
+	b := New(1)
+	b.Offer(3, []byte{3})
+	b.Offer(2, []byte{2})
+	out := b.Offer(1, []byte{1})
+	if len(out) != 3 {
+		t.Fatalf("got %d items", len(out))
+	}
+	for i, want := range []byte{1, 2, 3} {
+		if out[i][0] != want {
+			t.Fatalf("out[%d]=%d want %d", i, out[i][0], want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(0)
+	b.Offer(5, []byte{5})
+	b.Reset(10)
+	if b.Next() != 10 || b.Pending() != 0 {
+		t.Fatal("reset failed")
+	}
+	out := b.Offer(10, []byte{10})
+	if len(out) != 1 {
+		t.Fatal("offer after reset failed")
+	}
+}
+
+func TestRandomPermutationsDeliverInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		perm := rng.Perm(n)
+		b := New(0)
+		var delivered []byte
+		for _, p := range perm {
+			for _, d := range b.Offer(uint64(p), []byte{byte(p)}) {
+				delivered = append(delivered, d[0])
+			}
+		}
+		if len(delivered) != n {
+			t.Fatalf("trial %d: delivered %d of %d", trial, len(delivered), n)
+		}
+		for i := 0; i < n; i++ {
+			if delivered[i] != byte(i) {
+				t.Fatalf("trial %d: delivered[%d]=%d", trial, i, delivered[i])
+			}
+		}
+	}
+}
+
+func TestQuickNeverDeliversOutOfOrder(t *testing.T) {
+	f := func(seqs []uint16) bool {
+		b := New(0)
+		last := -1
+		for _, s := range seqs {
+			seq := uint64(s % 64)
+			for _, d := range b.Offer(seq, []byte{byte(seq)}) {
+				if int(d[0]) <= last {
+					return false
+				}
+				last = int(d[0])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInOrder(b *testing.B) {
+	buf := New(0)
+	data := make([]byte, 16384)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		buf.Offer(uint64(i), data)
+	}
+}
+
+func BenchmarkTwoPathInterleave(b *testing.B) {
+	// Two paths delivering alternating blocks out of order — the Fig. 11
+	// aggregation pattern. Within each block of 8, the even sequence
+	// numbers (fast path) land before the odd ones (slow path).
+	buf := New(0)
+	data := make([]byte, 16384)
+	b.SetBytes(int64(len(data)))
+	order := [8]uint64{0, 2, 4, 6, 1, 3, 5, 7}
+	for i := 0; i < b.N; i++ {
+		seq := uint64(i/8)*8 + order[i%8]
+		buf.Offer(seq, data)
+	}
+}

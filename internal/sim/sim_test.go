@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(10*time.Millisecond, func() { order = append(order, 2) })
+	s.After(5*time.Millisecond, func() { order = append(order, 1) })
+	s.After(10*time.Millisecond, func() { order = append(order, 3) }) // FIFO at same time
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var fired []Time
+	s.After(time.Millisecond, func() {
+		fired = append(fired, s.Now())
+		s.After(time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[1] != 2*time.Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunUntilStopsAndAdvancesClock(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	s.RunUntil(20 * time.Second)
+	if count != 10 || s.Now() != 20*time.Second {
+		t.Fatalf("count=%d now=%v", count, s.Now())
+	}
+}
+
+func TestLinkDelayAndSerialization(t *testing.T) {
+	s := New()
+	var arrived []Time
+	l := &Link{Sim: s, RateBps: 8_000_000, Delay: 10 * time.Millisecond} // 1 MB/s
+	l.Deliver = func(Packet) { arrived = append(arrived, s.Now()) }
+
+	// 1000-byte packet: tx = 1ms, prop = 10ms -> arrives at 11ms.
+	l.Send(Packet{Size: 1000})
+	// Second packet queues behind the first: arrives at 12ms.
+	l.Send(Packet{Size: 1000})
+	s.Run()
+	if len(arrived) != 2 {
+		t.Fatalf("arrived %d packets", len(arrived))
+	}
+	if arrived[0] != 11*time.Millisecond {
+		t.Errorf("first at %v, want 11ms", arrived[0])
+	}
+	if arrived[1] != 12*time.Millisecond {
+		t.Errorf("second at %v, want 12ms", arrived[1])
+	}
+}
+
+func TestLinkThroughputMatchesRate(t *testing.T) {
+	s := New()
+	delivered := 0
+	l := &Link{Sim: s, RateBps: 25_000_000, Delay: 10 * time.Millisecond, QueueBytes: 1 << 20}
+	l.Deliver = func(p Packet) { delivered += p.Size }
+	// Saturate for one simulated second.
+	var feed func()
+	sent := 0
+	feed = func() {
+		for l.backlogBytes() < 100_000 && s.Now() < time.Second {
+			if !l.Send(Packet{Size: 1500}) {
+				break
+			}
+			sent += 1500
+		}
+		if s.Now() < time.Second {
+			s.After(time.Millisecond, feed)
+		}
+	}
+	s.After(0, feed)
+	s.RunUntil(time.Second + 200*time.Millisecond)
+	// 25 Mbps ~ 3.125 MB/s; allow 5% modeling slack.
+	want := 3_125_000
+	if delivered < want*95/100 || delivered > want*105/100 {
+		t.Fatalf("delivered %d bytes in 1s on a 25 Mbps link, want ~%d", delivered, want)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	s := New()
+	l := &Link{Sim: s, RateBps: 8_000, Delay: time.Millisecond, QueueBytes: 3000} // 1 KB/s
+	l.Deliver = func(Packet) {}
+	ok := 0
+	for i := 0; i < 10; i++ {
+		if l.Send(Packet{Size: 1000}) {
+			ok++
+		}
+	}
+	if ok >= 10 {
+		t.Fatal("no drops despite tiny queue")
+	}
+	if l.Dropped == 0 {
+		t.Fatal("drop counter not incremented")
+	}
+}
+
+func TestBlackhole(t *testing.T) {
+	s := New()
+	delivered := 0
+	l := &Link{Sim: s, RateBps: 1e9, Delay: time.Millisecond}
+	l.Deliver = func(Packet) { delivered++ }
+	l.Send(Packet{Size: 100})
+	l.Down = true
+	l.Send(Packet{Size: 100})
+	s.Run()
+	// The first was in flight when the link went down: the outage model
+	// loses it too.
+	if delivered != 0 {
+		t.Fatalf("delivered %d packets through a blackhole", delivered)
+	}
+	if l.Dropped != 2 {
+		t.Fatalf("dropped = %d", l.Dropped)
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	s := New()
+	p := NewPath(s, 25_000_000, 5*time.Millisecond)
+	if p.RTT() != 10*time.Millisecond {
+		t.Fatalf("rtt = %v", p.RTT())
+	}
+	p.SetDown(true)
+	if !p.AtoB.Down || !p.BtoA.Down {
+		t.Fatal("SetDown did not affect both directions")
+	}
+}

@@ -1,0 +1,203 @@
+package simtcp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tcpls/internal/cc"
+	"tcpls/internal/sim"
+)
+
+func mbps(n int64) int64 { return n * 1_000_000 }
+
+// transfer runs a one-way bulk transfer and returns received bytes and
+// completion time.
+func transfer(t *testing.T, rateMbps int64, delay time.Duration, size int, ccName string, until time.Duration) ([]byte, sim.Time) {
+	t.Helper()
+	s := sim.New()
+	path := sim.NewPath(s, mbps(rateMbps), delay)
+	client, server := Connect(s, path, Options{CC: ccName}, Options{CC: ccName})
+
+	var got []byte
+	var doneAt sim.Time
+	server.OnRecv = func(p []byte) {
+		got = append(got, p...)
+		if len(got) >= size && doneAt == 0 {
+			doneAt = s.Now()
+		}
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	client.Write(data)
+	s.RunUntil(until)
+	if len(got) != size {
+		t.Fatalf("received %d of %d bytes by %v", len(got), size, until)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload corrupted")
+	}
+	return got, doneAt
+}
+
+func TestBulkTransferCompletes(t *testing.T) {
+	for _, ccName := range []string{"newreno", "cubic", "vegas"} {
+		_, doneAt := transfer(t, 25, 5*time.Millisecond, 1<<20, ccName, 30*time.Second)
+		// 1 MiB at 25 Mbps is ~0.34s on the wire; slow start adds RTTs.
+		if doneAt > 3*time.Second {
+			t.Errorf("%s: 1 MiB over 25 Mbps took %v", ccName, doneAt)
+		}
+	}
+}
+
+func TestThroughputApproachesLineRate(t *testing.T) {
+	// 60 MiB over 25 Mbps/10 ms: wire time alone is ~20.1s. A healthy
+	// stack should finish within 15% of that.
+	size := 60 << 20
+	_, doneAt := transfer(t, 25, 5*time.Millisecond, size, "cubic", 60*time.Second)
+	wire := time.Duration(float64(size*8) / 25e6 * float64(time.Second))
+	// The model's CUBIC sawtooth with a 64 KiB drop-tail queue averages
+	// ~80-85% utilization; budget accordingly (the paper's figures care
+	// about relative shapes, not absolute testbed ceilings).
+	if doneAt > wire*150/100 {
+		t.Errorf("60 MiB took %v, wire time %v (+50%% budget exceeded)", doneAt, wire)
+	}
+}
+
+func TestLossRecoveryViaFastRetransmit(t *testing.T) {
+	// A tiny queue forces drops; the transfer must still complete and
+	// the sender must record retransmissions.
+	s := sim.New()
+	path := sim.NewPath(s, mbps(10), 10*time.Millisecond)
+	path.AtoB.QueueBytes = 10_000 // ~7 segments
+	client, server := Connect(s, path, Options{CC: "newreno"}, Options{})
+	var got int
+	server.OnRecv = func(p []byte) { got += len(p) }
+	size := 2 << 20
+	client.Write(make([]byte, size))
+	s.RunUntil(60 * time.Second)
+	if got != size {
+		t.Fatalf("received %d of %d", got, size)
+	}
+	if client.Retransmits == 0 {
+		t.Error("no retransmissions despite forced drops")
+	}
+	if path.AtoB.Dropped == 0 {
+		t.Error("queue never overflowed")
+	}
+}
+
+func TestRTTEstimate(t *testing.T) {
+	s := sim.New()
+	path := sim.NewPath(s, mbps(100), 20*time.Millisecond) // RTT 40ms
+	client, server := Connect(s, path, Options{}, Options{})
+	server.OnRecv = func(p []byte) {}
+	client.Write(make([]byte, 200_000))
+	s.RunUntil(5 * time.Second)
+	if client.SRTT() < 40*time.Millisecond || client.SRTT() > 80*time.Millisecond {
+		t.Fatalf("srtt = %v, want ~40-80ms", client.SRTT())
+	}
+}
+
+func TestBlackholeTriggersRTOAndRecovery(t *testing.T) {
+	s := sim.New()
+	path := sim.NewPath(s, mbps(25), 5*time.Millisecond)
+	client, server := Connect(s, path, Options{}, Options{})
+	var got int
+	server.OnRecv = func(p []byte) { got += len(p) }
+	size := 4 << 20
+	client.Write(make([]byte, size))
+
+	// Outage from 1s to 2s.
+	s.After(time.Second, func() { path.SetDown(true) })
+	s.After(2*time.Second, func() { path.SetDown(false) })
+	s.RunUntil(60 * time.Second)
+	if got != size {
+		t.Fatalf("received %d of %d after outage", got, size)
+	}
+	if client.Retransmits == 0 {
+		t.Error("outage caused no retransmissions")
+	}
+}
+
+func TestResetSignalsBothEnds(t *testing.T) {
+	s := sim.New()
+	path := sim.NewPath(s, mbps(25), 5*time.Millisecond)
+	client, server := Connect(s, path, Options{}, Options{})
+	var clientReset, serverReset bool
+	client.OnReset = func() { clientReset = true }
+	server.OnReset = func() { serverReset = true }
+	client.Write(make([]byte, 100_000))
+	s.After(500*time.Millisecond, func() { server.Reset() })
+	s.RunUntil(2 * time.Second)
+	if !serverReset || !clientReset {
+		t.Fatalf("reset flags: client=%v server=%v", clientReset, serverReset)
+	}
+	if !client.Failed() {
+		t.Error("client not marked failed")
+	}
+}
+
+func TestVegasYieldsToCubicOnSharedBottleneck(t *testing.T) {
+	// Fig. 12's premise, at the transport level: two flows share one
+	// bottleneck link; the loss-based CUBIC flow fills the queue and the
+	// delay-based Vegas flow, seeing inflated RTTs, backs off and takes
+	// the minority share.
+	s := sim.New()
+	path := sim.NewPath(s, mbps(100), 30*time.Millisecond)
+	path.AtoB.QueueBytes = 512 << 10
+
+	vc, vs := ConnectOn(s, path.AtoB, path.BtoA, Options{CC: "vegas"}, Options{})
+	ccl, ccs := ConnectOn(s, path.AtoB, path.BtoA, Options{CC: "cubic"}, Options{})
+	var vegasGot, cubicGot int
+	vs.OnRecv = func(p []byte) { vegasGot += len(p) }
+	ccs.OnRecv = func(p []byte) { cubicGot += len(p) }
+	vc.Write(make([]byte, 100<<20))
+	ccl.Write(make([]byte, 100<<20))
+	s.RunUntil(20 * time.Second)
+	if vegasGot*2 >= cubicGot {
+		t.Errorf("vegas got %d bytes, cubic %d: expected cubic to dominate by > 2x",
+			vegasGot, cubicGot)
+	}
+}
+
+func TestHotSwapCongestionController(t *testing.T) {
+	s := sim.New()
+	path := sim.NewPath(s, mbps(25), 5*time.Millisecond)
+	client, server := Connect(s, path, Options{CC: "vegas"}, Options{})
+	server.OnRecv = func(p []byte) {}
+	client.Write(make([]byte, 10<<20))
+	swapped := false
+	s.After(time.Second, func() {
+		client.SetAlgorithm(cc.NewCubic(client.mss))
+		swapped = true
+	})
+	s.RunUntil(3 * time.Second)
+	if !swapped || client.Algorithm().Name() != "cubic" {
+		t.Fatal("controller hot swap failed")
+	}
+	// The connection keeps making progress after the swap.
+	if server.BytesDeliverd == 0 {
+		t.Fatal("no progress after swap")
+	}
+}
+
+func TestDataBeforeEstablishmentIsQueued(t *testing.T) {
+	s := sim.New()
+	path := sim.NewPath(s, mbps(25), 50*time.Millisecond) // RTT 100ms
+	client, server := Connect(s, path, Options{}, Options{})
+	var firstByte sim.Time
+	server.OnRecv = func(p []byte) {
+		if firstByte == 0 {
+			firstByte = s.Now()
+		}
+	}
+	client.Write([]byte("early data"))
+	s.RunUntil(time.Second)
+	// Handshake consumes ~1 RTT; first byte lands >= 1.5 RTT.
+	if firstByte < 150*time.Millisecond {
+		t.Fatalf("first byte at %v, before handshake could finish", firstByte)
+	}
+}

@@ -1,0 +1,220 @@
+// Package wire provides byte-order helpers shared by the handshake and
+// record layers: big-endian integer accessors, TLS-style length-prefixed
+// vectors, and append-based writers that avoid intermediate allocations.
+//
+// All readers operate on a *Reader cursor so callers can parse a message
+// with a single bounds-checked pass; all writers append to a caller-owned
+// slice so serialization composes without copies.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when a read runs past the end of the buffer.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrVectorTooLong is returned when a value exceeds its length prefix.
+var ErrVectorTooLong = errors.New("wire: vector exceeds length prefix")
+
+// AppendUint8 appends a single byte to b.
+func AppendUint8(b []byte, v uint8) []byte { return append(b, v) }
+
+// AppendUint16 appends v in network byte order.
+func AppendUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+// AppendUint24 appends the low 24 bits of v in network byte order.
+// TLS handshake messages carry 24-bit lengths.
+func AppendUint24(b []byte, v uint32) []byte {
+	return append(b, byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendUint32 appends v in network byte order.
+func AppendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendUint64 appends v in network byte order.
+func AppendUint64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendVector8 appends data with a 1-byte length prefix.
+func AppendVector8(b, data []byte) []byte {
+	if len(data) > 0xff {
+		panic(fmt.Sprintf("wire: vector8 too long: %d", len(data)))
+	}
+	b = AppendUint8(b, uint8(len(data)))
+	return append(b, data...)
+}
+
+// AppendVector16 appends data with a 2-byte length prefix.
+func AppendVector16(b, data []byte) []byte {
+	if len(data) > 0xffff {
+		panic(fmt.Sprintf("wire: vector16 too long: %d", len(data)))
+	}
+	b = AppendUint16(b, uint16(len(data)))
+	return append(b, data...)
+}
+
+// AppendVector24 appends data with a 3-byte length prefix.
+func AppendVector24(b, data []byte) []byte {
+	if len(data) > 0xffffff {
+		panic(fmt.Sprintf("wire: vector24 too long: %d", len(data)))
+	}
+	b = AppendUint24(b, uint32(len(data)))
+	return append(b, data...)
+}
+
+// Uint16 reads a big-endian uint16 from the start of b.
+// The caller must guarantee len(b) >= 2.
+func Uint16(b []byte) uint16 { return binary.BigEndian.Uint16(b) }
+
+// Uint24 reads a big-endian 24-bit value from the start of b.
+// The caller must guarantee len(b) >= 3.
+func Uint24(b []byte) uint32 {
+	return uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2])
+}
+
+// Uint32 reads a big-endian uint32 from the start of b.
+func Uint32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
+
+// Uint64 reads a big-endian uint64 from the start of b.
+func Uint64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+// PutUint32 writes v at the start of b in network byte order.
+func PutUint32(b []byte, v uint32) { binary.BigEndian.PutUint32(b, v) }
+
+// PutUint64 writes v at the start of b in network byte order.
+func PutUint64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+
+// Reader is a bounds-checked cursor over a byte slice. All methods return
+// ErrTruncated instead of panicking when the input is short, so a parser
+// can check a single error after a run of reads.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.b) - r.off }
+
+// Offset returns the number of bytes consumed so far.
+func (r *Reader) Offset() int { return r.off }
+
+// Empty reports whether the reader has consumed all input without error.
+func (r *Reader) Empty() bool { return r.err == nil && r.off == len(r.b) }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+// Uint8 reads one byte.
+func (r *Reader) Uint8() uint8 {
+	if r.err != nil || r.Len() < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// Uint16 reads a big-endian uint16.
+func (r *Reader) Uint16() uint16 {
+	if r.err != nil || r.Len() < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+// Uint24 reads a big-endian 24-bit length.
+func (r *Reader) Uint24() uint32 {
+	if r.err != nil || r.Len() < 3 {
+		r.fail()
+		return 0
+	}
+	v := Uint24(r.b[r.off:])
+	r.off += 3
+	return v
+}
+
+// Uint32 reads a big-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil || r.Len() < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uint64 reads a big-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil || r.Len() < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// Bytes reads exactly n bytes and returns a subslice of the input
+// (no copy). Returns nil after an error.
+func (r *Reader) Bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.Len() < n {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}
+
+// Rest consumes and returns all remaining bytes.
+func (r *Reader) Rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	v := r.b[r.off:]
+	r.off = len(r.b)
+	return v
+}
+
+// Vector8 reads a 1-byte length prefix followed by that many bytes.
+func (r *Reader) Vector8() []byte { return r.Bytes(int(r.Uint8())) }
+
+// Vector16 reads a 2-byte length prefix followed by that many bytes.
+func (r *Reader) Vector16() []byte { return r.Bytes(int(r.Uint16())) }
+
+// Vector24 reads a 3-byte length prefix followed by that many bytes.
+func (r *Reader) Vector24() []byte { return r.Bytes(int(r.Uint24())) }
+
+// Skip discards n bytes.
+func (r *Reader) Skip(n int) {
+	if r.err != nil || n < 0 || r.Len() < n {
+		r.fail()
+		return
+	}
+	r.off += n
+}

@@ -1,0 +1,186 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendIntegers(t *testing.T) {
+	b := AppendUint8(nil, 0xab)
+	b = AppendUint16(b, 0x0102)
+	b = AppendUint24(b, 0x030405)
+	b = AppendUint32(b, 0x06070809)
+	b = AppendUint64(b, 0x0a0b0c0d0e0f1011)
+	want := []byte{
+		0xab,
+		0x01, 0x02,
+		0x03, 0x04, 0x05,
+		0x06, 0x07, 0x08, 0x09,
+		0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f, 0x10, 0x11,
+	}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("append mismatch: got % x want % x", b, want)
+	}
+}
+
+func TestReaderRoundTrip(t *testing.T) {
+	b := AppendUint8(nil, 7)
+	b = AppendUint16(b, 0xbeef)
+	b = AppendUint24(b, 0x123456)
+	b = AppendUint32(b, 0xdeadbeef)
+	b = AppendUint64(b, 1<<60)
+	b = AppendVector8(b, []byte("abc"))
+	b = AppendVector16(b, []byte("defg"))
+	b = AppendVector24(b, []byte("hij"))
+
+	r := NewReader(b)
+	if got := r.Uint8(); got != 7 {
+		t.Errorf("Uint8 = %d", got)
+	}
+	if got := r.Uint16(); got != 0xbeef {
+		t.Errorf("Uint16 = %x", got)
+	}
+	if got := r.Uint24(); got != 0x123456 {
+		t.Errorf("Uint24 = %x", got)
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %x", got)
+	}
+	if got := r.Uint64(); got != 1<<60 {
+		t.Errorf("Uint64 = %x", got)
+	}
+	if got := r.Vector8(); string(got) != "abc" {
+		t.Errorf("Vector8 = %q", got)
+	}
+	if got := r.Vector16(); string(got) != "defg" {
+		t.Errorf("Vector16 = %q", got)
+	}
+	if got := r.Vector24(); string(got) != "hij" {
+		t.Errorf("Vector24 = %q", got)
+	}
+	if !r.Empty() {
+		t.Errorf("reader not empty: %d left, err=%v", r.Len(), r.Err())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Reader)
+		in   []byte
+	}{
+		{"uint16", func(r *Reader) { r.Uint16() }, []byte{1}},
+		{"uint24", func(r *Reader) { r.Uint24() }, []byte{1, 2}},
+		{"uint32", func(r *Reader) { r.Uint32() }, []byte{1, 2, 3}},
+		{"uint64", func(r *Reader) { r.Uint64() }, []byte{1, 2, 3, 4, 5, 6, 7}},
+		{"vector8", func(r *Reader) { r.Vector8() }, []byte{5, 1, 2}},
+		{"vector16", func(r *Reader) { r.Vector16() }, []byte{0, 9, 1}},
+		{"vector24", func(r *Reader) { r.Vector24() }, []byte{0, 0, 4, 1}},
+		{"bytes", func(r *Reader) { r.Bytes(3) }, []byte{1, 2}},
+		{"skip", func(r *Reader) { r.Skip(10) }, []byte{1}},
+		{"empty-uint8", func(r *Reader) { r.Uint8() }, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(tc.in)
+			tc.f(r)
+			if r.Err() != ErrTruncated {
+				t.Fatalf("err = %v, want ErrTruncated", r.Err())
+			}
+		})
+	}
+}
+
+func TestReaderErrorSticks(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.Uint32() // fails
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// Further reads must return zero values without panicking.
+	if v := r.Uint8(); v != 0 {
+		t.Errorf("Uint8 after error = %d, want 0", v)
+	}
+	if v := r.Bytes(1); v != nil {
+		t.Errorf("Bytes after error = %v, want nil", v)
+	}
+	if v := r.Rest(); v != nil {
+		t.Errorf("Rest after error = %v, want nil", v)
+	}
+}
+
+func TestBytesNoCopyAliasing(t *testing.T) {
+	in := []byte{1, 2, 3, 4}
+	r := NewReader(in)
+	got := r.Bytes(2)
+	in[0] = 9
+	if got[0] != 9 {
+		t.Error("Bytes should alias the input without copying")
+	}
+	// The returned slice must have capped capacity so appends don't clobber.
+	got = append(got, 0xff)
+	if in[2] == 0xff {
+		t.Error("append to returned slice clobbered reader input")
+	}
+}
+
+func TestRestAndOffset(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	r.Uint8()
+	if r.Offset() != 1 {
+		t.Fatalf("Offset = %d", r.Offset())
+	}
+	rest := r.Rest()
+	if !bytes.Equal(rest, []byte{2, 3}) {
+		t.Fatalf("Rest = %v", rest)
+	}
+	if !r.Empty() {
+		t.Fatal("reader should be empty after Rest")
+	}
+}
+
+func TestQuickUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := AppendUint64(nil, v)
+		return NewReader(b).Uint64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVector16RoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 0xffff {
+			data = data[:0xffff]
+		}
+		b := AppendVector16(nil, data)
+		r := NewReader(b)
+		got := r.Vector16()
+		return r.Err() == nil && bytes.Equal(got, data) && r.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUint24Bound(t *testing.T) {
+	f := func(v uint32) bool {
+		v &= 0xffffff
+		b := AppendUint24(nil, v)
+		return NewReader(b).Uint24() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendVectorPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized vector8")
+		}
+	}()
+	AppendVector8(nil, make([]byte, 256))
+}

@@ -1,0 +1,259 @@
+package tcpls
+
+import (
+	"crypto/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"tcpls/internal/handshake"
+)
+
+// Listener accepts TCPLS sessions. Additional TCP connections that join
+// existing sessions (Fig. 3) are absorbed into their Session rather than
+// surfacing from Accept.
+type Listener struct {
+	ln     net.Listener
+	cfg    *Config
+	sealer *ticketSealer
+
+	mu       sync.Mutex
+	sessions map[SessID]*serverSession
+	acceptCh chan acceptResult
+	done     chan struct{}
+	closed   bool
+}
+
+type acceptResult struct {
+	sess *Session
+	err  error
+}
+
+// serverSession is the listener's per-session bookkeeping: the live
+// Session plus the outstanding cookie set. ready is closed once sess is
+// populated, so joins racing the initial handshake's tail can wait.
+type serverSession struct {
+	sess    *Session
+	cookies map[Cookie]bool
+	ready   chan struct{}
+}
+
+// Listen starts a TCPLS server on the given TCP address.
+func Listen(network, addr string, cfg *Config) (*Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewListener(ln, cfg), nil
+}
+
+// NewListener wraps an existing net.Listener.
+func NewListener(ln net.Listener, cfg *Config) *Listener {
+	l := &Listener{
+		ln:       ln,
+		cfg:      cfg.clone(),
+		sessions: make(map[SessID]*serverSession),
+		acceptCh: make(chan acceptResult, 16),
+		done:     make(chan struct{}),
+	}
+	if sealer, err := newTicketSealer(); err == nil {
+		l.sealer = sealer
+	}
+	go l.acceptLoop()
+	return l
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Accept blocks for the next new TCPLS session.
+func (l *Listener) Accept() (*Session, error) {
+	select {
+	case res := <-l.acceptCh:
+		return res.sess, res.err
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops the listener. Established sessions keep running.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	closed := l.closed
+	l.closed = true
+	l.mu.Unlock()
+	if closed {
+		return nil
+	}
+	close(l.done)
+	return l.ln.Close()
+}
+
+func (l *Listener) acceptLoop() {
+	for {
+		nc, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case l.acceptCh <- acceptResult{nil, err}:
+			case <-l.done:
+			}
+			return
+		}
+		go l.handleConn(nc)
+	}
+}
+
+// ValidateJoin implements handshake.JoinValidator: check and consume a
+// single-use cookie.
+func (l *Listener) ValidateJoin(id SessID, cookie Cookie) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ss, ok := l.sessions[id]
+	if !ok || !ss.cookies[cookie] {
+		return false
+	}
+	ss.cookies[cookie] = false
+	return true
+}
+
+// handleConn runs the server handshake on one TCP connection and either
+// creates a session or joins an existing one.
+func (l *Listener) handleConn(nc net.Conn) {
+	var advertise []netip.Addr
+	advertise = append(advertise, l.cfg.AdvertiseAddrs...)
+	hcfg := &handshake.Config{
+		Suites:         l.cfg.Suites,
+		Certificate:    l.cfg.Certificate,
+		TCPLSServer:    !l.cfg.DisableTCPLS,
+		AdvertiseAddrs: advertise,
+		NumCookies:     l.cfg.NumCookies,
+		Sessions:       l,
+		DecryptTicket: func(ticket []byte) ([]byte, bool) {
+			if l.sealer == nil {
+				return nil, false
+			}
+			return l.sealer.open(ticket)
+		},
+		OnSessionIssued: func(id SessID, cookies []Cookie) {
+			ss := &serverSession{cookies: make(map[Cookie]bool), ready: make(chan struct{})}
+			for _, c := range cookies {
+				ss.cookies[c] = true
+			}
+			l.mu.Lock()
+			l.sessions[id] = ss
+			l.mu.Unlock()
+		},
+	}
+	tr := handshake.NewTransport(nc)
+	res, err := handshake.Server(tr, hcfg)
+	if err != nil {
+		nc.Close()
+		return
+	}
+
+	if res.JoinAccepted {
+		l.mu.Lock()
+		ss, ok := l.sessions[res.SessID]
+		l.mu.Unlock()
+		if !ok {
+			nc.Close()
+			return
+		}
+		// The initial handshake may still be finishing on its own
+		// connection; wait for the session object.
+		select {
+		case <-ss.ready:
+		case <-time.After(10 * time.Second):
+			nc.Close()
+			return
+		}
+		ss.sess.adoptJoinedConn(res.JoinConnID, nc, tr.Leftover())
+		return
+	}
+
+	sess := newSession(false, l.cfg, res, nc, tr.Leftover())
+	if l.sealer != nil && !l.cfg.DisableTickets && !l.cfg.DisableTCPLS {
+		sess.sealTicket = l.sealer.seal
+		// Issue a resumption ticket over the fresh session (TLS 1.3
+		// servers send NewSessionTicket right after the handshake).
+		go sess.issueTicket(0)
+	}
+	if res.TCPLSEnabled {
+		l.mu.Lock()
+		ss := l.sessions[res.SessID]
+		if ss == nil {
+			ss = &serverSession{cookies: make(map[Cookie]bool), ready: make(chan struct{})}
+			l.sessions[res.SessID] = ss
+		}
+		ss.sess = sess
+		close(ss.ready)
+		l.mu.Unlock()
+		// Replenish trigger: when the session mints more cookies later
+		// (IssueCookies), the listener learns the new cookie set.
+		sess.onNewServerCookies = func(cookies []Cookie) {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			for _, c := range cookies {
+				ss.cookies[c] = true
+			}
+		}
+	}
+	select {
+	case l.acceptCh <- acceptResult{sess, nil}:
+	case <-l.done:
+		sess.Close()
+	}
+}
+
+// IssueCookies mints n fresh join cookies for a session, registers them
+// with the listener, and sends them to the client over the encrypted
+// channel (§3.3.2's replenishment).
+func (s *Session) IssueCookies(conn uint32, n int) error {
+	cookies := make([][16]byte, n)
+	plain := make([]Cookie, n)
+	for i := range cookies {
+		if _, err := rand.Read(cookies[i][:]); err != nil {
+			return err
+		}
+		plain[i] = Cookie(cookies[i])
+	}
+	s.mu.Lock()
+	cb := s.onNewServerCookies
+	err := s.engine.SendNewCookies(conn, cookies)
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if cb != nil {
+		cb(plain)
+	}
+	s.writeAll(out)
+	return nil
+}
+
+// adoptJoinedConn attaches a joined TCP connection to a live session.
+func (s *Session) adoptJoinedConn(connID uint32, nc net.Conn, leftover []byte) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	if err := s.engine.AddConnection(connID, time.Now()); err != nil {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.addConnLocked(connID, nc)
+	var pending []outChunk
+	if len(leftover) > 0 {
+		s.engine.Receive(connID, leftover, time.Now())
+		s.processEventsLocked()
+		pending = s.collectOutgoingLocked()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.writeAll(pending)
+}

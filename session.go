@@ -1,0 +1,548 @@
+package tcpls
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tcpls/internal/core"
+	"tcpls/internal/handshake"
+	"tcpls/internal/record"
+)
+
+// Session is one TCPLS session: one or more TCP connections carrying
+// multiplexed encrypted streams. All methods are safe for concurrent use.
+type Session struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast on readable data / events / close
+	engine *core.Session
+	cfg    *Config
+
+	isClient  bool
+	sessID    SessID
+	cookies   []Cookie
+	peerAddrs []net.Addr
+
+	conns      map[uint32]*pathConn
+	nextConnID uint32
+
+	streams  map[uint32]*Stream
+	acceptQ  []*Stream
+	tcpOpts  []TCPOption
+	bpfProgs [][]byte
+	echoCh   map[uint64]chan struct{}
+
+	closed             bool
+	closeErr           error
+	onNewServerCookies func([]Cookie)
+
+	// Resumption state (§4.5).
+	suite      *record.Suite
+	resumption []byte
+	ticket     *ClientTicket
+	sealTicket func(psk []byte) ([]byte, error)
+	wg         sync.WaitGroup
+	timerStop  chan struct{}
+
+	// onConnFailed, when set, is invoked (without the lock) after a
+	// connection is declared failed; the default handler performs
+	// automatic failover to another live connection if one exists.
+	onConnFailed func(connID uint32)
+}
+
+// TCPOption is an encrypted TCP option received from the peer (§3.1).
+type TCPOption struct {
+	Conn  uint32
+	Kind  uint8
+	Value []byte
+}
+
+// OptUserTimeout is the TCP User Timeout option kind (RFC 5482).
+const OptUserTimeout = core.OptUserTimeout
+
+// Session errors.
+var (
+	ErrSessionClosed = errors.New("tcpls: session closed")
+	ErrNoCookies     = errors.New("tcpls: no join cookies left")
+	ErrNotTCPLS      = errors.New("tcpls: peer did not negotiate TCPLS")
+)
+
+// pathConn binds a TCP connection to its engine connection ID. Each
+// connection has its own writer goroutine so multipath sessions push
+// bytes onto all paths concurrently — serializing socket writes would
+// cap aggregation at a single path's rate.
+type pathConn struct {
+	id      uint32
+	nc      net.Conn
+	writeCh chan []byte
+	failed  bool
+}
+
+func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, leftover []byte) *Session {
+	role := core.RoleServer
+	if isClient {
+		role = core.RoleClient
+	}
+	s := &Session{
+		engine:     core.NewSession(role, res.Secrets, cfg.coreConfig()),
+		cfg:        cfg,
+		isClient:   isClient,
+		sessID:     res.SessID,
+		cookies:    res.Cookies,
+		conns:      make(map[uint32]*pathConn),
+		streams:    make(map[uint32]*Stream),
+		echoCh:     make(map[uint64]chan struct{}),
+		nextConnID: 1,
+		timerStop:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.suite = res.Secrets.Suite
+	s.resumption = res.Secrets.Resumption
+	for _, a := range res.PeerAddrs {
+		s.peerAddrs = append(s.peerAddrs, &net.TCPAddr{IP: a.AsSlice()})
+	}
+	s.engine.AddConnection(0, time.Now())
+	var pending []outChunk
+	s.mu.Lock()
+	pc := s.addConnLocked(0, nc)
+	if len(leftover) > 0 {
+		s.engine.Receive(0, leftover, time.Now())
+		s.processEventsLocked()
+		pending = s.collectOutgoingLocked()
+	}
+	_ = pc
+	s.mu.Unlock()
+	s.writeAll(pending)
+	if cfg.UserTimeout > 0 {
+		s.wg.Add(1)
+		go s.timerLoop()
+	}
+	return s
+}
+
+// addConnLocked registers nc under id and starts its reader and writer.
+func (s *Session) addConnLocked(id uint32, nc net.Conn) *pathConn {
+	pc := &pathConn{id: id, nc: nc, writeCh: make(chan []byte, 8)}
+	s.conns[id] = pc
+	s.wg.Add(2)
+	go s.readLoop(pc)
+	go s.writeLoop(pc)
+	return pc
+}
+
+// writeLoop drains one connection's outgoing queue onto its socket.
+func (s *Session) writeLoop(pc *pathConn) {
+	defer s.wg.Done()
+	for {
+		select {
+		case data := <-pc.writeCh:
+			if pc.failed {
+				continue // drain and discard
+			}
+			_, err := pc.nc.Write(data)
+			s.mu.Lock()
+			s.engine.RecycleOutgoing(data)
+			s.mu.Unlock()
+			if err != nil {
+				s.mu.Lock()
+				pc.failed = true
+				s.engine.ReportConnFailed(pc.id)
+				s.processEventsLocked()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			}
+		case <-s.timerStop:
+			return
+		}
+	}
+}
+
+// ID returns the server-assigned TCPLS session identifier.
+func (s *Session) ID() SessID { return s.sessID }
+
+// Cookies returns the remaining join-cookie budget (client side).
+func (s *Session) Cookies() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cookies)
+}
+
+// PeerAddrs returns the addresses the server advertised for joining.
+func (s *Session) PeerAddrs() []net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]net.Addr(nil), s.peerAddrs...)
+}
+
+// Connections returns the engine IDs of live connections.
+func (s *Session) Connections() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Connections()
+}
+
+// readLoop pumps bytes from one TCP connection into the engine.
+func (s *Session) readLoop(pc *pathConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := pc.nc.Read(buf)
+		if n > 0 {
+			s.mu.Lock()
+			rerr := s.engine.Receive(pc.id, buf[:n], time.Now())
+			s.processEventsLocked()
+			out := s.collectOutgoingLocked()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			s.writeAll(out)
+			if rerr != nil {
+				s.failSession(rerr)
+				return
+			}
+		}
+		if err != nil {
+			// TCP-level failure or close: report to the engine. An
+			// orderly session close swallows this.
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			pc.failed = true
+			s.engine.ReportConnFailed(pc.id)
+			s.processEventsLocked()
+			out := s.collectOutgoingLocked()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			s.writeAll(out)
+			return
+		}
+	}
+}
+
+// timerLoop drives UserTimeout-based failure detection.
+func (s *Session) timerLoop() {
+	defer s.wg.Done()
+	period := s.cfg.UserTimeout / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.timerStop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.engine.Advance(time.Now())
+			s.processEventsLocked()
+			out := s.collectOutgoingLocked()
+			s.mu.Unlock()
+			s.writeAll(out)
+		}
+	}
+}
+
+// outChunk is bytes destined for one connection.
+type outChunk struct {
+	pc   *pathConn
+	data []byte
+}
+
+// collectOutgoingLocked flushes the engine and gathers all pending bytes.
+func (s *Session) collectOutgoingLocked() []outChunk {
+	if err := s.engine.Flush(); err != nil && err != core.ErrNotCoupled {
+		s.closeErr = err
+	}
+	var out []outChunk
+	for id, pc := range s.conns {
+		if pc.failed {
+			// Drain and drop: the engine may still frame onto a conn it
+			// does not know has failed yet.
+			s.engine.Outgoing(id)
+			continue
+		}
+		data, err := s.engine.Outgoing(id)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		out = append(out, outChunk{pc, data})
+	}
+	return out
+}
+
+// writeAll hands chunks to the per-connection writer goroutines outside
+// the session lock. Order per connection is preserved (one queue per
+// connection); distinct connections transmit concurrently. A full queue
+// blocks the caller — that is the send-side backpressure that paces
+// application writes to the aggregate network rate.
+func (s *Session) writeAll(chunks []outChunk) {
+	for _, ch := range chunks {
+		select {
+		case ch.pc.writeCh <- ch.data:
+		case <-s.timerStop:
+			return
+		}
+	}
+}
+
+// flushAndWrite is the common send path for API calls.
+func (s *Session) flushAndWrite() {
+	s.mu.Lock()
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	s.writeAll(out)
+}
+
+// processEventsLocked turns engine events into API state.
+func (s *Session) processEventsLocked() {
+	var failovers []uint32
+	for _, ev := range s.engine.Events() {
+		switch ev.Kind {
+		case core.EventStreamOpen:
+			st := &Stream{sess: s, id: ev.Stream}
+			s.streams[ev.Stream] = st
+			s.acceptQ = append(s.acceptQ, st)
+		case core.EventStreamData, core.EventCoupledData, core.EventStreamFin:
+			// Readable state changed; cond broadcast happens at the
+			// call sites.
+		case core.EventConnFailed:
+			failovers = append(failovers, ev.Conn)
+		case core.EventNewCookies:
+			for _, c := range ev.Cookies {
+				s.cookies = append(s.cookies, Cookie(c))
+			}
+		case core.EventTCPOption:
+			s.tcpOpts = append(s.tcpOpts, TCPOption{Conn: ev.Conn, Kind: ev.OptKind, Value: ev.OptVal})
+		case core.EventBPFCC:
+			s.bpfProgs = append(s.bpfProgs, ev.Data)
+		case core.EventEchoReply:
+			if ch, ok := s.echoCh[ev.Token]; ok {
+				close(ch)
+				delete(s.echoCh, ev.Token)
+			}
+		case core.EventSessionTicket:
+			if len(s.resumption) > 0 {
+				s.ticket = &ClientTicket{
+					ServerName: s.cfg.ServerName,
+					Ticket:     ev.Data,
+					PSK:        derivePSK(s.suite, s.resumption, ev.Nonce),
+				}
+			}
+		case core.EventAddAddr:
+			s.peerAddrs = append(s.peerAddrs, &net.TCPAddr{IP: ev.Addr})
+		case core.EventConnClosed, core.EventRemoveAddr, core.EventFailoverDone:
+			// informational
+		}
+	}
+	for _, id := range failovers {
+		if pc, ok := s.conns[id]; ok {
+			pc.failed = true
+		}
+		s.autoFailoverLocked(id)
+	}
+}
+
+// autoFailoverLocked resynchronizes streams of a failed connection onto
+// another live connection (§4.2's default behaviour). When no live
+// connection exists the streams stay parked until JoinPath adds one and
+// the application calls Failover explicitly.
+func (s *Session) autoFailoverLocked(failedID uint32) {
+	if !s.cfg.EnableFailover {
+		return
+	}
+	live := s.engine.Connections()
+	if len(live) == 0 {
+		return
+	}
+	target := live[0]
+	for _, id := range live {
+		if id < target {
+			target = id
+		}
+	}
+	if err := s.engine.FailoverTo(failedID, target); err == nil {
+		if pc, ok := s.conns[failedID]; ok {
+			pc.nc.Close()
+		}
+	}
+}
+
+// Failover explicitly moves the streams of failedConn onto targetConn.
+func (s *Session) Failover(failedConn, targetConn uint32) error {
+	s.mu.Lock()
+	err := s.engine.FailoverTo(failedConn, targetConn)
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.writeAll(out)
+	return nil
+}
+
+// SendTCPOption ships an encrypted TCP option to the peer.
+func (s *Session) SendTCPOption(conn uint32, kind uint8, value []byte) error {
+	s.mu.Lock()
+	err := s.engine.SendTCPOption(conn, kind, value)
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.writeAll(out)
+	return nil
+}
+
+// TCPOptions drains received encrypted TCP options.
+func (s *Session) TCPOptions() []TCPOption {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	opts := s.tcpOpts
+	s.tcpOpts = nil
+	return opts
+}
+
+// SendBPFCC ships an eBPF congestion-controller program to the peer
+// (§4.4). The receiver retrieves it with ReceiveBPFCC.
+func (s *Session) SendBPFCC(conn uint32, program []byte) error {
+	s.mu.Lock()
+	err := s.engine.SendBPFCC(conn, program)
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.writeAll(out)
+	return nil
+}
+
+// ReceiveBPFCC blocks until a complete eBPF program arrives.
+func (s *Session) ReceiveBPFCC(ctx context.Context) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.bpfProgs) == 0 && !s.closed {
+		if err := s.waitLocked(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.bpfProgs) == 0 {
+		return nil, ErrSessionClosed
+	}
+	prog := s.bpfProgs[0]
+	s.bpfProgs = s.bpfProgs[1:]
+	return prog, nil
+}
+
+// Ping measures the round-trip time of one connection using an encrypted
+// echo record (§3.3.3's active probing).
+func (s *Session) Ping(conn uint32, timeout time.Duration) (time.Duration, error) {
+	token := uint64(time.Now().UnixNano())
+	ch := make(chan struct{})
+	s.mu.Lock()
+	s.echoCh[token] = ch
+	err := s.engine.SendEcho(conn, token)
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	s.writeAll(out)
+	start := time.Now()
+	select {
+	case <-ch:
+		return time.Since(start), nil
+	case <-time.After(timeout):
+		s.mu.Lock()
+		delete(s.echoCh, token)
+		s.mu.Unlock()
+		return 0, fmt.Errorf("tcpls: ping on conn %d timed out", conn)
+	}
+}
+
+// waitLocked blocks on the session condition variable, honouring ctx.
+// The caller holds s.mu.
+func (s *Session) waitLocked(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.cond.Broadcast()
+		case <-done:
+		}
+	}()
+	s.cond.Wait()
+	close(done)
+	return ctx.Err()
+}
+
+// failSession tears the session down with an error.
+func (s *Session) failSession(err error) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.closeErr = err
+		close(s.timerStop)
+		for _, pc := range s.conns {
+			pc.nc.Close()
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Close shuts the session down: remaining output (including the close
+// notification) is flushed, the per-connection writers drain, and the
+// TCP connections close.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for id := range s.conns {
+		s.engine.CloseConnection(id)
+	}
+	out := s.collectOutgoingLocked()
+	conns := make([]*pathConn, 0, len(s.conns))
+	for _, pc := range s.conns {
+		conns = append(conns, pc)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.writeAll(out)
+	// Drain the writer queues so queued records reach the kernel before
+	// the sockets close (bounded: a dead peer cannot stall Close
+	// forever).
+	deadline := time.Now().Add(10 * time.Second)
+	for _, pc := range conns {
+		for len(pc.writeCh) > 0 && time.Now().Before(deadline) && !pc.failed {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(s.timerStop)
+	for _, pc := range conns {
+		pc.nc.Close()
+	}
+	return nil
+}
+
+// Stats returns engine counters.
+func (s *Session) Stats() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Stats()
+}

@@ -1,0 +1,194 @@
+package tcpls
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+// Stream is one multiplexed TCPLS byte stream. Reads and writes are safe
+// for concurrent use; a stream implements io.ReadWriteCloser.
+type Stream struct {
+	sess *Session
+	id   uint32
+}
+
+// ID returns the stream's TCPLS stream identifier.
+func (st *Stream) ID() uint32 { return st.id }
+
+// Conn returns the engine ID of the TCP connection the stream is
+// attached to.
+func (st *Stream) Conn() (uint32, error) {
+	st.sess.mu.Lock()
+	defer st.sess.mu.Unlock()
+	return st.sess.engine.StreamConn(st.id)
+}
+
+// Write queues p on the stream and transmits it. It blocks only on TCP
+// backpressure, never on the peer's application.
+func (st *Stream) Write(p []byte) (int, error) {
+	s := st.sess
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrSessionClosed
+	}
+	n, err := s.engine.Write(st.id, p)
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	s.writeAll(out)
+	return n, nil
+}
+
+// Read blocks until stream data is available, the peer finishes the
+// stream (io.EOF after the data drains), or the session closes.
+func (st *Stream) Read(p []byte) (int, error) {
+	s := st.sess
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if n := s.engine.Readable(st.id); n > 0 {
+			return s.engine.Read(st.id, p)
+		}
+		if s.engine.PeerFinished(st.id) {
+			return 0, io.EOF
+		}
+		if s.closed {
+			if s.closeErr != nil {
+				return 0, s.closeErr
+			}
+			return 0, ErrSessionClosed
+		}
+		s.cond.Wait()
+	}
+}
+
+// Close finishes the local send side of the stream (the peer sees EOF
+// after draining). The receive side keeps working.
+func (st *Stream) Close() error {
+	s := st.sess
+	s.mu.Lock()
+	err := s.engine.FinishStream(st.id)
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.writeAll(out)
+	return nil
+}
+
+// OpenStream opens a stream on the initial connection.
+func (s *Session) OpenStream() (*Stream, error) { return s.OpenStreamOn(0) }
+
+// OpenStreamOn opens a stream attached to a specific connection —
+// stream steering at creation time (§3.3.3).
+func (s *Session) OpenStreamOn(conn uint32) (*Stream, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	id, err := s.engine.CreateStream(conn)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	st := &Stream{sess: s, id: id}
+	s.streams[id] = st
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	s.writeAll(out)
+	return st, nil
+}
+
+// AcceptStream blocks until the peer opens a stream.
+func (s *Session) AcceptStream(ctx context.Context) (*Stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.acceptQ) == 0 {
+		if s.closed {
+			return nil, ErrSessionClosed
+		}
+		if err := s.waitLocked(ctx); err != nil {
+			return nil, err
+		}
+	}
+	st := s.acceptQ[0]
+	s.acceptQ = s.acceptQ[1:]
+	return st, nil
+}
+
+// Couple flags streams as members of the session's coupled group: their
+// records carry aggregation sequence numbers, WriteCoupled spreads data
+// across them (and so across their connections), and ReadCoupled
+// delivers the aggregate in order (§3.3.3).
+func (s *Session) Couple(streams ...*Stream) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range streams {
+		if err := s.engine.SetCoupled(st.id, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCoupled queues p on the coupled group, spreading records across
+// the coupled streams via the session's scheduler.
+func (s *Session) WriteCoupled(p []byte) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrSessionClosed
+	}
+	n, err := s.engine.WriteCoupled(p)
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	s.writeAll(out)
+	return n, nil
+}
+
+// ReadCoupled blocks until coupled-group data is deliverable in order.
+func (s *Session) ReadCoupled(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.engine.CoupledReadable() > 0 {
+			return s.engine.ReadCoupled(p), nil
+		}
+		if s.closed {
+			if s.closeErr != nil {
+				return 0, s.closeErr
+			}
+			return 0, ErrSessionClosed
+		}
+		s.cond.Wait()
+	}
+}
+
+// CoupledInUse reports whether the peer (or this side) has coupled
+// streams active on the session — receivers switch to ReadCoupled.
+func (s *Session) CoupledInUse() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.CoupledActive() || s.engine.CoupledReadable() > 0
+}
+
+// SetScheduler installs an application-defined coupled-stream record
+// scheduler (§3.3.3): called once per record with the coupled stream IDs,
+// it returns the index of the stream to carry that record.
+func (s *Session) SetScheduler(sched func(recordIdx uint64, streams []uint32) int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine.SetScheduler(sched)
+}
+
+// errReadClosed mirrors net.ErrClosed semantics for finished streams.
+var errReadClosed = errors.New("tcpls: stream closed")

@@ -1,0 +1,113 @@
+package tcpls
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+
+	"tcpls/internal/hkdf"
+	"tcpls/internal/record"
+)
+
+// ClientTicket is a stored resumption credential (paper §4.5): the
+// server's opaque ticket plus the PSK both sides derived from the
+// session's resumption secret. Present it via Config.Ticket to resume
+// with an abbreviated handshake (no certificate exchange); combined with
+// kernel TCP Fast Open this is the paper's low-latency establishment.
+type ClientTicket struct {
+	ServerName string
+	Ticket     []byte
+	PSK        []byte
+}
+
+// pskLen is the resumption PSK size.
+const pskLen = 32
+
+// derivePSK computes the resumption PSK from the session's resumption
+// master secret and the ticket nonce (RFC 8446 §4.6.1's derivation).
+func derivePSK(suite *record.Suite, resumptionSecret []byte, nonce [16]byte) []byte {
+	return hkdf.ExpandLabel(suite.NewHash, resumptionSecret, "resumption", nonce[:], pskLen)
+}
+
+// ticketSealer encrypts PSKs into opaque tickets under a server-held
+// key, so the server recovers the PSK statelessly at resumption time.
+type ticketSealer struct {
+	aead cipher.AEAD
+}
+
+func newTicketSealer() (*ticketSealer, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &ticketSealer{aead: aead}, nil
+}
+
+// seal produces an opaque ticket carrying psk.
+func (t *ticketSealer) seal(psk []byte) ([]byte, error) {
+	nonce := make([]byte, t.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return t.aead.Seal(nonce, nonce, psk, nil), nil
+}
+
+// open recovers the PSK from a ticket.
+func (t *ticketSealer) open(ticket []byte) ([]byte, bool) {
+	n := t.aead.NonceSize()
+	if len(ticket) < n {
+		return nil, false
+	}
+	psk, err := t.aead.Open(nil, ticket[:n], ticket[n:], nil)
+	if err != nil || len(psk) != pskLen {
+		return nil, false
+	}
+	return psk, true
+}
+
+// errNoTicket is returned when resumption state is unavailable.
+var errNoTicket = errors.New("tcpls: no resumption ticket available yet")
+
+// ResumptionTicket returns the most recent resumption credential the
+// server issued on this session, or nil if none has arrived yet. Store
+// it and pass it as Config.Ticket on a later Dial to the same server.
+func (s *Session) ResumptionTicket() *ClientTicket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticket
+}
+
+// issueTicket mints and sends a resumption ticket (server side); the
+// listener's sealer makes the ticket opaque and stateless.
+func (s *Session) issueTicket(conn uint32) error {
+	if s.sealTicket == nil || len(s.resumption) == 0 {
+		return errNoTicket
+	}
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return err
+	}
+	psk := derivePSK(s.suite, s.resumption, nonce)
+	ticket, err := s.sealTicket(psk)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	err = s.engine.SendSessionTicket(conn, nonce, ticket)
+	out := s.collectOutgoingLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.writeAll(out)
+	return nil
+}

@@ -1,0 +1,194 @@
+package tcpls
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitTicket polls for the server-issued resumption ticket.
+func waitTicket(t *testing.T, sess *Session) *ClientTicket {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if tk := sess.ResumptionTicket(); tk != nil {
+			return tk
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no resumption ticket arrived")
+	return nil
+}
+
+func TestSessionResumption(t *testing.T) {
+	ln := startServer(t, &Config{}, echoHandler)
+
+	// First session: full handshake, collect the ticket.
+	sess1, err := Dial("tcp", ln.Addr().String(), &Config{ServerName: "test.server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket := waitTicket(t, sess1)
+	if len(ticket.Ticket) == 0 || len(ticket.PSK) != pskLen {
+		t.Fatalf("malformed ticket: %d ticket bytes, %d psk bytes", len(ticket.Ticket), len(ticket.PSK))
+	}
+	sess1.Close()
+
+	// Second session: abbreviated handshake via the ticket. The server
+	// skips Certificate/CertificateVerify; the session must still carry
+	// data and keep all TCPLS services.
+	sess2, err := Dial("tcp", ln.Addr().String(), &Config{
+		ServerName: "test.server",
+		Ticket:     ticket,
+	})
+	if err != nil {
+		t.Fatalf("resumed dial: %v", err)
+	}
+	defer sess2.Close()
+
+	st, err := sess2.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("resumed session data")
+	st.Write(msg)
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(st, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("echo over resumed session corrupted")
+	}
+	// Multipath still works after resumption.
+	if _, err := sess2.JoinPath("tcp", ln.Addr().String()); err != nil {
+		t.Fatalf("join on resumed session: %v", err)
+	}
+}
+
+func TestResumptionWithBogusTicketFallsBack(t *testing.T) {
+	ln := startServer(t, &Config{}, echoHandler)
+	// A garbage ticket must not break the connection: the server
+	// declines it and the handshake completes as a full handshake.
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{
+		ServerName: "test.server",
+		Ticket: &ClientTicket{
+			Ticket: bytes.Repeat([]byte{0x5a}, 60),
+			PSK:    bytes.Repeat([]byte{1}, pskLen),
+		},
+	})
+	if err != nil {
+		t.Fatalf("dial with bogus ticket: %v", err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write([]byte("ok"))
+	got := make([]byte, 2)
+	if _, err := io.ReadFull(st, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTicketsDisabledByConfig(t *testing.T) {
+	ln := startServer(t, &Config{DisableTickets: true}, echoHandler)
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{ServerName: "test.server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	// Exercise the session, then confirm no ticket ever shows up.
+	st, _ := sess.OpenStream()
+	st.Write([]byte("x"))
+	io.ReadFull(st, make([]byte, 1))
+	time.Sleep(100 * time.Millisecond)
+	if sess.ResumptionTicket() != nil {
+		t.Fatal("ticket issued despite DisableTickets")
+	}
+}
+
+func TestTicketSealerRoundTrip(t *testing.T) {
+	sealer, err := newTicketSealer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	psk := bytes.Repeat([]byte{7}, pskLen)
+	ticket, err := sealer.seal(psk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := sealer.open(ticket)
+	if !ok || !bytes.Equal(got, psk) {
+		t.Fatal("sealer round trip failed")
+	}
+	// Tampering is rejected.
+	ticket[len(ticket)-1] ^= 1
+	if _, ok := sealer.open(ticket); ok {
+		t.Fatal("tampered ticket accepted")
+	}
+	// A different sealer (different key) cannot open it.
+	other, _ := newTicketSealer()
+	ticket[len(ticket)-1] ^= 1
+	if _, ok := other.open(ticket); ok {
+		t.Fatal("foreign sealer opened the ticket")
+	}
+	if _, ok := sealer.open([]byte{1, 2}); ok {
+		t.Fatal("short ticket accepted")
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	ln := startServer(t, &Config{}, echoHandler)
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{ServerName: "test.server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	var buf syncBuffer
+	sess.TraceJSON(&buf)
+	st, _ := sess.OpenStream()
+	st.Write([]byte("traced"))
+	io.ReadFull(st, make([]byte, 6))
+	sess.TraceJSON(nil)
+
+	out := buf.String()
+	if !strings.Contains(out, `"name":"record_received"`) {
+		t.Fatalf("trace missing record events: %q", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var ev struct {
+			TimeUs int64  `json:"time_us"`
+			Name   string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("invalid trace line %q: %v", line, err)
+		}
+		if ev.Name == "" {
+			t.Fatalf("unnamed event: %q", line)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for trace output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,43 @@
+package tcpls
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"tcpls/internal/core"
+)
+
+// TraceEvent re-exports the engine's trace event.
+type TraceEvent = core.TraceEvent
+
+// TraceJSON streams the session's protocol events to w as JSON lines in
+// a qlog-flavoured schema — the paper artifact ships QLOG/QVIS support
+// for exactly this kind of offline analysis. Call before traffic flows;
+// pass nil to stop tracing.
+//
+// Each line:
+//
+//	{"time_us":..., "name":"record_sent", "conn":0, "stream":2, "seq":41, "bytes":16368}
+func (s *Session) TraceJSON(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w == nil {
+		s.engine.SetTracer(nil)
+		return
+	}
+	var wmu sync.Mutex
+	s.engine.SetTracer(func(ev TraceEvent) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		fmt.Fprintf(w, `{"time_us":%d,"name":%q,"conn":%d,"stream":%d,"seq":%d,"bytes":%d}`+"\n",
+			ev.Time.UnixMicro(), ev.Name, ev.Conn, ev.Stream, ev.Seq, ev.Bytes)
+	})
+}
+
+// Trace installs a raw trace callback (for programmatic consumers).
+func (s *Session) Trace(fn func(TraceEvent)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine.SetTracer(fn)
+}
