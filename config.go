@@ -2,12 +2,14 @@ package tcpls
 
 import (
 	"crypto/ed25519"
+	"fmt"
 	"net/netip"
 	"time"
 
 	"tcpls/internal/core"
 	"tcpls/internal/handshake"
 	"tcpls/internal/record"
+	"tcpls/internal/sched"
 )
 
 // Certificate is a server identity (Ed25519 key pair plus name).
@@ -66,6 +68,20 @@ type Config struct {
 	// record lengths leak nothing (bandwidth trade-off). Zero disables.
 	PadRecordsTo int
 
+	// Scheduler names the multipath record scheduler for coupled
+	// streams: "roundrobin" (the default), "lowrtt" (lowest fused
+	// SRTT), "rate" (delivery-rate-weighted — the bandwidth-aggregation
+	// workhorse), or "redundant" (every record on every path). An
+	// unknown name fails Dial/Client/Listen. Custom schedulers install
+	// at runtime via Session.SetPathScheduler. The rate and RTT signals
+	// sharpen considerably with EnableFailover, whose record-level
+	// acknowledgments feed the path-metrics engine.
+	Scheduler string
+	// PathMetricsInterval is the period of the kernel TCP_INFO refresh
+	// feeding the path-metrics engine on Linux (default 100ms). The
+	// refresher runs only while a path scheduler is active.
+	PathMetricsInterval time.Duration
+
 	// Suites restricts cipher suites (default AES-128-GCM-SHA256).
 	Suites []record.SuiteID
 
@@ -83,6 +99,18 @@ func (c *Config) clone() *Config {
 	}
 	out := *c
 	return &out
+}
+
+// validateScheduler rejects unknown Scheduler names before any
+// handshake work happens.
+func (c *Config) validateScheduler() error {
+	if c.Scheduler == "" {
+		return nil
+	}
+	if _, ok := sched.ByName(c.Scheduler); !ok {
+		return fmt.Errorf("tcpls: unknown scheduler %q", c.Scheduler)
+	}
+	return nil
 }
 
 func (c *Config) coreConfig() core.Config {

@@ -20,6 +20,11 @@ import (
 // as plain TLS, unless the failure was a protocol-level rejection (bad
 // certificate, bad Finished), which a retry cannot fix.
 func Dial(network, addr string, cfg *Config) (*Session, error) {
+	if cfg != nil {
+		if err := cfg.validateScheduler(); err != nil {
+			return nil, err
+		}
+	}
 	nc, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, err
@@ -56,6 +61,10 @@ func isWireFailure(err error) bool {
 // §4.6).
 func Client(nc net.Conn, cfg *Config) (*Session, error) {
 	cfg = cfg.clone()
+	if err := cfg.validateScheduler(); err != nil {
+		nc.Close()
+		return nil, err
+	}
 	hcfg := &handshake.Config{
 		Suites:      cfg.Suites,
 		ServerName:  cfg.ServerName,

@@ -1,15 +1,19 @@
 // Command aggregation demonstrates bandwidth aggregation over two
-// network paths (paper §3.3.3 / Fig. 11) on one machine: a download
-// starts on a single emulated 20 Mbps path, and five seconds in, the
-// client joins a second 20 Mbps path and couples a stream on it — the
-// remaining bytes arrive at close to the combined rate, reassembled in
-// order by the receiver's reordering heap.
+// asymmetric network paths (paper §3.3.3 / Fig. 11) on one machine: a
+// download starts on a single emulated 20 Mbps path, and five seconds
+// in, the client joins a second 5 Mbps path and couples a stream on it.
+// The server schedules records with the rate-weighted path scheduler
+// (Config{Scheduler: "rate"}): failover-mode acknowledgments feed
+// per-path delivery-rate estimates, so the fast path carries ~4x the
+// records and the aggregate approaches the 25 Mbps sum instead of
+// collapsing to twice the slow path's rate as round-robin would.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"tcpls"
@@ -18,32 +22,61 @@ import (
 
 const fileSize = 24 << 20
 
+// smallBufListener caps the kernel send buffer of accepted connections.
+// Left to autotune, the kernel absorbs megabytes per path before TCP
+// backpressure reaches the scheduler — the slow path then hoards a deep
+// backlog that drains at 5 Mbps after the fast path goes idle, and the
+// ACK-fed delivery-rate estimates lag far behind what was scheduled.
+type smallBufListener struct {
+	net.Listener
+}
+
+func (l smallBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetWriteBuffer(32 << 10)
+		}
+	}
+	return c, err
+}
+
 func main() {
 	cert, err := tcpls.NewCertificate("aggregation.example")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ln, err := tcpls.Listen("tcp", "127.0.0.1:0", &tcpls.Config{Certificate: cert})
+	rawLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
+	ln := tcpls.NewListener(smallBufListener{rawLn}, &tcpls.Config{
+		Certificate:      cert,
+		EnableFailover:   true, // record ACKs feed the path-metrics engine
+		Scheduler:        "rate",
+		AckPeriod:        2,    // frequent ACKs: fresh delivery-rate samples
+		MaxRecordPayload: 4096, // small records: fine-grained path choice
+	})
 	defer ln.Close()
 	go serve(ln)
 
-	mk := func() *netem.Relay {
-		r, err := netem.NewRelay(ln.Addr().String(),
-			netem.Profile{RateBps: 20_000_000, Delay: 10 * time.Millisecond},
-			netem.Profile{RateBps: 20_000_000, Delay: 10 * time.Millisecond})
+	mk := func(rateBps int64) *netem.Relay {
+		p := netem.Profile{RateBps: rateBps, Delay: 10 * time.Millisecond, QueueLen: 2}
+		r, err := netem.NewRelay(ln.Addr().String(), p, p)
 		if err != nil {
 			log.Fatal(err)
 		}
 		return r
 	}
-	path1, path2 := mk(), mk()
+	path1, path2 := mk(20_000_000), mk(5_000_000)
 	defer path1.Close()
 	defer path2.Close()
 
-	sess, err := tcpls.Dial("tcp", path1.Addr(), &tcpls.Config{ServerName: "aggregation.example"})
+	sess, err := tcpls.Dial("tcp", path1.Addr(), &tcpls.Config{
+		ServerName:     "aggregation.example",
+		EnableFailover: true, // send the record ACKs the server's scheduler learns from
+		AckPeriod:      2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +106,7 @@ func main() {
 				log.Fatal(err)
 			}
 			st2.Write([]byte("A")) // tell the server to couple this stream
-			fmt.Printf("t=%v: second path joined, aggregating\n", time.Since(start).Round(time.Millisecond))
+			fmt.Printf("t=%v: second (5 Mbps) path joined, rate scheduler aggregating\n", time.Since(start).Round(time.Millisecond))
 		}
 		n, err := sess.ReadCoupled(buf)
 		if err != nil {
@@ -86,7 +119,14 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("downloaded %d MiB in %v (%.1f Mbps average; single path tops out at ~20 Mbps)\n",
+	// Tell the server the download arrived before either side closes:
+	// with failover enabled a torn-down connection is survivable, so a
+	// server that closed with records still queued would leave the
+	// client waiting on a replay that never comes.
+	if done, err := sess.OpenStream(); err == nil {
+		done.Write([]byte("K"))
+	}
+	fmt.Printf("downloaded %d MiB in %v (%.1f Mbps average; paths alone give 20 and 5 Mbps)\n",
 		received>>20, elapsed.Round(time.Millisecond), float64(received)*8/elapsed.Seconds()/1e6)
 }
 
@@ -128,6 +168,11 @@ func serve(ln *tcpls.Listener) {
 					return
 				}
 				sent += n
+			}
+			// Wait for the client's completion signal (a byte on a third
+			// stream) before the deferred Close tears the paths down.
+			if done, err := sess.AcceptStream(context.Background()); err == nil {
+				done.Read(make([]byte, 1))
 			}
 		}()
 	}

@@ -47,7 +47,23 @@ func fillKernelInfo(nc net.Conn, info *ConnInfo) {
 			gotLen = l
 		}
 	})
-	if ctrlErr != nil || gotLen < offSndCwnd+4 {
+	if ctrlErr != nil {
+		return
+	}
+	parseTCPInfo(buf[:], gotLen, info)
+}
+
+// parseTCPInfo decodes the first gotLen valid bytes of a little-endian
+// struct tcp_info into info, mirroring the kernel's truncation
+// semantics: too short a buffer leaves info untouched (Kernel stays
+// false), and a mid-length buffer falls back from tcpi_total_retrans to
+// tcpi_retrans. Split from the getsockopt call so the offset arithmetic
+// is testable against hand-built buffers.
+func parseTCPInfo(buf []byte, gotLen uint32, info *ConnInfo) {
+	if int(gotLen) > len(buf) {
+		gotLen = uint32(len(buf))
+	}
+	if gotLen < offSndCwnd+4 {
 		return
 	}
 	// tcp_info is native-endian (little-endian on supported platforms).

@@ -1,0 +1,98 @@
+//go:build linux
+
+package tcpls
+
+import (
+	"testing"
+	"time"
+)
+
+// put32 writes v little-endian at off, the layout of struct tcp_info on
+// every Linux platform Go supports.
+func put32(buf []byte, off int, v uint32) {
+	buf[off] = byte(v)
+	buf[off+1] = byte(v >> 8)
+	buf[off+2] = byte(v >> 16)
+	buf[off+3] = byte(v >> 24)
+}
+
+func TestParseTCPInfoOffsets(t *testing.T) {
+	buf := make([]byte, tcpInfoLen)
+	put32(buf, offRTT, 25_000)   // 25ms in microseconds
+	put32(buf, offRTTVar, 5_000) // 5ms
+	put32(buf, offSndCwnd, 42)   // segments
+	put32(buf, offSndMSS, 1448)  // bytes
+	put32(buf, offPMTU, 1500)    // bytes
+	put32(buf, offRetrans, 3)    // current retransmit count
+	put32(buf, offTotalRe, 17)   // lifetime retransmits
+
+	var info ConnInfo
+	parseTCPInfo(buf, uint32(len(buf)), &info)
+	if !info.Kernel {
+		t.Fatal("full-length buffer not accepted")
+	}
+	if info.RTT != 25*time.Millisecond {
+		t.Errorf("RTT = %v, want 25ms", info.RTT)
+	}
+	if info.RTTVar != 5*time.Millisecond {
+		t.Errorf("RTTVar = %v, want 5ms", info.RTTVar)
+	}
+	if info.SndCwnd != 42 {
+		t.Errorf("SndCwnd = %d, want 42", info.SndCwnd)
+	}
+	if info.SndMSS != 1448 {
+		t.Errorf("SndMSS = %d, want 1448", info.SndMSS)
+	}
+	if info.PMTU != 1500 {
+		t.Errorf("PMTU = %d, want 1500", info.PMTU)
+	}
+	if info.Retrans != 17 {
+		t.Errorf("Retrans = %d, want tcpi_total_retrans (17)", info.Retrans)
+	}
+}
+
+func TestParseTCPInfoTruncatedKernelStruct(t *testing.T) {
+	// An old kernel returning fewer bytes than we need must leave the
+	// info untouched rather than decode garbage.
+	buf := make([]byte, tcpInfoLen)
+	put32(buf, offRTT, 99_999)
+	var info ConnInfo
+	parseTCPInfo(buf, offSndCwnd+3, &info) // one byte short of snd_cwnd
+	if info.Kernel || info.RTT != 0 {
+		t.Fatalf("truncated buffer parsed: %+v", info)
+	}
+}
+
+func TestParseTCPInfoMidLengthFallsBackToCurrentRetrans(t *testing.T) {
+	// A kernel struct that covers snd_cwnd but not total_retrans uses
+	// the running tcpi_retrans counter instead.
+	buf := make([]byte, tcpInfoLen)
+	put32(buf, offSndCwnd, 10)
+	put32(buf, offSndMSS, 1448)
+	put32(buf, offRetrans, 7)
+	put32(buf, offTotalRe, 1234) // beyond gotLen: must be ignored
+	var info ConnInfo
+	parseTCPInfo(buf, offSndCwnd+4, &info)
+	if !info.Kernel {
+		t.Fatal("mid-length buffer rejected")
+	}
+	if info.Retrans != 7 {
+		t.Errorf("Retrans = %d, want tcpi_retrans (7)", info.Retrans)
+	}
+	if info.SndCwnd != 10 {
+		t.Errorf("SndCwnd = %d", info.SndCwnd)
+	}
+}
+
+func TestParseTCPInfoGotLenClampedToBuffer(t *testing.T) {
+	// A kernel reporting more bytes than the caller's buffer must not
+	// read out of bounds (the syscall cannot return more than it was
+	// given, but the parser should not trust the length blindly).
+	buf := make([]byte, offSndCwnd+4)
+	put32(buf, offSndCwnd, 5)
+	var info ConnInfo
+	parseTCPInfo(buf, 4096, &info)
+	if !info.Kernel || info.SndCwnd != 5 {
+		t.Fatalf("clamped parse failed: %+v", info)
+	}
+}

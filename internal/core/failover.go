@@ -122,7 +122,8 @@ func (s *Session) FailoverTo(failedID, targetID uint32) error {
 		}
 		s.trace("sync_sent", targetID, st.id, resume, 0)
 		// Replay unacknowledged records in order.
-		for _, r := range st.retransmit {
+		for ri := range st.retransmit {
+			r := &st.retransmit[ri]
 			var trailer [9]byte
 			var tlen int
 			if r.typ == typeStreamDataCoupled {
@@ -141,6 +142,18 @@ func (s *Session) FailoverTo(failedID, targetID uint32) error {
 			s.stats.Retransmits++
 			s.stats.RecordsSent++
 			s.trace("retransmit", targetID, st.id, r.seq, len(r.payload))
+			// Path metrics: the bytes were lost on the failed path and
+			// are in flight again on the target; the replayed copy is
+			// barred from RTT sampling (Karn).
+			r.retx = true
+			if s.metrics != nil {
+				s.metrics.OnLost(failedID, len(r.payload))
+				s.metrics.OnSent(targetID, len(r.payload))
+			}
+			if s.pathSched != nil {
+				s.pathSched.OnLost(failedID, len(r.payload))
+				s.pathSched.OnSent(targetID, len(r.payload))
+			}
 		}
 		// Re-send a FIN marker if it may have been lost with the
 		// connection.

@@ -204,7 +204,10 @@ func (s *Session) handleControl(c *conn, streamID uint32, f *frame) error {
 }
 
 // handleAck advances the peer-acked watermark and trims the retransmit
-// buffer (Fig. 4's sender-side bookkeeping).
+// buffer (Fig. 4's sender-side bookkeeping). Trimmed records double as
+// the path-metrics signal: their bytes leave flight, and the newest
+// cleanly-acked record yields an RTT sample (retransmits are skipped —
+// Karn's algorithm — since their ack could belong to either copy).
 func (s *Session) handleAck(f *frame) error {
 	st, err := s.getStream(f.id)
 	if err != nil {
@@ -217,11 +220,26 @@ func (s *Session) handleAck(f *frame) error {
 		st.peerAcked = f.seq
 	}
 	i := 0
+	ackedBytes := 0
+	var rttSample time.Duration
 	for i < len(st.retransmit) && st.retransmit[i].seq < st.peerAcked {
+		r := &st.retransmit[i]
+		ackedBytes += len(r.payload)
+		if !r.retx && !r.sentAt.IsZero() {
+			if d := s.lastNow.Sub(r.sentAt); d > 0 {
+				rttSample = d
+			}
+		}
 		i++
 	}
 	if i > 0 {
 		st.retransmit = append(st.retransmit[:0], st.retransmit[i:]...)
+		if s.metrics != nil {
+			s.metrics.OnAcked(st.conn, ackedBytes, rttSample, s.lastNow)
+		}
+		if s.pathSched != nil {
+			s.pathSched.OnAcked(st.conn, ackedBytes, rttSample)
+		}
 	}
 	return nil
 }

@@ -2,14 +2,16 @@ package core
 
 import (
 	"tcpls/internal/record"
+	"tcpls/internal/sched"
 	"tcpls/internal/wire"
 )
 
-// Scheduler chooses which coupled stream carries the next record. The
-// engine calls it once per record with the coupled streams' IDs and the
-// running record index; it returns an index into streams. This is the
-// paper's application-exposed sender-side record scheduler (§3.3.3):
-// round-robin by default, replaceable by the application.
+// Scheduler is the legacy closure form of the coupled-record scheduler:
+// called once per record with the coupled streams' IDs and the running
+// record index, it returns an index into streams. This is the paper's
+// application-exposed sender-side record scheduler (§3.3.3). New code
+// should implement sched.Scheduler and install it with
+// SetPathScheduler; closures are adapted via sched.Func.
 type Scheduler func(recordIdx uint64, streams []uint32) int
 
 // RoundRobin is the default coupled-stream scheduler (§5.1 uses it).
@@ -17,14 +19,32 @@ func RoundRobin(recordIdx uint64, streams []uint32) int {
 	return int(recordIdx % uint64(len(streams)))
 }
 
-// SetScheduler replaces the coupled-stream scheduler.
-func (s *Session) SetScheduler(sched Scheduler) { s.sched = sched }
-
-func (s *Session) scheduler() Scheduler {
-	if s.sched != nil {
-		return s.sched
+// SetScheduler replaces the coupled-stream scheduler with a legacy
+// closure (adapted onto the stateful scheduler interface).
+//
+// Contract: the closure must return an index in [0, len(streams)). An
+// out-of-range index is NOT honoured — the engine emits a
+// sched_invalid trace event and falls back to the first coupled
+// stream, so a buggy scheduler degrades to pinned rather than
+// crashing. nil restores the default round-robin.
+func (s *Session) SetScheduler(fn Scheduler) {
+	if fn == nil {
+		s.pathSched = nil
+		return
 	}
-	return RoundRobin
+	s.pathSched = sched.Func(fn)
+}
+
+// SetPathScheduler installs a stateful path scheduler (§3.3.3). The
+// engine serializes all scheduler calls; one scheduler instance must
+// not be shared across sessions. nil restores the default round-robin.
+func (s *Session) SetPathScheduler(ps sched.Scheduler) { s.pathSched = ps }
+
+func (s *Session) scheduler() sched.Scheduler {
+	if s.pathSched == nil {
+		s.pathSched = sched.RoundRobin()
+	}
+	return s.pathSched
 }
 
 // Flush frames all queued application data into encrypted records on
@@ -87,7 +107,10 @@ func (s *Session) flushStream(st *stream) error {
 }
 
 // flushCoupled distributes the coupled group's pending bytes across the
-// coupled streams, one record at a time, via the scheduler.
+// coupled streams, one record at a time, via the path scheduler. The
+// scheduler sees one PathView per coupled stream, refreshed from the
+// metrics store once per flush (metrics move on ack/kernel timescales,
+// not per record).
 func (s *Session) flushCoupled() error {
 	if len(s.coupled.pendingData) == 0 {
 		return nil
@@ -96,25 +119,48 @@ func (s *Session) flushCoupled() error {
 	if len(cs) == 0 {
 		return ErrNotCoupled
 	}
-	ids := make([]uint32, len(cs))
+	views := make([]sched.PathView, len(cs))
 	for i, st := range cs {
-		ids[i] = st.id
+		views[i] = sched.PathView{Stream: st.id, Conn: st.conn}
+		if s.metrics != nil {
+			s.metrics.Fill(&views[i])
+		}
 	}
 	max := s.cfg.maxPayload()
-	sched := s.scheduler()
+	ps := s.scheduler()
 	for len(s.coupled.pendingData) > 0 {
 		n := len(s.coupled.pendingData)
 		if n > max {
 			n = max
 		}
 		chunk := s.coupled.pendingData[:n]
-		idx := sched(s.coupled.sendSeq, ids)
-		if idx < 0 || idx >= len(cs) {
-			idx = 0
-		}
-		st := cs[idx]
-		if err := s.sendStreamRecord(st, chunk, true); err != nil {
-			return err
+		idx := ps.Pick(s.coupled.sendSeq, views)
+		aggSeq := s.coupled.sendSeq
+		s.coupled.sendSeq++
+		if idx == sched.PickAll {
+			// Redundant scheduling: the same aggregation sequence goes
+			// out on every path; the receiver's reorder buffer keeps
+			// exactly one copy.
+			for _, st := range cs {
+				s.trace("sched_pick", st.conn, st.id, aggSeq, n)
+				if err := s.sealStreamRecord(st, chunk, true, aggSeq); err != nil {
+					return err
+				}
+			}
+		} else {
+			if idx < 0 || idx >= len(cs) {
+				// Out-of-range pick: surface it (Bytes carries the bad
+				// index) instead of clamping silently, then fall back
+				// to the first coupled stream per the SetScheduler
+				// contract.
+				s.trace("sched_invalid", 0, 0, aggSeq, idx)
+				idx = 0
+			}
+			st := cs[idx]
+			s.trace("sched_pick", st.conn, st.id, aggSeq, n)
+			if err := s.sealStreamRecord(st, chunk, true, aggSeq); err != nil {
+				return err
+			}
 		}
 		s.coupled.pendingData = s.coupled.pendingData[n:]
 	}
@@ -122,9 +168,20 @@ func (s *Session) flushCoupled() error {
 	return nil
 }
 
-// sendStreamRecord seals one stream data record onto the stream's
-// connection and, when failover is enabled, retains it for replay.
+// sendStreamRecord seals one stream data record, allocating the next
+// aggregation sequence when the record belongs to the coupled group.
 func (s *Session) sendStreamRecord(st *stream, payload []byte, coupled bool) error {
+	var aggSeq uint64
+	if coupled {
+		aggSeq = s.coupled.sendSeq
+		s.coupled.sendSeq++
+	}
+	return s.sealStreamRecord(st, payload, coupled, aggSeq)
+}
+
+// sealStreamRecord seals one stream data record onto the stream's
+// connection and, when failover is enabled, retains it for replay.
+func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, aggSeq uint64) error {
 	c, err := s.getConn(st.conn)
 	if err != nil {
 		return err
@@ -134,14 +191,11 @@ func (s *Session) sendStreamRecord(st *stream, payload []byte, coupled bool) err
 	}
 	// Scatter-gather seal: payload plus the TCPLS trailer go straight
 	// into the connection buffer — the zero-copy send path of §3.1.
-	var aggSeq uint64
 	typ := typeStreamData
 	var trailer [9]byte
 	var tlen int
 	if coupled {
 		typ = typeStreamDataCoupled
-		aggSeq = s.coupled.sendSeq
-		s.coupled.sendSeq++
 		wire.PutUint64(trailer[:8], aggSeq)
 		trailer[8] = byte(typeStreamDataCoupled)
 		tlen = 9
@@ -158,13 +212,23 @@ func (s *Session) sendStreamRecord(st *stream, payload []byte, coupled bool) err
 	s.stats.RecordsSent++
 	s.stats.BytesSent += uint64(len(payload))
 	s.trace("record_sent", c.id, st.id, seq, len(payload))
+	if s.pathSched != nil {
+		s.pathSched.OnSent(c.id, len(payload))
+	}
 	if s.cfg.EnableFailover {
-		st.retransmit = append(st.retransmit, sentRecord{
+		sr := sentRecord{
 			seq:     seq,
 			typ:     typ,
 			payload: append([]byte(nil), payload...),
 			aggSeq:  aggSeq,
-		})
+		}
+		if s.metrics != nil {
+			// Stamp for ACK-driven RTT sampling and count the bytes
+			// into flight; handleAck reverses both.
+			sr.sentAt = s.now()
+			s.metrics.OnSent(c.id, len(payload))
+		}
+		st.retransmit = append(st.retransmit, sr)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"tcpls/internal/handshake"
 	"tcpls/internal/record"
 	"tcpls/internal/reorder"
+	"tcpls/internal/sched"
 )
 
 // Role distinguishes the two endpoints of a session.
@@ -174,8 +175,15 @@ type Session struct {
 	// straight from the reordering path.
 	DeliverCoupled func(payload []byte)
 
-	sched   Scheduler
-	coupled coupledState
+	// pathSched picks the path for each coupled record; nil means the
+	// default round-robin. metrics, when installed, is the path-metrics
+	// store that builds the scheduler's PathView snapshots. clock
+	// timestamps sent records for ACK-driven RTT sampling (nil =
+	// time.Now; tests and simulations inject their own).
+	pathSched sched.Scheduler
+	metrics   *sched.Metrics
+	clock     func() time.Time
+	coupled   coupledState
 
 	// bpf reassembly state (one program in flight at a time, §4.4).
 	bpfChunks  [][]byte
@@ -242,6 +250,29 @@ func NewSession(role Role, secrets handshake.Secrets, cfg Config) *Session {
 
 // Stats returns a copy of the engine counters.
 func (s *Session) Stats() Stats { return s.stats }
+
+// SetMetrics installs the path-metrics store the engine feeds with
+// record-sent/acked/lost events and consults when building the
+// scheduler's PathView snapshots. The store itself is safe for
+// concurrent use, so an I/O wrapper may refresh it from kernel TCP_INFO
+// on another goroutine.
+func (s *Session) SetMetrics(m *sched.Metrics) { s.metrics = m }
+
+// Metrics returns the installed path-metrics store (nil if none).
+func (s *Session) Metrics() *sched.Metrics { return s.metrics }
+
+// SetClock overrides the timestamp source used to stamp sent records
+// for ACK-driven RTT sampling. nil restores time.Now. Simulations pass
+// their virtual clock so metrics stay deterministic.
+func (s *Session) SetClock(fn func() time.Time) { s.clock = fn }
+
+// now returns the current send-side timestamp.
+func (s *Session) now() time.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Now()
+}
 
 // Events drains and returns pending events.
 func (s *Session) Events() []Event {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"tcpls/internal/record"
 )
@@ -39,6 +40,11 @@ type sentRecord struct {
 	typ     recordType
 	payload []byte
 	aggSeq  uint64
+	// sentAt stamps the seal time for ACK-driven RTT sampling (zero
+	// when no metrics store is installed); retx marks failover replays
+	// so Karn's algorithm skips their RTT samples.
+	sentAt time.Time
+	retx   bool
 }
 
 // CreateStream opens a new locally-initiated stream attached to connID

@@ -10,7 +10,12 @@ type TraceEvent struct {
 	Time time.Time
 	Name string // record_sent, record_received, ack_sent, ack_received,
 	// dup_dropped, stream_attached, stream_fin, conn_failed,
-	// failover_started, sync_sent, sync_received, retransmit
+	// failover_started, sync_sent, sync_received, retransmit.
+	// Scheduling events: sched_pick (Conn/Stream carried the record,
+	// Seq = aggregation sequence, Bytes = payload), sched_invalid
+	// (scheduler returned an out-of-range index; Seq = aggregation
+	// sequence, Bytes = the bad index), path_metrics (Seq = fused SRTT
+	// in microseconds, Bytes = delivery rate in bytes/s).
 	Conn   uint32
 	Stream uint32
 	Seq    uint64
@@ -21,6 +26,21 @@ type TraceEvent struct {
 // on the engine's path: keep it cheap (append to a buffer, write a
 // line). nil disables tracing.
 func (s *Session) SetTracer(fn func(TraceEvent)) { s.tracer = fn }
+
+// NotePathMetrics emits a path_metrics trace event carrying connID's
+// fused view from the metrics store: Seq is the smoothed RTT in
+// microseconds, Bytes the delivery-rate estimate in bytes per second.
+// The I/O wrapper calls this on each kernel TCP_INFO refresh tick.
+func (s *Session) NotePathMetrics(connID uint32) {
+	if s.tracer == nil || s.metrics == nil {
+		return
+	}
+	ps, ok := s.metrics.Snapshot(connID)
+	if !ok {
+		return
+	}
+	s.trace("path_metrics", connID, 0, uint64(ps.SRTT/time.Microsecond), int(ps.DeliveryRate))
+}
 
 // trace emits one event when tracing is enabled.
 func (s *Session) trace(name string, conn, stream uint32, seq uint64, bytes int) {

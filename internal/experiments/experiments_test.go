@@ -13,6 +13,9 @@ import (
 func sec(n float64) time.Duration { return time.Duration(n * float64(time.Second)) }
 
 func TestFig7Shape(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("throughput ratios are meaningless under the race detector")
+	}
 	rows, err := Fig7(1500, 64<<20)
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +60,9 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig7JumboShape(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("throughput ratios are meaningless under the race detector")
+	}
 	rows, err := Fig7(9000, 64<<20)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled gates wall-clock throughput assertions: the race
+// detector slows the crypto and framing hot paths by an order of
+// magnitude and unevenly across substrates, so figure-shape ratios
+// measured under it are meaningless.
+const raceDetectorEnabled = true

@@ -69,6 +69,16 @@ func NewRelay(target string) (*Relay, error) {
 // Addr returns the relay's listening address (what clients dial).
 func (r *Relay) Addr() string { return r.ln.Addr().String() }
 
+// Tune mutates the mangling hooks race-free with respect to the accept
+// loop, which snapshots them when a connection arrives. NewRelay starts
+// accepting immediately, so setting the exported fields directly after
+// it returns is a data race — go through Tune instead.
+func (r *Relay) Tune(fn func(*Relay)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r)
+}
+
 // Close stops the relay.
 func (r *Relay) Close() error {
 	r.mu.Lock()
@@ -95,11 +105,15 @@ func (r *Relay) handle(client net.Conn) {
 	}
 	defer server.Close()
 
+	r.mu.Lock()
+	c2s, s2c, inspect, delay := r.MangleC2S, r.MangleS2C, r.Inspect, r.Delay
+	r.mu.Unlock()
+
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		r.pump(client, server, r.MangleC2S, true)
+		pump(client, server, c2s, inspect, delay)
 		// Half-close towards the server so EOF propagates.
 		if tc, ok := server.(*net.TCPConn); ok {
 			tc.CloseWrite()
@@ -107,7 +121,7 @@ func (r *Relay) handle(client net.Conn) {
 	}()
 	go func() {
 		defer wg.Done()
-		r.pump(server, client, r.MangleS2C, false)
+		pump(server, client, s2c, nil, delay)
 		if tc, ok := client.(*net.TCPConn); ok {
 			tc.CloseWrite()
 		}
@@ -115,22 +129,21 @@ func (r *Relay) handle(client net.Conn) {
 	wg.Wait()
 }
 
-func (r *Relay) pump(src, dst net.Conn, mangle func([]byte) ([][]byte, error), inspectFirst bool) {
+func pump(src, dst net.Conn, mangle func([]byte) ([][]byte, error), inspect func([]byte) error, delay time.Duration) {
 	buf := make([]byte, 32<<10)
-	first := inspectFirst
 	for {
 		n, err := src.Read(buf)
 		if n > 0 {
 			chunk := buf[:n]
-			if first && r.Inspect != nil {
-				if r.Inspect(chunk) != nil {
+			if inspect != nil {
+				if inspect(chunk) != nil {
 					// Simulate a firewall RST: abort both directions.
 					src.Close()
 					dst.Close()
 					return
 				}
 			}
-			first = false
+			inspect = nil // only the first chunk is inspected
 			chunks := [][]byte{chunk}
 			if mangle != nil {
 				var merr error
@@ -141,8 +154,8 @@ func (r *Relay) pump(src, dst net.Conn, mangle func([]byte) ([][]byte, error), i
 					return
 				}
 			}
-			if r.Delay > 0 {
-				time.Sleep(r.Delay)
+			if delay > 0 {
+				time.Sleep(delay)
 			}
 			for _, c := range chunks {
 				if _, err := dst.Write(c); err != nil {

@@ -91,8 +91,10 @@ func TestThroughResegmenter(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer relay.Close()
-	relay.MangleC2S = middlebox.Resegmenter(3, 17, 1000, 1)
-	relay.MangleS2C = middlebox.Resegmenter(5000, 2, 80)
+	relay.Tune(func(r *middlebox.Relay) {
+		r.MangleC2S = middlebox.Resegmenter(3, 17, 1000, 1)
+		r.MangleS2C = middlebox.Resegmenter(5000, 2, 80)
+	})
 	echoThrough(t, relay.Addr(), &tcpls.Config{ServerName: "real.server"})
 }
 
@@ -103,7 +105,7 @@ func TestThroughDelayingProxy(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer relay.Close()
-	relay.Delay = 2 * time.Millisecond
+	relay.Tune(func(r *middlebox.Relay) { r.Delay = 2 * time.Millisecond })
 	sess := echoThrough(t, relay.Addr(), &tcpls.Config{ServerName: "real.server"})
 	rtt, err := sess.Ping(0, 5*time.Second)
 	if err != nil {
@@ -124,7 +126,7 @@ func TestCorruptingALGIsDetected(t *testing.T) {
 	// Corrupt application-phase bytes. The AEAD must reject them: the
 	// client either fails the handshake or the session dies — it must
 	// never deliver corrupted data.
-	relay.MangleS2C = middlebox.Corrupter(50_000)
+	relay.Tune(func(r *middlebox.Relay) { r.MangleS2C = middlebox.Corrupter(50_000) })
 
 	sess, err := tcpls.Dial("tcp", relay.Addr(), &tcpls.Config{ServerName: "real.server"})
 	if err != nil {
@@ -182,7 +184,7 @@ func TestExtensionFilteringFirewallForcesFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer relay.Close()
-	relay.Inspect = middlebox.RejectTCPLSHello()
+	relay.Tune(func(r *middlebox.Relay) { r.Inspect = middlebox.RejectTCPLSHello() })
 
 	// Dial retries as plain TLS after the firewall kills the TCPLS
 	// attempt (paper §5.2's explicit fallback).

@@ -20,6 +20,11 @@ type Profile struct {
 	RateBps int64
 	// Delay adds one-way latency.
 	Delay time.Duration
+	// QueueLen bounds the bottleneck queue in read chunks (up to 16 KiB
+	// each); 0 means the default of 8. A shallow queue propagates TCP
+	// backpressure to the sender sooner, like a shallow-buffered
+	// bottleneck router.
+	QueueLen int
 }
 
 // Relay is a shaping TCP forwarder.
@@ -114,7 +119,11 @@ func shapePump(src, dst net.Conn, p Profile) {
 	// sender's data: when the shaped rate falls behind, reads stall and
 	// TCP backpressure propagates to the sender (as a real bottleneck
 	// queue would).
-	ch := make(chan chunk, 8)
+	qlen := p.QueueLen
+	if qlen <= 0 {
+		qlen = 8
+	}
+	ch := make(chan chunk, qlen)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics is the per-session path-metrics engine: one entry per TCP
+// connection, fused from two signal sources. Record-level
+// acknowledgments (available whenever failover's ACK machinery is on)
+// drive an RFC 6298 SRTT/RTTVar estimator, a bytes-in-flight gauge, a
+// loss counter, and a delivery-rate EWMA; periodic kernel TCP_INFO
+// snapshots seed the estimates before ACK samples exist and keep
+// standing in where acknowledgments are disabled.
+//
+// All methods are safe for concurrent use: the protocol engine updates
+// it under the session lock while the kernel refresher ticks on its own
+// goroutine.
+type Metrics struct {
+	mu    sync.Mutex
+	paths map[uint32]*pathState
+}
+
+// rateGain is the EWMA weight of a fresh delivery-rate sample.
+const rateGain = 0.25
+
+type pathState struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	hasRTT bool
+	ackRTT bool // at least one ACK sample folded in; kernel stops seeding
+
+	inFlight uint64
+	losses   uint64
+
+	rate       float64 // ACK-driven EWMA, bytes per second
+	hasRate    bool
+	kernelRate float64 // cwnd*mss/srtt hint, used until hasRate
+	lastAck    time.Time
+	ackedSince uint64
+}
+
+// PathStats is an exported snapshot of one path's fused metrics.
+type PathStats struct {
+	SRTT         time.Duration
+	RTTVar       time.Duration
+	HasRTT       bool
+	InFlight     uint64
+	Losses       uint64
+	DeliveryRate float64 // bytes per second
+	HasRate      bool
+}
+
+// NewMetrics returns an empty metrics store.
+func NewMetrics() *Metrics {
+	return &Metrics{paths: make(map[uint32]*pathState)}
+}
+
+// path returns conn's state, creating it on first touch. Caller holds mu.
+func (m *Metrics) path(conn uint32) *pathState {
+	p, ok := m.paths[conn]
+	if !ok {
+		p = &pathState{}
+		m.paths[conn] = p
+	}
+	return p
+}
+
+// OnSent records bytes sealed onto conn and not yet acknowledged.
+func (m *Metrics) OnSent(conn uint32, bytes int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.path(conn).inFlight += uint64(bytes)
+}
+
+// OnAcked records an acknowledgment covering bytes on conn. rtt > 0
+// feeds the RFC 6298 estimator; pass 0 when Karn's algorithm rejects
+// the sample (retransmitted records). now timestamps the ack for the
+// delivery-rate EWMA; the zero time skips rate sampling.
+func (m *Metrics) OnAcked(conn uint32, bytes int, rtt time.Duration, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.path(conn)
+	if p.inFlight >= uint64(bytes) {
+		p.inFlight -= uint64(bytes)
+	} else {
+		p.inFlight = 0
+	}
+	if rtt > 0 {
+		p.observeRTT(rtt)
+		p.ackRTT = true
+	}
+	if now.IsZero() {
+		return
+	}
+	p.ackedSince += uint64(bytes)
+	if p.lastAck.IsZero() {
+		p.lastAck = now
+		p.ackedSince = 0
+		return
+	}
+	elapsed := now.Sub(p.lastAck)
+	if elapsed <= 0 {
+		return // several acks in one receive batch: keep accumulating
+	}
+	sample := float64(p.ackedSince) / elapsed.Seconds()
+	if p.hasRate {
+		p.rate = (1-rateGain)*p.rate + rateGain*sample
+	} else {
+		p.rate, p.hasRate = sample, true
+	}
+	p.lastAck = now
+	p.ackedSince = 0
+}
+
+// observeRTT folds one clean sample into the RFC 6298 estimator.
+func (p *pathState) observeRTT(s time.Duration) {
+	if !p.hasRTT || !p.ackRTT {
+		// First ACK sample owns the estimate, even over a kernel seed:
+		// it measures the full TCPLS path.
+		p.srtt, p.rttvar, p.hasRTT = s, s/2, true
+		return
+	}
+	d := p.srtt - s
+	if d < 0 {
+		d = -d
+	}
+	p.rttvar = (3*p.rttvar + d) / 4
+	p.srtt = (7*p.srtt + s) / 8
+}
+
+// OnLost records one record of bytes declared lost on conn (failover
+// replay): the loss counter advances and the bytes leave flight — the
+// replay re-enters it on the target path.
+func (m *Metrics) OnLost(conn uint32, bytes int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.path(conn)
+	if p.inFlight >= uint64(bytes) {
+		p.inFlight -= uint64(bytes)
+	} else {
+		p.inFlight = 0
+	}
+	p.losses++
+}
+
+// UpdateKernel folds a TCP_INFO snapshot into conn's estimates: the
+// kernel view owns SRTT/RTTVar until the first ACK sample lands, and
+// rateHint (cwnd*mss/srtt, bytes per second, 0 = none) stands in for
+// the delivery rate until ACK-driven samples exist. ACK samples win
+// permanently because they see the whole path, not just the first hop.
+func (m *Metrics) UpdateKernel(conn uint32, rtt, rttvar time.Duration, rateHint float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.path(conn)
+	if rtt > 0 && !p.ackRTT {
+		p.srtt, p.rttvar, p.hasRTT = rtt, rttvar, true
+	}
+	if rateHint > 0 {
+		p.kernelRate = rateHint
+	}
+}
+
+// Fill populates v's metric fields from the state keyed by v.Conn.
+func (m *Metrics) Fill(v *PathView) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.paths[v.Conn]
+	if !ok {
+		return
+	}
+	v.SRTT, v.RTTVar, v.HasRTT = p.srtt, p.rttvar, p.hasRTT
+	v.InFlight, v.Losses = p.inFlight, p.losses
+	switch {
+	case p.hasRate:
+		v.DeliveryRate, v.HasRate = p.rate, true
+	case p.kernelRate > 0:
+		v.DeliveryRate, v.HasRate = p.kernelRate, true
+	}
+}
+
+// Snapshot returns conn's current fused stats.
+func (m *Metrics) Snapshot(conn uint32) (PathStats, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.paths[conn]
+	if !ok {
+		return PathStats{}, false
+	}
+	st := PathStats{
+		SRTT:     p.srtt,
+		RTTVar:   p.rttvar,
+		HasRTT:   p.hasRTT,
+		InFlight: p.inFlight,
+		Losses:   p.losses,
+	}
+	switch {
+	case p.hasRate:
+		st.DeliveryRate, st.HasRate = p.rate, true
+	case p.kernelRate > 0:
+		st.DeliveryRate, st.HasRate = p.kernelRate, true
+	}
+	return st, true
+}
+
+// Forget drops conn's state (connection closed or failed for good).
+func (m *Metrics) Forget(conn uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.paths, conn)
+}

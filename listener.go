@@ -41,6 +41,11 @@ type serverSession struct {
 
 // Listen starts a TCPLS server on the given TCP address.
 func Listen(network, addr string, cfg *Config) (*Listener, error) {
+	if cfg != nil {
+		if err := cfg.validateScheduler(); err != nil {
+			return nil, err
+		}
+	}
 	ln, err := net.Listen(network, addr)
 	if err != nil {
 		return nil, err

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcpls/internal/core"
 	"tcpls/internal/handshake"
 	"tcpls/internal/record"
+	"tcpls/internal/sched"
 )
 
 // Session is one TCPLS session: one or more TCP connections carrying
@@ -51,6 +53,11 @@ type Session struct {
 	// connection is declared failed; the default handler performs
 	// automatic failover to another live connection if one exists.
 	onConnFailed func(connID uint32)
+
+	// metrics is the path-metrics engine shared with the protocol
+	// engine; metricsLoopOn guards the kernel TCP_INFO refresher.
+	metrics       *sched.Metrics
+	metricsLoopOn bool
 }
 
 // TCPOption is an encrypted TCP option received from the peer (§3.1).
@@ -78,7 +85,16 @@ type pathConn struct {
 	id      uint32
 	nc      net.Conn
 	writeCh chan []byte
-	failed  bool
+	// pending counts chunks enqueued on writeCh but not yet written to
+	// the socket. Close drains on this rather than len(writeCh): a chunk
+	// the writer has dequeued but is still pushing into a backpressured
+	// socket is in flight too, and closing the socket under it would
+	// drop a record and leave the receiver's reorder heap with a
+	// permanent gap.
+	pending atomic.Int64
+	// failed flips once, possibly from a reader or writer goroutine
+	// while others look at it outside the session lock.
+	failed atomic.Bool
 }
 
 func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, leftover []byte) *Session {
@@ -101,6 +117,8 @@ func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, 
 	s.cond = sync.NewCond(&s.mu)
 	s.suite = res.Secrets.Suite
 	s.resumption = res.Secrets.Resumption
+	s.metrics = sched.NewMetrics()
+	s.engine.SetMetrics(s.metrics)
 	for _, a := range res.PeerAddrs {
 		s.peerAddrs = append(s.peerAddrs, &net.TCPAddr{IP: a.AsSlice()})
 	}
@@ -114,6 +132,13 @@ func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, 
 		pending = s.collectOutgoingLocked()
 	}
 	_ = pc
+	if cfg.Scheduler != "" {
+		// Validated by Dial/Client/Listen; ByName cannot fail here.
+		if ps, ok := sched.ByName(cfg.Scheduler); ok {
+			s.engine.SetPathScheduler(ps)
+			s.startPathMetricsLoopLocked()
+		}
+	}
 	s.mu.Unlock()
 	s.writeAll(pending)
 	if cfg.UserTimeout > 0 {
@@ -139,16 +164,18 @@ func (s *Session) writeLoop(pc *pathConn) {
 	for {
 		select {
 		case data := <-pc.writeCh:
-			if pc.failed {
+			if pc.failed.Load() {
+				pc.pending.Add(-1)
 				continue // drain and discard
 			}
 			_, err := pc.nc.Write(data)
+			pc.pending.Add(-1)
 			s.mu.Lock()
 			s.engine.RecycleOutgoing(data)
 			s.mu.Unlock()
 			if err != nil {
 				s.mu.Lock()
-				pc.failed = true
+				pc.failed.Store(true)
 				s.engine.ReportConnFailed(pc.id)
 				s.processEventsLocked()
 				s.cond.Broadcast()
@@ -211,7 +238,7 @@ func (s *Session) readLoop(pc *pathConn) {
 				s.mu.Unlock()
 				return
 			}
-			pc.failed = true
+			pc.failed.Store(true)
 			s.engine.ReportConnFailed(pc.id)
 			s.processEventsLocked()
 			out := s.collectOutgoingLocked()
@@ -264,7 +291,7 @@ func (s *Session) collectOutgoingLocked() []outChunk {
 	}
 	var out []outChunk
 	for id, pc := range s.conns {
-		if pc.failed {
+		if pc.failed.Load() {
 			// Drain and drop: the engine may still frame onto a conn it
 			// does not know has failed yet.
 			s.engine.Outgoing(id)
@@ -286,9 +313,11 @@ func (s *Session) collectOutgoingLocked() []outChunk {
 // application writes to the aggregate network rate.
 func (s *Session) writeAll(chunks []outChunk) {
 	for _, ch := range chunks {
+		ch.pc.pending.Add(1)
 		select {
 		case ch.pc.writeCh <- ch.data:
 		case <-s.timerStop:
+			ch.pc.pending.Add(-1)
 			return
 		}
 	}
@@ -345,7 +374,7 @@ func (s *Session) processEventsLocked() {
 	}
 	for _, id := range failovers {
 		if pc, ok := s.conns[id]; ok {
-			pc.failed = true
+			pc.failed.Store(true)
 		}
 		s.autoFailoverLocked(id)
 	}
@@ -529,7 +558,7 @@ func (s *Session) Close() error {
 	// forever).
 	deadline := time.Now().Add(10 * time.Second)
 	for _, pc := range conns {
-		for len(pc.writeCh) > 0 && time.Now().Before(deadline) && !pc.failed {
+		for pc.pending.Load() > 0 && time.Now().Before(deadline) && !pc.failed.Load() {
 			time.Sleep(time.Millisecond)
 		}
 	}

@@ -184,10 +184,18 @@ func (s *Session) CoupledInUse() bool {
 // SetScheduler installs an application-defined coupled-stream record
 // scheduler (§3.3.3): called once per record with the coupled stream IDs,
 // it returns the index of the stream to carry that record.
-func (s *Session) SetScheduler(sched func(recordIdx uint64, streams []uint32) int) {
+//
+// Contract: the returned index must be in [0, len(streams)). An
+// out-of-range index is not honoured — the engine emits a sched_invalid
+// trace event and falls back to the first coupled stream, so a buggy
+// scheduler degrades to pinned scheduling rather than dropping data.
+// For metrics-aware policies (lowest-RTT, rate-weighted, redundant) use
+// SetPathScheduler instead; passing nil here restores the default
+// round-robin.
+func (s *Session) SetScheduler(fn func(recordIdx uint64, streams []uint32) int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.engine.SetScheduler(sched)
+	s.engine.SetScheduler(fn)
 }
 
 // errReadClosed mirrors net.ErrClosed semantics for finished streams.
