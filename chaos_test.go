@@ -1,0 +1,382 @@
+package tcpls
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tcpls/internal/netem"
+)
+
+// chaosMiB is the checksummed transfer size for the chaos test.
+const chaosMiB = 4
+
+// chaosServer is startServer plus session tracking, so the test can close
+// every server-side session before the goroutine-leak check (their
+// recovery supervisors otherwise outlive the test by the grace deadline).
+type chaosServer struct {
+	ln *Listener
+	mu sync.Mutex
+	ss []*Session
+}
+
+func startChaosServer(t *testing.T, cfg *Config, handler func(*Session)) *chaosServer {
+	t.Helper()
+	if cfg.Certificate == nil {
+		cert, err := NewCertificate("test.server")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Certificate = cert
+	}
+	ln, err := Listen("tcp", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &chaosServer{ln: ln}
+	t.Cleanup(cs.Close)
+	go func() {
+		for {
+			sess, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			cs.mu.Lock()
+			cs.ss = append(cs.ss, sess)
+			cs.mu.Unlock()
+			go handler(sess)
+		}
+	}()
+	return cs
+}
+
+func (cs *chaosServer) Close() {
+	cs.ln.Close()
+	cs.mu.Lock()
+	ss := append([]*Session(nil), cs.ss...)
+	cs.mu.Unlock()
+	for _, s := range ss {
+		s.Close()
+	}
+}
+
+// checkGoroutines polls until the goroutine count returns near base —
+// the zero-leak gate for the fault-injection tests.
+func checkGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, base, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestChaosTransferSurvivesCascadeAndTotalLoss is the tentpole test: a
+// 4 MiB checksummed transfer over three shaped relay paths while a fault
+// schedule kills every path in turn — an RST, then a mid-record stall
+// only the user timeout can detect, then a total-loss window that forces
+// the recovery supervisor to re-dial through the join path. The transfer
+// must be byte-exact and nothing may leak.
+func TestChaosTransferSurvivesCascadeAndTotalLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test needs real time")
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	scfg := &Config{
+		EnableFailover: true,
+		AckPeriod:      4,
+		UserTimeout:    400 * time.Millisecond,
+		NumCookies:     64,
+	}
+	srv := startChaosServer(t, scfg, func(sess *Session) {
+		st, err := sess.AcceptStream(context.Background())
+		if err != nil {
+			return
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, st); err != nil {
+			return
+		}
+		st.Write(h.Sum(nil))
+		st.Close()
+	})
+
+	// Three lossy shaped paths in front of the one real server.
+	prof := netem.Profile{RateBps: 60e6, Delay: 2 * time.Millisecond}
+	relays := make([]*netem.Relay, 3)
+	for i := range relays {
+		r, err := netem.NewRelay(srv.ln.Addr().String(), prof, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relays[i] = r
+		defer r.Close()
+	}
+
+	ccfg := &Config{
+		ServerName:     "test.server",
+		EnableFailover: true,
+		AckPeriod:      4,
+		UserTimeout:    400 * time.Millisecond,
+		Reconnect: ReconnectConfig{
+			MaxAttempts: 100,
+			BaseDelay:   20 * time.Millisecond,
+			MaxDelay:    150 * time.Millisecond,
+			Deadline:    20 * time.Second,
+		},
+	}
+	sess, err := Dial("tcp", relays[0].Addr(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.JoinPath("tcp", relays[1].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.JoinPath("tcp", relays[2].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Engine conn ID -> relay index, for fault targeting. Conns born
+	// after recovery are redials; their relay no longer matters.
+	connRelay := map[uint32]int{0: 0, 1: 1, 2: 2}
+
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer: 4 MiB in paced chunks so the transfer spans every fault
+	// phase; hash computed on the way out.
+	wantHash := make(chan [32]byte, 1)
+	writeErr := make(chan error, 1)
+	go func() {
+		h := sha256.New()
+		chunk := make([]byte, 128<<10)
+		total := 0
+		for i := 0; total < chaosMiB<<20; i++ {
+			for j := range chunk {
+				chunk[j] = byte(i + j)
+			}
+			h.Write(chunk)
+			if _, err := st.Write(chunk); err != nil {
+				writeErr <- fmt.Errorf("write at %d bytes: %w", total, err)
+				return
+			}
+			total += len(chunk)
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := st.Close(); err != nil {
+			writeErr <- fmt.Errorf("stream close: %w", err)
+			return
+		}
+		var sum [32]byte
+		copy(sum[:], h.Sum(nil))
+		wantHash <- sum
+		writeErr <- nil
+	}()
+
+	streamConn := func() uint32 {
+		cid, err := st.Conn()
+		if err != nil {
+			t.Fatalf("stream lost its conn: %v", err)
+		}
+		return cid
+	}
+	waitConnChange := func(from uint32) uint32 {
+		deadline := time.Now().Add(8 * time.Second)
+		for time.Now().Before(deadline) {
+			if cid := streamConn(); cid != from {
+				return cid
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("stream never left conn %d", from)
+		return 0
+	}
+
+	// Phase A — RST the path the stream is on; failover must move it.
+	time.Sleep(200 * time.Millisecond)
+	connA := streamConn()
+	relays[connRelay[connA]].Blackhole() // refuse re-dials too
+	relays[connRelay[connA]].RST()
+	connB := waitConnChange(connA)
+	if connB == connA || connRelay[connB] == connRelay[connA] {
+		t.Fatalf("failover went nowhere: conn %d -> %d", connA, connB)
+	}
+	t.Logf("phase A: RST relay %d, stream moved conn %d -> %d", connRelay[connA], connA, connB)
+
+	// Phase B — stall the new path mid-record: sockets stay open, bytes
+	// stop. Only the user timeout can detect this; the failover cascades.
+	relays[connRelay[connB]].Stall()
+	connC := waitConnChange(connB)
+	relays[connRelay[connB]].Unstall()
+	relays[connRelay[connB]].Blackhole()
+	if connRelay[connC] == connRelay[connB] || connRelay[connC] == connRelay[connA] {
+		t.Fatalf("cascade landed on a dead relay: conn %d (relay %d)", connC, connRelay[connC])
+	}
+	t.Logf("phase B: stalled relay %d, cascade moved conn %d -> %d", connRelay[connB], connB, connC)
+
+	// Phase C — total loss: a schedule RSTs the last live path, leaving
+	// the session with nothing, then restores relay 0 so the recovery
+	// supervisor's re-dial can land.
+	lastRelay := relays[connRelay[connC]]
+	<-lastRelay.RunSchedule([]netem.Fault{
+		{At: 0, Kind: netem.FaultBlackhole},
+		{At: 0, Kind: netem.FaultRST},
+	})
+	relay0Restore := relays[0].RunSchedule([]netem.Fault{
+		{At: 600 * time.Millisecond, Kind: netem.FaultRestore},
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	sawReconnecting := false
+	for {
+		ev, err := sess.WaitEvent(ctx)
+		if err != nil {
+			cancel()
+			t.Fatalf("waiting for recovery (reconnecting seen: %v): %v", sawReconnecting, err)
+		}
+		if ev.Kind == EventReconnecting {
+			sawReconnecting = true
+		}
+		if ev.Kind == EventReconnected {
+			t.Logf("phase C: reconnected on conn %d after %d redial rounds", ev.Conn, ev.Attempt)
+			break
+		}
+	}
+	cancel()
+	<-relay0Restore
+	if !sawReconnecting {
+		t.Fatal("EventReconnected without EventReconnecting")
+	}
+
+	// Phase D — drain the writer, then read the server's hash of what it
+	// received over all the replays and re-dials.
+	select {
+	case err := <-writeErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("writer stuck")
+	}
+	want := <-wantHash
+	got := make([]byte, sha256.Size)
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(st, got)
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		if err != nil {
+			t.Fatalf("reading server hash: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server hash never arrived")
+	}
+	if [32]byte(got) != want {
+		t.Fatalf("transfer corrupted: server hash %x, want %x", got, want)
+	}
+	t.Logf("phase D: %d MiB byte-exact across cascade + reconnect", chaosMiB)
+
+	// Phase E — everything down, nothing left behind.
+	sess.Close()
+	srv.Close()
+	for _, r := range relays {
+		r.Close()
+	}
+	checkGoroutines(t, baseGoroutines)
+}
+
+// TestChaosTotalLossWithoutReconnectDies: same total-loss outage, but
+// with the supervisor disabled the session must die with ErrSessionDead
+// within its configured deadline — no hang, no leak.
+func TestChaosTotalLossWithoutReconnectDies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test needs real time")
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	scfg := &Config{
+		EnableFailover: true,
+		AckPeriod:      4,
+		UserTimeout:    400 * time.Millisecond,
+		NumCookies:     8,
+	}
+	srv := startChaosServer(t, scfg, echoHandler)
+
+	prof := netem.Profile{RateBps: 60e6, Delay: 2 * time.Millisecond}
+	relays := make([]*netem.Relay, 3)
+	for i := range relays {
+		r, err := netem.NewRelay(srv.ln.Addr().String(), prof, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relays[i] = r
+		defer r.Close()
+	}
+
+	sess, err := Dial("tcp", relays[0].Addr(), &Config{
+		ServerName:     "test.server",
+		EnableFailover: true,
+		AckPeriod:      4,
+		UserTimeout:    400 * time.Millisecond,
+		Reconnect:      ReconnectConfig{Disabled: true, Deadline: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for _, r := range relays[1:] {
+		if _, err := sess.JoinPath("tcp", r.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	for _, r := range relays {
+		r.Blackhole()
+		r.RST()
+	}
+	_, rerr := st.Read(buf)
+	if !errors.Is(rerr, ErrSessionDead) {
+		t.Fatalf("blocked Read after total loss = %v, want ErrSessionDead", rerr)
+	}
+	if elapsed := time.Since(start); elapsed > 6*time.Second {
+		t.Fatalf("death took %v, deadline was 1s", elapsed)
+	}
+
+	sess.Close()
+	srv.Close()
+	for _, r := range relays {
+		r.Close()
+	}
+	checkGoroutines(t, baseGoroutines)
+}

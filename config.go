@@ -82,6 +82,23 @@ type Config struct {
 	// refresher runs only while a path scheduler is active.
 	PathMetricsInterval time.Duration
 
+	// Reconnect tunes the recovery supervisor: when every TCP connection
+	// of a session has failed, the client side automatically re-dials the
+	// remembered peer addresses (original dial target, joined paths, and
+	// ADD_ADDR advertisements) using the session-join path, then resumes
+	// parked streams via failover replay. The zero value enables
+	// reconnection with the defaults documented on ReconnectConfig;
+	// set Disabled to park streams until the deadline and then declare
+	// the session dead with ErrSessionDead.
+	Reconnect ReconnectConfig
+
+	// OnEvent, when set, receives session lifecycle events
+	// (EventConnDown, EventFailover, EventReconnecting, EventReconnected,
+	// EventRecoveryFailed) on a dedicated goroutine, in order. Events are
+	// also available by polling Session.Events or blocking in
+	// Session.WaitEvent regardless of OnEvent.
+	OnEvent func(SessionEvent)
+
 	// Suites restricts cipher suites (default AES-128-GCM-SHA256).
 	Suites []record.SuiteID
 

@@ -143,6 +143,10 @@ func (s *Session) JoinPath(network, addr string) (uint32, error) {
 		return 0, err
 	}
 	s.addConnLocked(connID, nc)
+	if s.dialNetwork == "" {
+		s.dialNetwork = network
+	}
+	s.rememberAddrLocked(addr)
 	var pending []outChunk
 	if leftover := tr.Leftover(); len(leftover) > 0 {
 		s.engine.Receive(connID, leftover, time.Now())

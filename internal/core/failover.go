@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"tcpls/internal/record"
@@ -59,6 +60,7 @@ func (s *Session) ReportConnFailed(connID uint32) error {
 	}
 	if !c.failed {
 		c.failed = true
+		s.trace("conn_failed", connID, 0, 0, 0)
 		s.emit(Event{Kind: EventConnFailed, Conn: connID})
 	}
 	return nil
@@ -70,11 +72,33 @@ func (s *Session) ConnFailed(connID uint32) bool {
 	return ok && c.failed
 }
 
+// FailedConnsWithStreams returns the failed connections that still own
+// streams — the parked state the recovery supervisor must drain by
+// failing each of them over onto a freshly joined connection. IDs are
+// sorted so the resume order is deterministic.
+func (s *Session) FailedConnsWithStreams() []uint32 {
+	var out []uint32
+	for id, c := range s.conns {
+		if c.failed && len(s.StreamsOnConn(id)) > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // FailoverTo resynchronizes and retransmits all streams of failedID onto
 // targetID (Fig. 4): it notifies the peer, re-attaches each stream,
 // sends a SYNC with the resume sequence, and replays every
 // unacknowledged record — byte-identical ciphertext, since per-stream
 // contexts make the sequence numbers deterministic.
+//
+// A connection can be failed over at most once: its streams move away
+// and a second call has nothing to resynchronize, so it returns
+// ErrConnFailed rather than re-notifying the peer with stale state.
+// Failing over onto a target that is itself failed or closed also
+// returns ErrConnFailed; the caller picks another target (the cascading
+// case) or parks the streams for the recovery supervisor.
 func (s *Session) FailoverTo(failedID, targetID uint32) error {
 	if !s.cfg.EnableFailover {
 		return fmt.Errorf("core: failover not enabled in config")
@@ -83,14 +107,18 @@ func (s *Session) FailoverTo(failedID, targetID uint32) error {
 	if err != nil {
 		return err
 	}
+	if failedConn.failedOver {
+		return ErrConnFailed
+	}
 	target, err := s.getConn(targetID)
 	if err != nil {
 		return err
 	}
-	if target.failed || target.closed {
+	if target.failed || target.closed || targetID == failedID {
 		return ErrConnFailed
 	}
 	failedConn.failed = true
+	failedConn.failedOver = true
 	s.trace("failover_started", failedID, 0, 0, 0)
 
 	if err := s.sendCtl(target, appendFailover(nil, failedID)); err != nil {
@@ -101,69 +129,81 @@ func (s *Session) FailoverTo(failedID, targetID uint32) error {
 		if st.conn != failedID {
 			continue
 		}
-		// Re-home the send side.
-		st.conn = targetID
-		target.attached[st.id] = true
 		// Move our receive context to the target's demux so the peer's
 		// records for this stream (it fails over too) authenticate here.
 		failedConn.demux.Detach(st.id)
 		if target.demux.Context(st.id) == nil {
 			target.demux.Attach(st.recvCtx)
 		}
-		if err := s.sendCtl(target, appendStreamAttach(nil, st.id)); err != nil {
+		// Re-home and replay the send side.
+		if err := s.failoverStreamSend(st, failedID, target); err != nil {
 			return err
-		}
-		resume := st.sendCtx.Seq()
-		if len(st.retransmit) > 0 {
-			resume = st.retransmit[0].seq
-		}
-		if err := s.sendCtl(target, appendSync(nil, st.id, resume)); err != nil {
-			return err
-		}
-		s.trace("sync_sent", targetID, st.id, resume, 0)
-		// Replay unacknowledged records in order.
-		for ri := range st.retransmit {
-			r := &st.retransmit[ri]
-			var trailer [9]byte
-			var tlen int
-			if r.typ == typeStreamDataCoupled {
-				wire.PutUint64(trailer[:8], r.aggSeq)
-				trailer[8] = byte(typeStreamDataCoupled)
-				tlen = 9
-			} else {
-				trailer[0] = byte(typeStreamData)
-				tlen = 1
-			}
-			out, err := st.sendCtx.SealSeqV(target.out, r.seq, record.ContentTypeApplicationData, s.cfg.PadRecordsTo, r.payload, trailer[:tlen])
-			if err != nil {
-				return err
-			}
-			target.out = out
-			s.stats.Retransmits++
-			s.stats.RecordsSent++
-			s.trace("retransmit", targetID, st.id, r.seq, len(r.payload))
-			// Path metrics: the bytes were lost on the failed path and
-			// are in flight again on the target; the replayed copy is
-			// barred from RTT sampling (Karn).
-			r.retx = true
-			if s.metrics != nil {
-				s.metrics.OnLost(failedID, len(r.payload))
-				s.metrics.OnSent(targetID, len(r.payload))
-			}
-			if s.pathSched != nil {
-				s.pathSched.OnLost(failedID, len(r.payload))
-				s.pathSched.OnSent(targetID, len(r.payload))
-			}
-		}
-		// Re-send a FIN marker if it may have been lost with the
-		// connection.
-		if st.finSent {
-			if err := s.sendCtl(target, appendStreamFin(nil, st.id, st.sendCtx.Seq())); err != nil {
-				return err
-			}
 		}
 	}
 	s.emit(Event{Kind: EventFailoverDone, Conn: targetID})
+	return nil
+}
+
+// failoverStreamSend moves one stream's send side from fromID onto
+// target: re-attach, SYNC with the resume sequence, replay every
+// unacknowledged record, and re-announce a possibly-lost FIN. Shared by
+// FailoverTo (we detected the failure) and handleStreamAttach (the peer
+// failed over first and our send side follows).
+func (s *Session) failoverStreamSend(st *stream, fromID uint32, target *conn) error {
+	st.conn = target.id
+	target.attached[st.id] = true
+	if err := s.sendCtl(target, appendStreamAttach(nil, st.id)); err != nil {
+		return err
+	}
+	resume := st.sendCtx.Seq()
+	if len(st.retransmit) > 0 {
+		resume = st.retransmit[0].seq
+	}
+	if err := s.sendCtl(target, appendSync(nil, st.id, resume)); err != nil {
+		return err
+	}
+	s.trace("sync_sent", target.id, st.id, resume, 0)
+	// Replay unacknowledged records in order.
+	for ri := range st.retransmit {
+		r := &st.retransmit[ri]
+		var trailer [9]byte
+		var tlen int
+		if r.typ == typeStreamDataCoupled {
+			wire.PutUint64(trailer[:8], r.aggSeq)
+			trailer[8] = byte(typeStreamDataCoupled)
+			tlen = 9
+		} else {
+			trailer[0] = byte(typeStreamData)
+			tlen = 1
+		}
+		out, err := st.sendCtx.SealSeqV(target.out, r.seq, record.ContentTypeApplicationData, s.cfg.PadRecordsTo, r.payload, trailer[:tlen])
+		if err != nil {
+			return err
+		}
+		target.out = out
+		s.stats.Retransmits++
+		s.stats.RecordsSent++
+		s.trace("retransmit", target.id, st.id, r.seq, len(r.payload))
+		// Path metrics: the bytes were lost on the failed path and
+		// are in flight again on the target; the replayed copy is
+		// barred from RTT sampling (Karn).
+		r.retx = true
+		if s.metrics != nil {
+			s.metrics.OnLost(fromID, len(r.payload))
+			s.metrics.OnSent(target.id, len(r.payload))
+		}
+		if s.pathSched != nil {
+			s.pathSched.OnLost(fromID, len(r.payload))
+			s.pathSched.OnSent(target.id, len(r.payload))
+		}
+	}
+	// Re-send a FIN marker if it may have been lost with the
+	// connection.
+	if st.finSent {
+		if err := s.sendCtl(target, appendStreamFin(nil, st.id, st.sendCtx.Seq())); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -201,6 +241,7 @@ func (s *Session) handleFailoverNotice(c *conn, f *frame) error {
 	}
 	if !failed.failed {
 		failed.failed = true
+		s.trace("conn_failed", f.id, 0, 0, 0)
 		s.emit(Event{Kind: EventConnFailed, Conn: f.id})
 	}
 	return nil

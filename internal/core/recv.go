@@ -250,11 +250,20 @@ func (s *Session) handleStreamAttach(c *conn, f *frame) error {
 	if st, ok := s.streams[f.id]; ok {
 		// Existing stream moving here (failover path). Detach the recv
 		// context from its old conn's demux and attach it here.
-		if old, ok := s.conns[st.conn]; ok && old != c {
+		old, hadOld := s.conns[st.conn]
+		if hadOld && old != c {
 			old.demux.Detach(f.id)
 		}
 		if c.demux.Context(f.id) == nil {
 			c.demux.Attach(st.recvCtx)
+		}
+		if hadOld && old != c && old.failed {
+			// The peer moved this stream off a dead connection before we
+			// acted on the failure ourselves (the FAILOVER notice in the
+			// same batch marked it failed). Our send side must follow
+			// with the same SYNC + replay, or our unacknowledged records
+			// die with the old connection.
+			return s.failoverStreamSend(st, old.id, c)
 		}
 		st.conn = c.id
 		return nil

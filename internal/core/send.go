@@ -76,8 +76,13 @@ func (s *Session) sortedStreamIDs() []uint32 {
 	return ids
 }
 
-// flushStream frames one stream's pending bytes.
+// flushStream frames one stream's pending bytes. A stream whose
+// connection has failed is parked, not an error: its pending bytes stay
+// queued until failover or the recovery supervisor re-homes it.
 func (s *Session) flushStream(st *stream) error {
+	if c, ok := s.conns[st.conn]; ok && (c.failed || c.closed) {
+		return nil
+	}
 	max := s.cfg.maxPayload()
 	for len(st.pending) > 0 {
 		n := len(st.pending)
@@ -118,6 +123,18 @@ func (s *Session) flushCoupled() error {
 	cs := s.coupledStreams()
 	if len(cs) == 0 {
 		return ErrNotCoupled
+	}
+	// Schedule only over streams whose connections are alive; with no
+	// live path the group's bytes park until recovery re-homes a stream.
+	live := cs[:0]
+	for _, st := range cs {
+		if c, ok := s.conns[st.conn]; ok && !c.failed && !c.closed {
+			live = append(live, st)
+		}
+	}
+	cs = live
+	if len(cs) == 0 {
+		return nil
 	}
 	views := make([]sched.PathView, len(cs))
 	for i, st := range cs {

@@ -343,7 +343,11 @@ type conn struct {
 	attached map[uint32]bool // send-side data-stream attachment
 	lastRecv time.Time
 	failed   bool
-	closed   bool
+	// failedOver marks that FailoverTo already moved this connection's
+	// streams away; a second failover of the same connection has nothing
+	// to resynchronize and is rejected.
+	failedOver bool
+	closed     bool
 }
 
 // sendCtl seals a control record onto the connection immediately,

@@ -42,6 +42,13 @@ func (s *Session) NotePathMetrics(connID uint32) {
 	s.trace("path_metrics", connID, 0, uint64(ps.SRTT/time.Microsecond), int(ps.DeliveryRate))
 }
 
+// Note lets the I/O wrapper stamp its own lifecycle marks (e.g.
+// reconnect_attempt, reconnect_ok, failover_cascade) into the same trace
+// stream as the engine's protocol events, so one timeline covers both.
+func (s *Session) Note(name string, conn, stream uint32, seq uint64, bytes int) {
+	s.trace(name, conn, stream, seq, bytes)
+}
+
 // trace emits one event when tracing is enabled.
 func (s *Session) trace(name string, conn, stream uint32, seq uint64, bytes int) {
 	if s.tracer == nil {

@@ -129,6 +129,15 @@ func (r *Relay) handle(client net.Conn) {
 	wg.Wait()
 }
 
+// abort closes a connection abortively: SO_LINGER 0 turns the close
+// into a TCP RST, the way real firewalls and ALGs kill flows.
+func abort(nc net.Conn) {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	nc.Close()
+}
+
 func pump(src, dst net.Conn, mangle func([]byte) ([][]byte, error), inspect func([]byte) error, delay time.Duration) {
 	buf := make([]byte, 32<<10)
 	for {
@@ -138,29 +147,31 @@ func pump(src, dst net.Conn, mangle func([]byte) ([][]byte, error), inspect func
 			if inspect != nil {
 				if inspect(chunk) != nil {
 					// Simulate a firewall RST: abort both directions.
-					src.Close()
-					dst.Close()
+					abort(src)
+					abort(dst)
 					return
 				}
 			}
 			inspect = nil // only the first chunk is inspected
 			chunks := [][]byte{chunk}
+			var merr error
 			if mangle != nil {
-				var merr error
 				chunks, merr = mangle(chunk)
-				if merr != nil {
-					src.Close()
-					dst.Close()
-					return
-				}
 			}
 			if delay > 0 {
 				time.Sleep(delay)
 			}
+			// Any chunks returned alongside an abort still go out first:
+			// an Aborter cuts after exactly N forwarded bytes.
 			for _, c := range chunks {
 				if _, err := dst.Write(c); err != nil {
 					return
 				}
+			}
+			if merr != nil {
+				abort(src)
+				abort(dst)
+				return
 			}
 		}
 		if err != nil {
@@ -207,6 +218,42 @@ func Corrupter(intervalBytes int) func([]byte) ([][]byte, error) {
 			}
 		}
 		return [][]byte{out}, nil
+	}
+}
+
+// Staller returns a mangler that forwards afterBytes normally and then
+// freezes the direction for d — the buffering/stalling proxy class. The
+// stall lands wherever the byte count says, typically mid-record, so a
+// deframer must tolerate an arbitrarily long gap inside a record.
+func Staller(afterBytes int, d time.Duration) func([]byte) ([][]byte, error) {
+	seen := 0
+	stalled := false
+	return func(chunk []byte) ([][]byte, error) {
+		seen += len(chunk)
+		if !stalled && seen >= afterBytes {
+			stalled = true
+			time.Sleep(d)
+		}
+		return [][]byte{chunk}, nil
+	}
+}
+
+// Aborter returns a mangler that kills the connection (both directions)
+// after forwarding exactly afterBytes — the crash-mid-transfer fault.
+// The cut can land inside a record: the receiver holds an undecryptable
+// prefix and must recover via failover replay, not by reparsing.
+func Aborter(afterBytes int) func([]byte) ([][]byte, error) {
+	seen := 0
+	return func(chunk []byte) ([][]byte, error) {
+		if seen >= afterBytes {
+			return nil, errBlocked
+		}
+		if rem := afterBytes - seen; len(chunk) > rem {
+			seen = afterBytes
+			return [][]byte{chunk[:rem]}, errBlocked
+		}
+		seen += len(chunk)
+		return [][]byte{chunk}, nil
 	}
 }
 

@@ -263,3 +263,62 @@ func TestTLSTerminatingProxyDetectedByPinning(t *testing.T) {
 		t.Fatal("pinning client accepted the terminating proxy")
 	}
 }
+
+func TestStallingProxyMidRecord(t *testing.T) {
+	addr, _ := startEchoServer(t)
+	relay, err := middlebox.NewRelay(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	// Freeze the server->client direction for 300ms once ~10 KB have
+	// flowed — the stall lands mid-record. The deframer must resume
+	// cleanly and the echo must still be byte-exact.
+	relay.Tune(func(r *middlebox.Relay) {
+		r.MangleS2C = middlebox.Staller(10_000, 300*time.Millisecond)
+	})
+	start := time.Now()
+	echoThrough(t, relay.Addr(), &tcpls.Config{ServerName: "real.server"})
+	if elapsed := time.Since(start); elapsed < 300*time.Millisecond {
+		t.Errorf("echo finished in %v; the 300ms stall never applied", elapsed)
+	}
+}
+
+func TestAbortingProxyKillsMidTransfer(t *testing.T) {
+	addr, _ := startEchoServer(t)
+	relay, err := middlebox.NewRelay(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	// Cut the connection after ~4 KB of ciphertext toward the server —
+	// well past the handshake, mid-transfer, typically mid-record.
+	relay.Tune(func(r *middlebox.Relay) {
+		r.MangleC2S = middlebox.Aborter(4096)
+	})
+	sess, err := tcpls.Dial("tcp", relay.Addr(), &tcpls.Config{ServerName: "real.server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := bytes.Repeat([]byte("doomed "), 4000) // ~28 KB, crosses the cut
+	go st.Write(msg)
+	got := make([]byte, len(msg))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(st, got)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("full echo crossed a connection aborted mid-transfer")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client never noticed the abort")
+	}
+}

@@ -145,3 +145,234 @@ func TestBlackholeKillsConnections(t *testing.T) {
 		t.Fatalf("restore did not work: %v", err)
 	}
 }
+
+func TestRSTAbortsConnections(t *testing.T) {
+	addr := startEcho(t)
+	r, err := NewRelay(addr, Profile{}, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("x"))
+	io.ReadFull(c, make([]byte, 1))
+	r.RST()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded after RST")
+	}
+	// The abort kills both directions (unlike a half-close): writes into
+	// the reset socket must start failing too.
+	writeDead := false
+	for i := 0; i < 50 && !writeDead; i++ {
+		if _, err := c.Write([]byte("x")); err != nil {
+			writeDead = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !writeDead {
+		t.Fatal("writes kept succeeding after RST")
+	}
+	// Unlike Blackhole, new connections still work after an RST.
+	c2, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	go c2.Write([]byte("ok"))
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c2, make([]byte, 2)); err != nil {
+		t.Fatalf("new connection after RST: %v", err)
+	}
+}
+
+func TestStallFreezesAndUnstallResumes(t *testing.T) {
+	addr := startEcho(t)
+	r, err := NewRelay(addr, Profile{}, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("a"))
+	io.ReadFull(c, make([]byte, 1))
+
+	r.Stall()
+	c.Write([]byte("b"))
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("bytes flowed through a stalled relay")
+	}
+	// The socket is still open — a stall is not a close.
+	r.Unstall()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+		t.Fatalf("unstall did not resume: %v", err)
+	}
+}
+
+func TestKillAfterCutsAtExactByte(t *testing.T) {
+	// A plain sink (no echo) so the byte budget is consumed by one
+	// direction only and the cut point is deterministic.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan int, 1)
+	go func() {
+		s, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		n, _ := io.Copy(io.Discard, s)
+		s.Close()
+		received <- int(n)
+	}()
+
+	r, err := NewRelay(ln.Addr().String(), Profile{}, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Prime the relay's conn tracking, then arm the bomb.
+	if _, err := c.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	r.KillAfter(2000)
+	// Push well past the budget; the relay must forward exactly 2000 more
+	// bytes and then RST everything.
+	go func() {
+		for i := 0; i < 100; i++ {
+			if _, err := c.Write(make([]byte, 1000)); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case n := <-received:
+		if n != 3000 {
+			t.Fatalf("server received %d bytes, want exactly 3000 (1000 + 2000 budget)", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("kill never fired")
+	}
+}
+
+func TestHalfCloseIsDirectional(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	srvGot := make(chan []byte, 1)
+	go func() {
+		s, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		n, _ := s.Read(buf)
+		srvGot <- buf[:n]
+		// Keep the server->client direction quiet; the test only needs
+		// the client to observe EOF while its writes still flow.
+		time.Sleep(2 * time.Second)
+		s.Close()
+	}()
+
+	r, err := NewRelay(ln.Addr().String(), Profile{}, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	<-srvGot
+	r.HalfClose()
+	// Client sees EOF: the server "stopped sending".
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read after half-close = %v, want io.EOF", err)
+	}
+	// But client->server still flows.
+	go func() {
+		s2, err := net.Dial("tcp", r.Addr()) // unrelated; keeps Accept loop sane
+		if err == nil {
+			s2.Close()
+		}
+	}()
+	if _, err := c.Write([]byte("post")); err != nil {
+		t.Fatalf("client->server direction died with the half-close: %v", err)
+	}
+}
+
+func TestRunScheduleOrdersAndAborts(t *testing.T) {
+	addr := startEcho(t)
+	r, err := NewRelay(addr, Profile{}, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("x"))
+	io.ReadFull(c, make([]byte, 1))
+
+	// Faults given out of order: blackhole at 30ms, restore at 80ms.
+	done := r.RunSchedule([]Fault{
+		{At: 80 * time.Millisecond, Kind: FaultRestore},
+		{At: 30 * time.Millisecond, Kind: FaultBlackhole},
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("schedule never finished")
+	}
+	// After the script, the relay must be restored: new dials work.
+	c2, err := net.Dial("tcp", r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	go c2.Write([]byte("ok"))
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c2, make([]byte, 2)); err != nil {
+		t.Fatalf("relay not restored after schedule: %v", err)
+	}
+	// And the original conn died during the blackhole window.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("old connection survived the scheduled blackhole")
+	}
+
+	// A pending schedule aborts when the relay closes.
+	done2 := r.RunSchedule([]Fault{{At: time.Hour, Kind: FaultRST}})
+	r.Close()
+	select {
+	case <-done2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("schedule did not abort on relay close")
+	}
+}

@@ -1,0 +1,366 @@
+package tcpls
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"tcpls/internal/core"
+	"tcpls/internal/handshake"
+	"tcpls/internal/record"
+	"tcpls/internal/sched"
+)
+
+// newBareEngine builds a core engine with deterministic secrets for
+// white-box tests that never touch a socket.
+func newBareEngine(t *testing.T) *core.Session {
+	t.Helper()
+	suite, err := record.SuiteByID(record.TLSAES128GCMSHA256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(tag byte) []byte {
+		b := make([]byte, 32)
+		for i := range b {
+			b[i] = tag
+		}
+		return b
+	}
+	sec := handshake.Secrets{Suite: suite, ClientApp: mk(0xc1), ServerApp: mk(0x51)}
+	return core.NewSession(core.RoleClient, sec, core.Config{})
+}
+
+func TestReconnectDelayBounds(t *testing.T) {
+	rc := ReconnectConfig{BaseDelay: 40 * time.Millisecond, MaxDelay: 200 * time.Millisecond}.withDefaults()
+	if d := reconnectDelay(rc, 1); d != 0 {
+		t.Fatalf("first attempt delay = %v, want immediate", d)
+	}
+	for attempt := 2; attempt <= 12; attempt++ {
+		want := rc.BaseDelay
+		for i := 2; i < attempt; i++ {
+			want *= 2
+			if want >= rc.MaxDelay {
+				want = rc.MaxDelay
+				break
+			}
+		}
+		for trial := 0; trial < 20; trial++ {
+			d := reconnectDelay(rc, attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d delay = %v, want in [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+func TestReconnectConfigDefaults(t *testing.T) {
+	rc := ReconnectConfig{}.withDefaults()
+	if rc.MaxAttempts != defaultReconnectAttempts || rc.BaseDelay != defaultReconnectBase ||
+		rc.MaxDelay != defaultReconnectMax || rc.Deadline != defaultReconnectDeadline {
+		t.Fatalf("zero-value defaults wrong: %+v", rc)
+	}
+	// MaxDelay never undercuts BaseDelay.
+	rc = ReconnectConfig{BaseDelay: time.Second, MaxDelay: time.Millisecond}.withDefaults()
+	if rc.MaxDelay != time.Second {
+		t.Fatalf("MaxDelay not raised to BaseDelay: %v", rc.MaxDelay)
+	}
+}
+
+func TestSessionDeadErrorUnwraps(t *testing.T) {
+	err := error(&SessionDeadError{Attempts: 3, LastErr: io.ErrUnexpectedEOF})
+	if !errors.Is(err, ErrSessionDead) {
+		t.Fatal("SessionDeadError does not match ErrSessionDead")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatal("SessionDeadError hides the last dial error")
+	}
+	var sde *SessionDeadError
+	if !errors.As(err, &sde) || sde.Attempts != 3 {
+		t.Fatal("errors.As lost the attempt count")
+	}
+}
+
+func TestCandidateAddrs(t *testing.T) {
+	s := &Session{}
+	s.rememberAddrLocked("127.0.0.1:4443")
+	s.rememberAddrLocked("127.0.0.1:4443") // duplicate collapses
+	s.rememberAddrLocked("pipe")           // net.Pipe-style, not dialable
+	s.rememberAddrLocked("127.0.0.2:5000")
+	s.peerAddrs = []net.Addr{
+		&net.TCPAddr{IP: net.ParseIP("10.0.0.9")},              // ADD_ADDR: port patched in
+		&net.TCPAddr{IP: net.ParseIP("127.0.0.2"), Port: 5000}, // duplicate of a dialed addr
+	}
+	got := s.candidateAddrsLocked()
+	want := []string{"127.0.0.1:4443", "127.0.0.2:5000", "10.0.0.9:4443"}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPickFailoverTargetPrefersLowSRTT(t *testing.T) {
+	now := time.Now()
+	s := &Session{
+		metrics: sched.NewMetrics(),
+		conns:   make(map[uint32]*pathConn),
+		engine:  newBareEngine(t),
+	}
+	for id := uint32(0); id < 3; id++ {
+		if err := s.engine.AddConnection(id, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Conn 1: 50ms SRTT. Conn 2: 10ms. Conn 0: never sampled.
+	s.metrics.OnSent(1, 1000)
+	s.metrics.OnAcked(1, 1000, 50*time.Millisecond, now)
+	s.metrics.OnSent(2, 1000)
+	s.metrics.OnAcked(2, 1000, 10*time.Millisecond, now)
+
+	if id, ok := s.pickFailoverTargetLocked(map[uint32]bool{}); !ok || id != 2 {
+		t.Fatalf("pick = %d/%v, want lowest-SRTT conn 2", id, ok)
+	}
+	if id, ok := s.pickFailoverTargetLocked(map[uint32]bool{2: true}); !ok || id != 1 {
+		t.Fatalf("pick excluding 2 = %d/%v, want 1", id, ok)
+	}
+	// Unmeasured paths rank after measured ones but are still usable.
+	if id, ok := s.pickFailoverTargetLocked(map[uint32]bool{1: true, 2: true}); !ok || id != 0 {
+		t.Fatalf("pick excluding 1,2 = %d/%v, want 0", id, ok)
+	}
+	if _, ok := s.pickFailoverTargetLocked(map[uint32]bool{0: true, 1: true, 2: true}); ok {
+		t.Fatal("pick with all tried must report no target")
+	}
+}
+
+// TestAutoFailoverEmitsEvents: a conn death with a live sibling emits
+// EventConnDown then EventFailover (satellite: no more silent parking).
+func TestAutoFailoverEmitsEvents(t *testing.T) {
+	scfg := &Config{EnableFailover: true, AckPeriod: 4, NumCookies: 4}
+	ln := startServer(t, scfg, echoHandler)
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{
+		ServerName: "test.server", EnableFailover: true, AckPeriod: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.JoinPath("tcp", ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	sess.mu.Lock()
+	pc0 := sess.conns[0]
+	sess.mu.Unlock()
+	pc0.nc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	seen := make(map[SessionEventKind]bool)
+	for !seen[EventFailover] {
+		ev, err := sess.WaitEvent(ctx)
+		if err != nil {
+			t.Fatalf("waiting for failover events (saw %v): %v", seen, err)
+		}
+		seen[ev.Kind] = true
+	}
+	if !seen[EventConnDown] {
+		t.Fatal("EventFailover emitted without EventConnDown")
+	}
+
+	// The failed-over stream still works.
+	if _, err := st.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReconnectAfterTotalLoss: a single-path session loses its only
+// connection; the recovery supervisor re-dials the remembered address
+// through the join path and the stream resumes transparently.
+func TestReconnectAfterTotalLoss(t *testing.T) {
+	scfg := &Config{EnableFailover: true, AckPeriod: 4, NumCookies: 8}
+	ln := startServer(t, scfg, echoHandler)
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{
+		ServerName: "test.server", EnableFailover: true, AckPeriod: 4,
+		Reconnect: ReconnectConfig{
+			MaxAttempts: 20,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+			Deadline:    10 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the only path.
+	sess.mu.Lock()
+	pc0 := sess.conns[0]
+	sess.mu.Unlock()
+	pc0.nc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+	defer cancel()
+	seen := make(map[SessionEventKind]bool)
+	for !seen[EventReconnected] {
+		ev, err := sess.WaitEvent(ctx)
+		if err != nil {
+			t.Fatalf("waiting for reconnection (saw %v): %v", seen, err)
+		}
+		seen[ev.Kind] = true
+	}
+	for _, k := range []SessionEventKind{EventConnDown, EventReconnecting} {
+		if !seen[k] {
+			t.Fatalf("reconnected without %v", k)
+		}
+	}
+
+	if _, err := st.Write([]byte("after!")); err != nil {
+		t.Fatalf("write after reconnect: %v", err)
+	}
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatalf("read after reconnect: %v", err)
+	}
+	if string(buf) != "after!" {
+		t.Fatalf("echo after reconnect = %q", buf)
+	}
+}
+
+// TestReconnectDisabledDiesWithErrSessionDead: with the supervisor
+// disabled, total path loss parks until the deadline and then every
+// blocked or new call reports the typed terminal error.
+func TestReconnectDisabledDiesWithErrSessionDead(t *testing.T) {
+	scfg := &Config{EnableFailover: true, AckPeriod: 4, NumCookies: 4}
+	ln := startServer(t, scfg, echoHandler)
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{
+		ServerName: "test.server", EnableFailover: true, AckPeriod: 4,
+		Reconnect: ReconnectConfig{Disabled: true, Deadline: 400 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	sess.mu.Lock()
+	pc0 := sess.conns[0]
+	sess.mu.Unlock()
+	pc0.nc.Close()
+
+	start := time.Now()
+	_, rerr := st.Read(buf) // blocks until the deadline declares death
+	if !errors.Is(rerr, ErrSessionDead) {
+		t.Fatalf("blocked Read after budget exhaustion = %v, want ErrSessionDead", rerr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("death took %v, deadline was 400ms", elapsed)
+	}
+	if _, werr := st.Write([]byte("y")); !errors.Is(werr, ErrSessionDead) {
+		t.Fatalf("Write on dead session = %v, want ErrSessionDead", werr)
+	}
+	if _, oerr := sess.OpenStream(); !errors.Is(oerr, ErrSessionDead) {
+		t.Fatalf("OpenStream on dead session = %v, want ErrSessionDead", oerr)
+	}
+
+	sawFailed := false
+	for _, ev := range sess.Events() {
+		if ev.Kind == EventRecoveryFailed {
+			sawFailed = true
+			if !errors.Is(ev.Err, ErrSessionDead) {
+				t.Fatalf("EventRecoveryFailed.Err = %v", ev.Err)
+			}
+		}
+	}
+	if !sawFailed {
+		t.Fatal("no EventRecoveryFailed emitted before death")
+	}
+}
+
+// TestOnEventCallback: Config.OnEvent observes the lifecycle without
+// polling.
+func TestOnEventCallback(t *testing.T) {
+	scfg := &Config{EnableFailover: true, AckPeriod: 4, NumCookies: 8}
+	ln := startServer(t, scfg, echoHandler)
+	evCh := make(chan SessionEvent, 64)
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{
+		ServerName: "test.server", EnableFailover: true, AckPeriod: 4,
+		Reconnect: ReconnectConfig{
+			MaxAttempts: 20, BaseDelay: 10 * time.Millisecond,
+			MaxDelay: 50 * time.Millisecond, Deadline: 10 * time.Second,
+		},
+		OnEvent: func(ev SessionEvent) { evCh <- ev },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	sess.mu.Lock()
+	pc0 := sess.conns[0]
+	sess.mu.Unlock()
+	pc0.nc.Close()
+
+	deadline := time.After(8 * time.Second)
+	for {
+		select {
+		case ev := <-evCh:
+			if ev.Kind == EventReconnected {
+				return
+			}
+		case <-deadline:
+			t.Fatal("OnEvent never delivered EventReconnected")
+		}
+	}
+}

@@ -41,6 +41,17 @@ type Session struct {
 	closeErr           error
 	onNewServerCookies func([]Cookie)
 
+	// Recovery supervisor state (reconnect.go): remembered redial
+	// targets, the lifecycle event queue, and the conns that have
+	// absorbed a failover (so a later death of one is traced as a
+	// cascade).
+	dialNetwork     string
+	remoteAddrs     []string
+	recovering      bool
+	sessEvents      []SessionEvent
+	eventCh         chan SessionEvent
+	failoverTargets map[uint32]bool
+
 	// Resumption state (§4.5).
 	suite      *record.Suite
 	resumption []byte
@@ -95,6 +106,9 @@ type pathConn struct {
 	// failed flips once, possibly from a reader or writer goroutine
 	// while others look at it outside the session lock.
 	failed atomic.Bool
+	// peerClosed marks a graceful CONN_CLOSE from the peer (under s.mu):
+	// the later TCP EOF on this conn is an orderly goodbye, not an outage.
+	peerClosed bool
 }
 
 func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, leftover []byte) *Session {
@@ -125,6 +139,12 @@ func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, 
 	s.engine.AddConnection(0, time.Now())
 	var pending []outChunk
 	s.mu.Lock()
+	if isClient {
+		if ra := nc.RemoteAddr(); ra != nil {
+			s.dialNetwork = ra.Network()
+			s.rememberAddrLocked(ra.String())
+		}
+	}
 	pc := s.addConnLocked(0, nc)
 	if len(leftover) > 0 {
 		s.engine.Receive(0, leftover, time.Now())
@@ -144,6 +164,11 @@ func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, 
 	if cfg.UserTimeout > 0 {
 		s.wg.Add(1)
 		go s.timerLoop()
+	}
+	if cfg.OnEvent != nil {
+		s.eventCh = make(chan SessionEvent, sessionEventCap)
+		s.wg.Add(1)
+		go s.eventLoop()
 	}
 	return s
 }
@@ -368,7 +393,11 @@ func (s *Session) processEventsLocked() {
 			}
 		case core.EventAddAddr:
 			s.peerAddrs = append(s.peerAddrs, &net.TCPAddr{IP: ev.Addr})
-		case core.EventConnClosed, core.EventRemoveAddr, core.EventFailoverDone:
+		case core.EventConnClosed:
+			if pc, ok := s.conns[ev.Conn]; ok {
+				pc.peerClosed = true
+			}
+		case core.EventRemoveAddr, core.EventFailoverDone:
 			// informational
 		}
 	}
@@ -381,28 +410,87 @@ func (s *Session) processEventsLocked() {
 }
 
 // autoFailoverLocked resynchronizes streams of a failed connection onto
-// another live connection (§4.2's default behaviour). When no live
-// connection exists the streams stay parked until JoinPath adds one and
-// the application calls Failover explicitly.
+// the best live connection (§4.2's default behaviour): lowest fused SRTT
+// wins, and if a chosen target has raced into failure the next-best one
+// is tried (the cascade). When no live connection is left the streams
+// park and the recovery supervisor (reconnect.go) takes over.
 func (s *Session) autoFailoverLocked(failedID uint32) {
+	s.emitSessionEventLocked(SessionEvent{Kind: EventConnDown, Conn: failedID})
 	if !s.cfg.EnableFailover {
+		// No failover machinery: nothing to move, but a session with no
+		// path left must still resolve rather than park silently.
+		s.maybeEnterRecoveryLocked()
 		return
 	}
-	live := s.engine.Connections()
-	if len(live) == 0 {
-		return
+	if s.failoverTargets[failedID] {
+		// A connection that previously absorbed a failover died itself;
+		// its replayed streams move again.
+		s.engine.Note("failover_cascade", failedID, 0, 0, 0)
+		delete(s.failoverTargets, failedID)
 	}
-	target := live[0]
-	for _, id := range live {
-		if id < target {
-			target = id
+	if len(s.engine.StreamsOnConn(failedID)) > 0 {
+		tried := map[uint32]bool{failedID: true}
+		for {
+			target, ok := s.pickFailoverTargetLocked(tried)
+			if !ok {
+				break
+			}
+			tried[target] = true
+			if err := s.engine.FailoverTo(failedID, target); err != nil {
+				// The target raced into failure between the pick and the
+				// replay; try the next-best path.
+				s.engine.Note("failover_error", failedID, 0, 0, 0)
+				continue
+			}
+			if s.failoverTargets == nil {
+				s.failoverTargets = make(map[uint32]bool)
+			}
+			s.failoverTargets[target] = true
+			if pc, ok := s.conns[failedID]; ok {
+				pc.nc.Close()
+			}
+			s.emitSessionEventLocked(SessionEvent{Kind: EventFailover, Conn: target})
+			return
 		}
 	}
-	if err := s.engine.FailoverTo(failedID, target); err == nil {
-		if pc, ok := s.conns[failedID]; ok {
-			pc.nc.Close()
+	// Nothing to move, or nowhere left to move it. If the session has no
+	// path at all, arm the recovery supervisor.
+	s.maybeEnterRecoveryLocked()
+}
+
+// pickFailoverTargetLocked chooses the failover target among live
+// connections not yet tried: lowest smoothed RTT from the path-metrics
+// engine; paths without an RTT sample rank after measured ones and tie-
+// break on the lowest ID (deterministic).
+func (s *Session) pickFailoverTargetLocked(tried map[uint32]bool) (uint32, bool) {
+	var best uint32
+	var bestRTT time.Duration
+	bestHas, found := false, false
+	for _, id := range s.engine.Connections() {
+		if tried[id] {
+			continue
+		}
+		if pc, ok := s.conns[id]; ok && pc.failed.Load() {
+			continue
+		}
+		ps, ok := s.metrics.Snapshot(id)
+		has := ok && ps.HasRTT
+		better := false
+		switch {
+		case !found:
+			better = true
+		case has && !bestHas:
+			better = true
+		case has && bestHas && ps.SRTT < bestRTT:
+			better = true
+		case !has && !bestHas && id < best:
+			better = true
+		}
+		if better {
+			best, bestRTT, bestHas, found = id, ps.SRTT, has, true
 		}
 	}
+	return best, found
 }
 
 // Failover explicitly moves the streams of failedConn onto targetConn.
@@ -519,6 +607,14 @@ func (s *Session) waitLocked(ctx context.Context) error {
 // failSession tears the session down with an error.
 func (s *Session) failSession(err error) {
 	s.mu.Lock()
+	s.failSessionLocked(err)
+	s.mu.Unlock()
+}
+
+// failSessionLocked is failSession for callers already holding s.mu. A
+// nil err closes the session as if by Close (blocked calls report
+// ErrSessionClosed).
+func (s *Session) failSessionLocked(err error) {
 	if !s.closed {
 		s.closed = true
 		s.closeErr = err
@@ -528,7 +624,6 @@ func (s *Session) failSession(err error) {
 		}
 	}
 	s.cond.Broadcast()
-	s.mu.Unlock()
 }
 
 // Close shuts the session down: remaining output (including the close

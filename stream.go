@@ -30,8 +30,9 @@ func (st *Stream) Write(p []byte) (int, error) {
 	s := st.sess
 	s.mu.Lock()
 	if s.closed {
+		err := s.closedErrLocked()
 		s.mu.Unlock()
-		return 0, ErrSessionClosed
+		return 0, err
 	}
 	n, err := s.engine.Write(st.id, p)
 	out := s.collectOutgoingLocked()
@@ -57,10 +58,7 @@ func (st *Stream) Read(p []byte) (int, error) {
 			return 0, io.EOF
 		}
 		if s.closed {
-			if s.closeErr != nil {
-				return 0, s.closeErr
-			}
-			return 0, ErrSessionClosed
+			return 0, s.closedErrLocked()
 		}
 		s.cond.Wait()
 	}
@@ -89,8 +87,9 @@ func (s *Session) OpenStream() (*Stream, error) { return s.OpenStreamOn(0) }
 func (s *Session) OpenStreamOn(conn uint32) (*Stream, error) {
 	s.mu.Lock()
 	if s.closed {
+		err := s.closedErrLocked()
 		s.mu.Unlock()
-		return nil, ErrSessionClosed
+		return nil, err
 	}
 	id, err := s.engine.CreateStream(conn)
 	if err != nil {
@@ -111,7 +110,7 @@ func (s *Session) AcceptStream(ctx context.Context) (*Stream, error) {
 	defer s.mu.Unlock()
 	for len(s.acceptQ) == 0 {
 		if s.closed {
-			return nil, ErrSessionClosed
+			return nil, s.closedErrLocked()
 		}
 		if err := s.waitLocked(ctx); err != nil {
 			return nil, err
@@ -142,8 +141,9 @@ func (s *Session) Couple(streams ...*Stream) error {
 func (s *Session) WriteCoupled(p []byte) (int, error) {
 	s.mu.Lock()
 	if s.closed {
+		err := s.closedErrLocked()
 		s.mu.Unlock()
-		return 0, ErrSessionClosed
+		return 0, err
 	}
 	n, err := s.engine.WriteCoupled(p)
 	out := s.collectOutgoingLocked()
@@ -164,10 +164,7 @@ func (s *Session) ReadCoupled(p []byte) (int, error) {
 			return s.engine.ReadCoupled(p), nil
 		}
 		if s.closed {
-			if s.closeErr != nil {
-				return 0, s.closeErr
-			}
-			return 0, ErrSessionClosed
+			return 0, s.closedErrLocked()
 		}
 		s.cond.Wait()
 	}
