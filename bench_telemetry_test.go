@@ -1,0 +1,90 @@
+// Telemetry overhead benchmarks (DESIGN.md §9): the observability layer
+// claims ≤5% throughput cost when enabled and a single nil-check when
+// disabled. BenchmarkTelemetryOverhead runs the same loopback transfer
+// both ways so the two numbers sit side by side in one run:
+//
+//	go test -bench=Telemetry -benchmem
+package tcpls_test
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"tcpls"
+)
+
+const telemetryBenchBytes = 8 << 20
+
+// benchTelemetryTransfer pushes telemetryBenchBytes per iteration
+// through a real loopback session and reports records/s alongside the
+// usual MB/s.
+func benchTelemetryTransfer(b *testing.B, tcfg tcpls.TelemetryConfig) {
+	cert, err := tcpls.NewCertificate("bench.tcpls")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := tcpls.Listen("tcp", "127.0.0.1:0", &tcpls.Config{
+		Certificate: cert,
+		Telemetry:   tcfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			sess, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer sess.Close()
+				for {
+					st, err := sess.AcceptStream(context.Background())
+					if err != nil {
+						return
+					}
+					go io.Copy(io.Discard, st)
+				}
+			}()
+		}
+	}()
+
+	sess, err := tcpls.Dial("tcp", ln.Addr().String(), &tcpls.Config{
+		ServerName: "bench.tcpls",
+		Telemetry:  tcfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, 1<<20)
+
+	b.SetBytes(telemetryBenchBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for sent := 0; sent < telemetryBenchBytes; sent += len(chunk) {
+			if _, err := st.Write(chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if records := sess.Stats().RecordsSent; b.Elapsed().Seconds() > 0 {
+		b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/s")
+	}
+}
+
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		benchTelemetryTransfer(b, tcpls.TelemetryConfig{Disabled: true})
+	})
+	b.Run("enabled", func(b *testing.B) {
+		benchTelemetryTransfer(b, tcpls.TelemetryConfig{})
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tcpls/internal/netem"
+	"tcpls/internal/testutil"
 )
 
 // chaosMiB is the checksummed transfer size for the chaos test.
@@ -66,23 +67,11 @@ func (cs *chaosServer) Close() {
 	}
 }
 
-// checkGoroutines polls until the goroutine count returns near base —
-// the zero-leak gate for the fault-injection tests.
+// checkGoroutines is the zero-leak gate for the fault-injection tests
+// (shared with reconnect and telemetry tests via internal/testutil).
 func checkGoroutines(t *testing.T, base int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= base+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			buf = buf[:runtime.Stack(buf, true)]
-			t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, base, buf)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	testutil.CheckGoroutines(t, base)
 }
 
 // TestChaosTransferSurvivesCascadeAndTotalLoss is the tentpole test: a

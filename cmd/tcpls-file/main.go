@@ -33,10 +33,19 @@ var (
 	sendFlag   = flag.String("send", "", "file to send")
 	secondPath = flag.String("second-path", "", "second server address to join for aggregation")
 	nameFlag   = flag.String("name", "files.tcpls", "server certificate name")
+	metricsF   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address")
 )
 
 func main() {
 	flag.Parse()
+	if *metricsF != "" {
+		closer, err := tcpls.ServeTelemetry(*metricsF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closer.Close()
+		log.Printf("telemetry on http://%s/metrics", *metricsF)
+	}
 	if *serverFlag {
 		runServer()
 		return

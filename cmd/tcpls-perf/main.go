@@ -35,6 +35,7 @@ var (
 	recordFlag  = flag.Int("record", 0, "max record payload bytes (0 = default 16368)")
 	plainFlag   = flag.Bool("plain-tls", false, "disable TCPLS (plain TLS baseline)")
 	nameFlag    = flag.String("name", "perf.tcpls", "server certificate name")
+	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address")
 )
 
 func main() {
@@ -44,6 +45,17 @@ func main() {
 		MaxRecordPayload: *recordFlag,
 		DisableTCPLS:     *plainFlag,
 		ServerName:       *nameFlag,
+	}
+	if *metricsAddr != "" {
+		cfg.Telemetry.Addr = *metricsAddr
+		// Hold the endpoint for the process lifetime regardless of
+		// session churn.
+		closer, err := tcpls.ServeTelemetry(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closer.Close()
+		log.Printf("telemetry on http://%s/metrics", *metricsAddr)
 	}
 	if *serverFlag {
 		runServer(cfg)

@@ -92,6 +92,12 @@ type Config struct {
 	// the session dead with ErrSessionDead.
 	Reconnect ReconnectConfig
 
+	// Telemetry configures the observability layer: an aggregated
+	// lock-free metrics registry (on by default), an optional HTTP
+	// endpoint serving Prometheus /metrics plus /debug/pprof, and the
+	// sampling rate of the buffered qlog trace sink. See TelemetryConfig.
+	Telemetry TelemetryConfig
+
 	// OnEvent, when set, receives session lifecycle events
 	// (EventConnDown, EventFailover, EventReconnecting, EventReconnected,
 	// EventRecoveryFailed) on a dedicated goroutine, in order. Events are

@@ -86,4 +86,11 @@ func main() {
 	if err == nil {
 		fmt.Printf("client: encrypted echo probe RTT %v\n", rtt)
 	}
+
+	// Every session carries a lock-free telemetry registry; the same
+	// numbers are scrapable in Prometheus format when
+	// Config.Telemetry.Addr is set.
+	m := sess.Metrics()
+	fmt.Printf("client: metrics — records sent=%d received=%d bytes sent=%d conns=%d streams=%d\n",
+		m.Stats.RecordsSent, m.Stats.RecordsReceived, m.Stats.BytesSent, m.ConnsOpen, m.StreamsOpen)
 }

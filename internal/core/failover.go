@@ -31,8 +31,14 @@ func (s *Session) Advance(now time.Time) []uint32 {
 			failed = append(failed, id)
 			s.lastNow = now
 			s.trace("conn_failed", id, 0, 0, 0)
+			if s.tel != nil {
+				s.tel.ConnFailures.Inc()
+			}
 			s.emit(Event{Kind: EventConnFailed, Conn: id})
 		}
+	}
+	if len(failed) > 0 {
+		s.telSyncGauges()
 	}
 	return failed
 }
@@ -61,6 +67,10 @@ func (s *Session) ReportConnFailed(connID uint32) error {
 	if !c.failed {
 		c.failed = true
 		s.trace("conn_failed", connID, 0, 0, 0)
+		if s.tel != nil {
+			s.tel.ConnFailures.Inc()
+		}
+		s.telSyncGauges()
 		s.emit(Event{Kind: EventConnFailed, Conn: connID})
 	}
 	return nil
@@ -120,6 +130,10 @@ func (s *Session) FailoverTo(failedID, targetID uint32) error {
 	failedConn.failed = true
 	failedConn.failedOver = true
 	s.trace("failover_started", failedID, 0, 0, 0)
+	if s.tel != nil {
+		s.tel.Failovers.Inc()
+	}
+	s.telSyncGauges()
 
 	if err := s.sendCtl(target, appendFailover(nil, failedID)); err != nil {
 		return err
@@ -184,6 +198,10 @@ func (s *Session) failoverStreamSend(st *stream, fromID uint32, target *conn) er
 		s.stats.Retransmits++
 		s.stats.RecordsSent++
 		s.trace("retransmit", target.id, st.id, r.seq, len(r.payload))
+		if s.tel != nil {
+			target.tel.Retransmits.Inc()
+			target.tel.RecordsSent.Inc()
+		}
 		// Path metrics: the bytes were lost on the failed path and
 		// are in flight again on the target; the replayed copy is
 		// barred from RTT sampling (Karn).
@@ -242,6 +260,10 @@ func (s *Session) handleFailoverNotice(c *conn, f *frame) error {
 	if !failed.failed {
 		failed.failed = true
 		s.trace("conn_failed", f.id, 0, 0, 0)
+		if s.tel != nil {
+			s.tel.ConnFailures.Inc()
+		}
+		s.telSyncGauges()
 		s.emit(Event{Kind: EventConnFailed, Conn: f.id})
 	}
 	return nil

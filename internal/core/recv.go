@@ -45,11 +45,17 @@ func (s *Session) handleRecord(c *conn, rec []byte) error {
 			// stay intact, so it is not a resync issue) — but dropping
 			// keeps the engine alive for the sim's adversarial tests.
 			s.stats.FailedDecrypts++
+			if s.tel != nil {
+				c.tel.FailedDecrypts.Inc()
+			}
 			return nil
 		}
 		return err
 	}
 	s.stats.RecordsReceived++
+	if s.tel != nil {
+		c.tel.RecordsReceived.Inc()
+	}
 	f, err := parseFrame(content)
 	if err != nil {
 		return err
@@ -72,11 +78,18 @@ func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
 	// The record's sequence number is the one the context just consumed.
 	seq := st.recvCtx.Seq() - 1
 	s.stats.BytesReceived += uint64(len(f.payload))
+	if s.tel != nil {
+		c.tel.BytesReceived.Add(uint64(len(f.payload)))
+		st.tel.BytesReceived.Add(uint64(len(f.payload)))
+	}
 
 	if seq < st.nextDeliverSeq {
 		// Failover replay of a record we already delivered (the peer's
 		// ack state lagged): count and drop.
 		s.stats.DupRecordsDropped++
+		if s.tel != nil {
+			c.tel.DupRecords.Inc()
+		}
 		s.trace("dup_dropped", c.id, streamID, seq, len(f.payload))
 		s.maybeAck(c, st)
 		return nil
@@ -95,6 +108,9 @@ func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
 			delivered = s.coupled.buf.Offer(f.aggSeq, f.payload)
 		} else {
 			delivered = s.coupled.buf.Offer(f.aggSeq, append([]byte(nil), f.payload...))
+		}
+		if s.tel != nil {
+			s.tel.ReorderDepth.Set(int64(s.coupled.buf.Pending()))
 		}
 		if s.DeliverCoupled != nil {
 			for _, d := range delivered {
@@ -139,6 +155,9 @@ func (s *Session) sendAck(c *conn, st *stream) {
 	}
 	s.trace("ack_sent", c.id, st.id, st.recvCtx.Seq(), 0)
 	s.stats.AcksSent++
+	if s.tel != nil {
+		c.tel.AcksSent.Inc()
+	}
 	st.recvSinceAck = 0
 	st.bytesSinceAck = 0
 }
@@ -192,6 +211,7 @@ func (s *Session) handleControl(c *conn, streamID uint32, f *frame) error {
 		return nil
 	case typeConnClose:
 		c.closed = true
+		s.telSyncGauges()
 		s.emit(Event{Kind: EventConnClosed, Conn: c.id})
 		return nil
 	case typeSessionTicket:
@@ -216,6 +236,11 @@ func (s *Session) handleAck(f *frame) error {
 	}
 	s.stats.AcksReceived++
 	s.trace("ack_received", 0, f.id, f.seq, 0)
+	if s.tel != nil {
+		if hc, ok := s.conns[st.conn]; ok {
+			hc.tel.AcksReceived.Inc()
+		}
+	}
 	if f.seq > st.peerAcked {
 		st.peerAcked = f.seq
 	}
@@ -234,6 +259,9 @@ func (s *Session) handleAck(f *frame) error {
 	}
 	if i > 0 {
 		st.retransmit = append(st.retransmit[:0], st.retransmit[i:]...)
+		if s.tel != nil && rttSample > 0 {
+			s.tel.AckRTT.Observe(rttSample.Seconds())
+		}
 		if s.metrics != nil {
 			s.metrics.OnAcked(st.conn, ackedBytes, rttSample, s.lastNow)
 		}

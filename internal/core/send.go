@@ -28,6 +28,7 @@ func RoundRobin(recordIdx uint64, streams []uint32) int {
 // stream, so a buggy scheduler degrades to pinned rather than
 // crashing. nil restores the default round-robin.
 func (s *Session) SetScheduler(fn Scheduler) {
+	s.telPicks = nil
 	if fn == nil {
 		s.pathSched = nil
 		return
@@ -38,11 +39,17 @@ func (s *Session) SetScheduler(fn Scheduler) {
 // SetPathScheduler installs a stateful path scheduler (§3.3.3). The
 // engine serializes all scheduler calls; one scheduler instance must
 // not be shared across sessions. nil restores the default round-robin.
-func (s *Session) SetPathScheduler(ps sched.Scheduler) { s.pathSched = ps }
+func (s *Session) SetPathScheduler(ps sched.Scheduler) {
+	s.pathSched = ps
+	s.telPicks = nil // re-resolve the per-policy pick counter lazily
+}
 
 func (s *Session) scheduler() sched.Scheduler {
 	if s.pathSched == nil {
 		s.pathSched = sched.RoundRobin()
+	}
+	if s.tel != nil && s.telPicks == nil {
+		s.telPicks = s.tel.SchedPicks(s.pathSched.Name())
 	}
 	return s.pathSched
 }
@@ -160,6 +167,7 @@ func (s *Session) flushCoupled() error {
 			// exactly one copy.
 			for _, st := range cs {
 				s.trace("sched_pick", st.conn, st.id, aggSeq, n)
+				s.telPicks.Inc()
 				if err := s.sealStreamRecord(st, chunk, true, aggSeq); err != nil {
 					return err
 				}
@@ -171,10 +179,14 @@ func (s *Session) flushCoupled() error {
 				// to the first coupled stream per the SetScheduler
 				// contract.
 				s.trace("sched_invalid", 0, 0, aggSeq, idx)
+				if s.tel != nil {
+					s.tel.SchedInvalid.Inc()
+				}
 				idx = 0
 			}
 			st := cs[idx]
 			s.trace("sched_pick", st.conn, st.id, aggSeq, n)
+			s.telPicks.Inc()
 			if err := s.sealStreamRecord(st, chunk, true, aggSeq); err != nil {
 				return err
 			}
@@ -229,6 +241,12 @@ func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, agg
 	s.stats.RecordsSent++
 	s.stats.BytesSent += uint64(len(payload))
 	s.trace("record_sent", c.id, st.id, seq, len(payload))
+	if s.tel != nil {
+		c.tel.RecordsSent.Inc()
+		c.tel.BytesSent.Add(uint64(len(payload)))
+		st.tel.BytesSent.Add(uint64(len(payload)))
+		s.tel.RecordSize.Observe(float64(len(payload)))
+	}
 	if s.pathSched != nil {
 		s.pathSched.OnSent(c.id, len(payload))
 	}
@@ -342,5 +360,6 @@ func (s *Session) CloseConnection(connID uint32) error {
 		return err
 	}
 	c.closed = true
+	s.telSyncGauges()
 	return nil
 }

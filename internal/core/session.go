@@ -9,6 +9,7 @@ import (
 	"tcpls/internal/record"
 	"tcpls/internal/reorder"
 	"tcpls/internal/sched"
+	"tcpls/internal/telemetry"
 )
 
 // Role distinguishes the two endpoints of a session.
@@ -199,6 +200,13 @@ type Session struct {
 	tracer  func(TraceEvent)
 	lastNow time.Time
 
+	// tel is the aggregated-metrics surface (nil = telemetry disabled;
+	// every emission point is a single nil-check away from free).
+	// telPicks caches the per-policy scheduler pick counter, resolved
+	// lazily when the active scheduler is first consulted.
+	tel      *telemetry.SessionMetrics
+	telPicks *telemetry.Counter
+
 	// Stats counters.
 	stats Stats
 }
@@ -251,6 +259,51 @@ func NewSession(role Role, secrets handshake.Secrets, cfg Config) *Session {
 // Stats returns a copy of the engine counters.
 func (s *Session) Stats() Stats { return s.stats }
 
+// SetTelemetry installs the pre-resolved metric handle set the engine
+// updates on its send/recv/failover paths. Handles for connections and
+// streams that already exist are resolved immediately, so installation
+// order does not matter. nil disables telemetry (the emission points
+// reduce to one nil-check each).
+func (s *Session) SetTelemetry(sm *telemetry.SessionMetrics) {
+	s.tel = sm
+	s.telPicks = nil
+	if sm == nil {
+		for _, c := range s.conns {
+			c.tel = nil
+		}
+		for _, st := range s.streams {
+			st.tel = nil
+		}
+		return
+	}
+	for id, c := range s.conns {
+		c.tel = sm.Conn(id)
+	}
+	for id, st := range s.streams {
+		st.tel = sm.Stream(id)
+	}
+	s.telSyncGauges()
+}
+
+// Telemetry returns the installed metric handle set (nil if none).
+func (s *Session) Telemetry() *telemetry.SessionMetrics { return s.tel }
+
+// telSyncGauges refreshes the live-connection and open-stream gauges.
+// Called on topology changes only (add/fail/close), never per record.
+func (s *Session) telSyncGauges() {
+	if s.tel == nil {
+		return
+	}
+	live := 0
+	for _, c := range s.conns {
+		if !c.failed && !c.closed {
+			live++
+		}
+	}
+	s.tel.ConnsOpen.Set(int64(live))
+	s.tel.StreamsOpen.Set(int64(len(s.streams)))
+}
+
 // SetMetrics installs the path-metrics store the engine feeds with
 // record-sent/acked/lost events and consults when building the
 // scheduler's PathView snapshots. The store itself is safe for
@@ -297,6 +350,7 @@ func (s *Session) AddConnection(id uint32, now time.Time) error {
 		return ErrDuplicateConn
 	}
 	c := &conn{id: id, lastRecv: now, attached: make(map[uint32]bool)}
+	c.tel = s.tel.Conn(id) // nil-safe: nil SessionMetrics yields nil handles
 	ctlID := ctlStreamID(id)
 	var err error
 	if c.ctlSend, err = s.newContext(s.sendSecret, ctlID); err != nil {
@@ -308,6 +362,7 @@ func (s *Session) AddConnection(id uint32, now time.Time) error {
 	}
 	c.demux.Attach(ctlRecv)
 	s.conns[id] = c
+	s.telSyncGauges()
 	return nil
 }
 
@@ -348,6 +403,9 @@ type conn struct {
 	// to resynchronize and is rejected.
 	failedOver bool
 	closed     bool
+	// tel holds this connection's pre-resolved counters; non-nil exactly
+	// when the session's telemetry is installed.
+	tel *telemetry.ConnMetrics
 }
 
 // sendCtl seals a control record onto the connection immediately,
@@ -359,6 +417,9 @@ func (s *Session) sendCtl(c *conn, content []byte) error {
 	}
 	c.out = out
 	s.stats.RecordsSent++
+	if s.tel != nil {
+		c.tel.RecordsSent.Inc()
+	}
 	return nil
 }
 

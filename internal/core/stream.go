@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tcpls/internal/record"
+	"tcpls/internal/telemetry"
 )
 
 // stream is per-stream state. Streams are bidirectional and attached to
@@ -32,6 +33,10 @@ type stream struct {
 	bytesSinceAck  int
 	peerFin        bool
 	peerFinalSeq   uint64
+
+	// tel holds the per-stream byte counters; non-nil exactly when the
+	// session's telemetry is installed.
+	tel *telemetry.StreamMetrics
 }
 
 // sentRecord is one record buffered for potential failover replay.
@@ -82,6 +87,7 @@ func (s *Session) installStream(id, connID uint32) (*stream, error) {
 		return nil, err
 	}
 	st := &stream{id: id, conn: connID}
+	st.tel = s.tel.Stream(id) // nil-safe: nil SessionMetrics yields nil handles
 	if st.sendCtx, err = s.newContext(s.sendSecret, id); err != nil {
 		return nil, err
 	}
@@ -90,6 +96,7 @@ func (s *Session) installStream(id, connID uint32) (*stream, error) {
 	}
 	c.demux.Attach(st.recvCtx)
 	s.streams[id] = st
+	s.telSyncGauges()
 	return st, nil
 }
 

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server exposes a registry over HTTP: /metrics in Prometheus text
+// format plus the full net/http/pprof surface under /debug/pprof/ —
+// enough to watch a chaos run live and grab a goroutine or CPU profile
+// from the same port.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr and starts serving reg. The returned server owns the
+// listener; Close releases it.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	// Explicit pprof routes: importing net/http/pprof for its side
+	// effect would pollute http.DefaultServeMux for the whole process.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Handler returns the /metrics exposition handler for reg, for callers
+// embedding it in their own mux.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes all live connections.
+func (s *Server) Close() error { return s.srv.Close() }

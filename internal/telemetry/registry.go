@@ -1,0 +1,319 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates family types in the registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with a fixed label schema and any number of
+// labelled children. Child resolution takes the family lock; the
+// returned handles are updated lock-free afterwards.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.Mutex
+	order    []string // child keys in first-seen order, for stable exposition
+	children map[string]any
+}
+
+// labelKey joins label values into the child map key. Values are joined
+// with \xff, which cannot appear in a valid label value.
+func labelKey(values []string) string {
+	return strings.Join(values, "\xff")
+}
+
+// child returns (creating if needed) the child for the given label
+// values; mk builds a fresh metric value.
+func (f *family) child(values []string, mk func() any) any {
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := mk()
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Family registration is idempotent: asking for an
+// already-registered name with the same kind and label schema returns
+// the existing family, so several sessions can share one registry.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that sessions aggregate into
+// unless configured otherwise.
+func Default() *Registry { return defaultRegistry }
+
+// register resolves or creates a family, enforcing schema consistency.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s%v, was %s%v",
+				name, kind, labels, f.kind, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("telemetry: %s re-registered with labels %v, was %v",
+					name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]any),
+	}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// CounterVec is a labelled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or resolves) a counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (one per label, in
+// schema order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a labelled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or resolves) a gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a labelled histogram family with shared bucket bounds.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or resolves) a histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	f := v.f
+	return f.child(values, func() any { return NewHistogram(f.bounds) }).(*Histogram)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders {k="v",...}; extra appends additional pairs (the
+// histogram "le" label).
+func formatLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		val := ""
+		if i < len(values) {
+			val = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(val))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in text exposition format.
+// Families appear in registration order, children in first-seen order —
+// stable output that diffing and tests can rely on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		if len(keys) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for i, key := range keys {
+			values := strings.Split(key, "\xff")
+			if key == "" {
+				values = nil
+			}
+			switch c := children[i].(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(f.labels, values, "", ""), c.Load()); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, formatLabels(f.labels, values, "", ""), c.Load()); err != nil {
+					return err
+				}
+			case *Histogram:
+				var cum uint64
+				for bi := range c.counts {
+					cum += c.counts[bi].Load()
+					le := "+Inf"
+					if bi < len(c.bounds) {
+						le = formatFloat(c.bounds[bi])
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(f.labels, values, "le", le), cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, formatLabels(f.labels, values, "", ""), formatFloat(c.Sum())); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(f.labels, values, "", ""), c.Count()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Gather returns a flat snapshot of every counter and gauge child as
+// name{labels} -> value, for tests and the Session.Metrics API.
+// Histograms contribute name_count and name_sum entries.
+func (r *Registry) Gather() map[string]float64 {
+	out := make(map[string]float64)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		for key, child := range f.children {
+			values := strings.Split(key, "\xff")
+			if key == "" {
+				values = nil
+			}
+			id := f.name + formatLabels(f.labels, values, "", "")
+			switch c := child.(type) {
+			case *Counter:
+				out[id] = float64(c.Load())
+			case *Gauge:
+				out[id] = float64(c.Load())
+			case *Histogram:
+				out[id+"_count"] = float64(c.Count())
+				out[id+"_sum"] = c.Sum()
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// Families lists registered family names (sorted), mostly for tests.
+func (r *Registry) Families() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fams))
+	for _, f := range r.fams {
+		names = append(names, f.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Families is the TCPLS metric family set over one registry. Creating
+// it is idempotent (the registry deduplicates by name), so every
+// session against a shared registry sees the same families and
+// exposition aggregates across sessions, separated by the sess label.
+type Families struct {
+	recordsSent     *CounterVec // sess, conn
+	recordsReceived *CounterVec // sess, conn
+	bytesSent       *CounterVec // sess, conn
+	bytesReceived   *CounterVec // sess, conn
+	retransmits     *CounterVec // sess, conn
+	acksSent        *CounterVec // sess, conn
+	acksReceived    *CounterVec // sess, conn
+	dupRecords      *CounterVec // sess, conn
+	failedDecrypts  *CounterVec // sess, conn
+
+	streamBytesSent     *CounterVec // sess, stream
+	streamBytesReceived *CounterVec // sess, stream
+
+	schedPicks   *CounterVec // sess, policy
+	schedInvalid *CounterVec // sess
+
+	connFailures     *CounterVec // sess
+	failovers        *CounterVec // sess
+	failoverCascades *CounterVec // sess
+	reconnAttempts   *CounterVec // sess
+	reconnects       *CounterVec // sess
+	recoveryFailures *CounterVec // sess
+
+	traceEvents  *CounterVec // sess
+	traceDropped *CounterVec // sess
+
+	ackRTT     *HistogramVec // sess
+	recordSize *HistogramVec // sess
+
+	reorderDepth *GaugeVec // sess
+	connsOpen    *GaugeVec // sess
+	streamsOpen  *GaugeVec // sess
+}
+
+// TCPLSFamilies registers (or resolves) the TCPLS metric set on r.
+func TCPLSFamilies(r *Registry) *Families {
+	return &Families{
+		recordsSent:     r.CounterVec("tcpls_records_sent_total", "TLS records sealed onto a connection (data and control).", "sess", "conn"),
+		recordsReceived: r.CounterVec("tcpls_records_received_total", "TLS records successfully opened from a connection.", "sess", "conn"),
+		bytesSent:       r.CounterVec("tcpls_bytes_sent_total", "Stream payload bytes sealed onto a connection.", "sess", "conn"),
+		bytesReceived:   r.CounterVec("tcpls_bytes_received_total", "Stream payload bytes received on a connection.", "sess", "conn"),
+		retransmits:     r.CounterVec("tcpls_retransmits_total", "Records replayed onto a connection during failover.", "sess", "conn"),
+		acksSent:        r.CounterVec("tcpls_acks_sent_total", "Record-level acknowledgments sent on a connection.", "sess", "conn"),
+		acksReceived:    r.CounterVec("tcpls_acks_received_total", "Record-level acknowledgments received for streams homed on a connection.", "sess", "conn"),
+		dupRecords:      r.CounterVec("tcpls_dup_records_dropped_total", "Failover-replay duplicates dropped by the receive filter.", "sess", "conn"),
+		failedDecrypts:  r.CounterVec("tcpls_failed_decrypts_total", "Records that matched no stream context (forgery budget).", "sess", "conn"),
+
+		streamBytesSent:     r.CounterVec("tcpls_stream_bytes_sent_total", "Payload bytes sealed per stream.", "sess", "stream"),
+		streamBytesReceived: r.CounterVec("tcpls_stream_bytes_received_total", "Payload bytes received per stream.", "sess", "stream"),
+
+		schedPicks:   r.CounterVec("tcpls_sched_picks_total", "Coupled records routed by the path scheduler, per policy.", "sess", "policy"),
+		schedInvalid: r.CounterVec("tcpls_sched_invalid_total", "Out-of-range scheduler picks that fell back to path 0.", "sess"),
+
+		connFailures:     r.CounterVec("tcpls_conn_failures_total", "TCP connections declared failed (RST, timeout, or peer notice).", "sess"),
+		failovers:        r.CounterVec("tcpls_failovers_total", "Failover resynchronizations performed.", "sess"),
+		failoverCascades: r.CounterVec("tcpls_failover_cascades_total", "Failovers whose target had absorbed an earlier failover.", "sess"),
+		reconnAttempts:   r.CounterVec("tcpls_reconnect_attempts_total", "Recovery-supervisor redial rounds started.", "sess"),
+		reconnects:       r.CounterVec("tcpls_reconnects_total", "Successful session revivals through the join path.", "sess"),
+		recoveryFailures: r.CounterVec("tcpls_recovery_failures_total", "Sessions declared dead after exhausting the recovery budget.", "sess"),
+
+		traceEvents:  r.CounterVec("tcpls_trace_events_total", "Trace events enqueued on the qlog sink.", "sess"),
+		traceDropped: r.CounterVec("tcpls_trace_dropped_total", "Trace events dropped because the sink ring was full.", "sess"),
+
+		ackRTT:     r.HistogramVec("tcpls_ack_rtt_seconds", "Record-level acknowledgment round-trip samples (Karn-filtered).", RTTBuckets, "sess"),
+		recordSize: r.HistogramVec("tcpls_record_payload_bytes", "Stream payload size per sealed record.", SizeBuckets, "sess"),
+
+		reorderDepth: r.GaugeVec("tcpls_reorder_heap_depth", "Out-of-order records held by the coupled reorder heap.", "sess"),
+		connsOpen:    r.GaugeVec("tcpls_conns_open", "Live TCP connections in the session.", "sess"),
+		streamsOpen:  r.GaugeVec("tcpls_streams_open", "Open streams in the session.", "sess"),
+	}
+}
+
+// SessionMetrics is one session's pre-resolved handle set. The engine
+// updates these with single atomic operations; a nil *SessionMetrics
+// disables everything at the cost of one nil-check per emission point.
+type SessionMetrics struct {
+	fams *Families
+	sess string
+
+	ConnFailures     *Counter
+	Failovers        *Counter
+	FailoverCascades *Counter
+	ReconnectAttempts *Counter
+	Reconnects        *Counter
+	RecoveryFailures  *Counter
+	SchedInvalid      *Counter
+	TraceEvents       *Counter
+	TraceDropped      *Counter
+
+	AckRTT     *Histogram
+	RecordSize *Histogram
+
+	ReorderDepth *Gauge
+	ConnsOpen    *Gauge
+	StreamsOpen  *Gauge
+
+	mu      sync.Mutex
+	conns   map[uint32]*ConnMetrics
+	streams map[uint32]*StreamMetrics
+	picks   map[string]*Counter
+}
+
+// Session resolves the per-session handles for label value sess.
+func (f *Families) Session(sess string) *SessionMetrics {
+	return &SessionMetrics{
+		fams:              f,
+		sess:              sess,
+		ConnFailures:      f.connFailures.With(sess),
+		Failovers:         f.failovers.With(sess),
+		FailoverCascades:  f.failoverCascades.With(sess),
+		ReconnectAttempts: f.reconnAttempts.With(sess),
+		Reconnects:        f.reconnects.With(sess),
+		RecoveryFailures:  f.recoveryFailures.With(sess),
+		SchedInvalid:      f.schedInvalid.With(sess),
+		TraceEvents:       f.traceEvents.With(sess),
+		TraceDropped:      f.traceDropped.With(sess),
+		AckRTT:            f.ackRTT.With(sess),
+		RecordSize:        f.recordSize.With(sess),
+		ReorderDepth:      f.reorderDepth.With(sess),
+		ConnsOpen:         f.connsOpen.With(sess),
+		StreamsOpen:       f.streamsOpen.With(sess),
+		conns:             make(map[uint32]*ConnMetrics),
+		streams:           make(map[uint32]*StreamMetrics),
+		picks:             make(map[string]*Counter),
+	}
+}
+
+// ConnMetrics is one connection's pre-resolved counter set.
+type ConnMetrics struct {
+	RecordsSent     *Counter
+	RecordsReceived *Counter
+	BytesSent       *Counter
+	BytesReceived   *Counter
+	Retransmits     *Counter
+	AcksSent        *Counter
+	AcksReceived    *Counter
+	DupRecords      *Counter
+	FailedDecrypts  *Counter
+}
+
+// Conn resolves (once) the per-connection counters for connID. Safe on
+// a nil receiver (returns nil, and all ConnMetrics methods on nil
+// fields are no-ops).
+func (sm *SessionMetrics) Conn(connID uint32) *ConnMetrics {
+	if sm == nil {
+		return nil
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if cm, ok := sm.conns[connID]; ok {
+		return cm
+	}
+	id := strconv.FormatUint(uint64(connID), 10)
+	cm := &ConnMetrics{
+		RecordsSent:     sm.fams.recordsSent.With(sm.sess, id),
+		RecordsReceived: sm.fams.recordsReceived.With(sm.sess, id),
+		BytesSent:       sm.fams.bytesSent.With(sm.sess, id),
+		BytesReceived:   sm.fams.bytesReceived.With(sm.sess, id),
+		Retransmits:     sm.fams.retransmits.With(sm.sess, id),
+		AcksSent:        sm.fams.acksSent.With(sm.sess, id),
+		AcksReceived:    sm.fams.acksReceived.With(sm.sess, id),
+		DupRecords:      sm.fams.dupRecords.With(sm.sess, id),
+		FailedDecrypts:  sm.fams.failedDecrypts.With(sm.sess, id),
+	}
+	sm.conns[connID] = cm
+	return cm
+}
+
+// StreamMetrics is one stream's pre-resolved counter set.
+type StreamMetrics struct {
+	BytesSent     *Counter
+	BytesReceived *Counter
+}
+
+// Stream resolves (once) the per-stream counters for streamID.
+func (sm *SessionMetrics) Stream(streamID uint32) *StreamMetrics {
+	if sm == nil {
+		return nil
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if stm, ok := sm.streams[streamID]; ok {
+		return stm
+	}
+	id := strconv.FormatUint(uint64(streamID), 10)
+	stm := &StreamMetrics{
+		BytesSent:     sm.fams.streamBytesSent.With(sm.sess, id),
+		BytesReceived: sm.fams.streamBytesReceived.With(sm.sess, id),
+	}
+	sm.streams[streamID] = stm
+	return stm
+}
+
+// SchedPicks resolves (once) the pick counter for a scheduler policy.
+func (sm *SessionMetrics) SchedPicks(policy string) *Counter {
+	if sm == nil {
+		return nil
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if c, ok := sm.picks[policy]; ok {
+		return c
+	}
+	c := sm.fams.schedPicks.With(sm.sess, policy)
+	sm.picks[policy] = c
+	return c
+}
+
+// PickCounts snapshots the per-policy pick counters.
+func (sm *SessionMetrics) PickCounts() map[string]uint64 {
+	if sm == nil {
+		return nil
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make(map[string]uint64, len(sm.picks))
+	for policy, c := range sm.picks {
+		out[policy] = c.Load()
+	}
+	return out
+}
+
+// ConnIDs returns the connection IDs with resolved counters, for
+// snapshot assembly.
+func (sm *SessionMetrics) ConnIDs() []uint32 {
+	if sm == nil {
+		return nil
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make([]uint32, 0, len(sm.conns))
+	for id := range sm.conns {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Load() != 0 {
+		t.Fatal("nil counter loaded non-zero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Load() != 0 {
+		t.Fatal("nil gauge loaded non-zero")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram recorded a sample")
+	}
+
+	real := new(Counter)
+	real.Inc()
+	real.Add(2)
+	if got := real.Load(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	rg := new(Gauge)
+	rg.Set(5)
+	rg.Add(-2)
+	if got := rg.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	// 0.5 and 1 land in le=1; 5 in le=10; 50 in le=100; 500 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("sum = %g, want 556.5", h.Sum())
+	}
+	if h.Mean() != 556.5/5 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+}
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_records_total", "Records.", "sess", "conn").With("ab", "0").Add(5)
+	r.GaugeVec("test_open", "Open things.", "sess").With("ab").Set(2)
+	h := r.HistogramVec("test_rtt_seconds", "RTT.", []float64{0.01, 0.1}, "sess").With("ab")
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_records_total Records.
+# TYPE test_records_total counter
+test_records_total{sess="ab",conn="0"} 5
+# HELP test_open Open things.
+# TYPE test_open gauge
+test_open{sess="ab"} 2
+# HELP test_rtt_seconds RTT.
+# TYPE test_rtt_seconds histogram
+test_rtt_seconds_bucket{sess="ab",le="0.01"} 1
+test_rtt_seconds_bucket{sess="ab",le="0.1"} 2
+test_rtt_seconds_bucket{sess="ab",le="+Inf"} 3
+test_rtt_seconds_sum{sess="ab"} 5.055
+test_rtt_seconds_count{sess="ab"} 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "Escapes.", "v").With("a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `test_esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", buf.String())
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterVec("test_dup_total", "One.", "sess")
+	b := r.CounterVec("test_dup_total", "Two.", "sess")
+	a.With("x").Inc()
+	b.With("x").Inc()
+	if got := a.With("x").Load(); got != 2 {
+		t.Fatalf("re-registered family not shared: %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schema mismatch did not panic")
+		}
+	}()
+	r.GaugeVec("test_dup_total", "Wrong kind.", "sess")
+}
+
+func TestFamiliesSharedAcrossSessions(t *testing.T) {
+	r := NewRegistry()
+	f1 := TCPLSFamilies(r)
+	f2 := TCPLSFamilies(r)
+	f1.Session("s1").Conn(0).RecordsSent.Add(3)
+	f2.Session("s2").Conn(0).RecordsSent.Add(4)
+	got := r.Gather()
+	if got[`tcpls_records_sent_total{sess="s1",conn="0"}`] != 3 {
+		t.Fatalf("s1 counter missing: %v", got)
+	}
+	if got[`tcpls_records_sent_total{sess="s2",conn="0"}`] != 4 {
+		t.Fatalf("s2 counter missing: %v", got)
+	}
+	// Handle resolution is cached per session.
+	sm := f1.Session("s3")
+	if sm.Conn(7) != sm.Conn(7) {
+		t.Fatal("Conn handles not cached")
+	}
+	if sm.Stream(2) != sm.Stream(2) {
+		t.Fatal("Stream handles not cached")
+	}
+	if sm.SchedPicks("lowrtt") != sm.SchedPicks("lowrtt") {
+		t.Fatal("SchedPicks handles not cached")
+	}
+}
+
+func TestCounterHotPathAllocs(t *testing.T) {
+	c := new(Counter)
+	g := new(Gauge)
+	h := NewHistogram(RTTBuckets)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(4096)
+		g.Set(3)
+		h.Observe(0.01)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v per op, want 0", n)
+	}
+}
+
+func TestSinkWritesJSONLines(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	s := NewSink(w, SinkOptions{})
+	ts := time.Unix(12, 345678000)
+	s.Emit(Event{Time: ts, Name: "record_sent", Conn: 1, Stream: 2, Seq: 41, Bytes: 100})
+	s.Emit(Event{Time: ts, Name: "ack_received", Seq: 41})
+	s.Close()
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2: %q", len(lines), lines)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if ev.Name != "record_sent" || ev.Conn != 1 || ev.Stream != 2 || ev.Seq != 41 || ev.Bytes != 100 {
+		t.Fatalf("round-trip mismatch: %+v", ev)
+	}
+	if ev.TimeUS != ts.UnixMicro() {
+		t.Fatalf("time_us = %d, want %d", ev.TimeUS, ts.UnixMicro())
+	}
+	if s.Emitted() != 2 || s.Dropped() != 0 {
+		t.Fatalf("emitted=%d dropped=%d", s.Emitted(), s.Dropped())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestSinkSampling(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	s := NewSink(w, SinkOptions{Sample: 10})
+	for i := 0; i < 100; i++ {
+		s.Emit(Event{Name: "e"})
+	}
+	s.Close()
+	mu.Lock()
+	n := strings.Count(buf.String(), "\n")
+	mu.Unlock()
+	if n != 10 {
+		t.Fatalf("sample=10 wrote %d of 100 events, want 10", n)
+	}
+}
+
+// TestSinkStalledWriterDrops is the backpressure acceptance test: with
+// the writer goroutine wedged on a blocking io.Writer, Emit must return
+// immediately, drop events once the ring fills, and count the drops in
+// the mirrored tcpls_trace_dropped_total counter — the engine path is
+// never stalled by tracing.
+func TestSinkStalledWriterDrops(t *testing.T) {
+	r := NewRegistry()
+	fams := TCPLSFamilies(r)
+	sm := fams.Session("de")
+
+	release := make(chan struct{})
+	stalled := writerFunc(func(p []byte) (int, error) {
+		<-release // wedge until the test ends
+		return len(p), nil
+	})
+	s := NewSink(stalled, SinkOptions{
+		Capacity: 8,
+		Events:   sm.TraceEvents,
+		Dropped:  sm.TraceDropped,
+	})
+	defer close(release)
+
+	const emits = 1000
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < emits; i++ {
+			s.Emit(Event{Name: "stalled"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a stalled writer")
+	}
+
+	if s.Dropped() == 0 {
+		t.Fatal("stalled writer produced no drops")
+	}
+	if s.Emitted()+s.Dropped() != emits {
+		t.Fatalf("emitted %d + dropped %d != %d", s.Emitted(), s.Dropped(), emits)
+	}
+	if got := sm.TraceDropped.Load(); got != s.Dropped() {
+		t.Fatalf("tcpls_trace_dropped_total = %d, sink dropped %d", got, s.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `tcpls_trace_dropped_total{sess="de"} `+
+		fmt.Sprint(s.Dropped())) {
+		t.Fatalf("exposition missing drop counter:\n%s", buf.String())
+	}
+
+	// Close must come back promptly even though the writer is wedged.
+	start := time.Now()
+	s.Close()
+	if d := time.Since(start); d > 4*time.Second {
+		t.Fatalf("Close took %v on a stalled writer", d)
+	}
+}
+
+func TestSinkEmitAllocFree(t *testing.T) {
+	s := NewSink(io.Discard, SinkOptions{Capacity: 1 << 16})
+	defer s.Close()
+	ev := Event{Name: "record_sent", Conn: 1, Seq: 9, Bytes: 512}
+	if n := testing.AllocsPerRun(1000, func() { s.Emit(ev) }); n != 0 {
+		t.Fatalf("Emit allocates %v per op, want 0", n)
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_http_total", "HTTP test.", "sess").With("x").Add(9)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `test_http_total{sess="x"} 9`) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/pprof/goroutine?debug=1"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/goroutine unexpected body:\n%s", body)
+	}
+}
+
+func BenchmarkTraceSink(b *testing.B) {
+	// Writer that consumes without stalling: the benchmark measures the
+	// producer-side Emit cost, buffered encode included.
+	s := NewSink(bufio.NewWriterSize(io.Discard, 1<<20), SinkOptions{Capacity: 1 << 14})
+	defer s.Close()
+	ev := Event{Name: "record_sent", Conn: 1, Stream: 2, Seq: 41, Bytes: 16368}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(ev)
+	}
+}

@@ -1,0 +1,30 @@
+// Package testutil holds helpers shared across test packages.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines polls until the goroutine count returns near base —
+// the zero-leak gate for the fault-injection and telemetry tests.
+// Sessions wind their goroutines down asynchronously after Close, so
+// the check tolerates a short settling window before failing with a
+// full stack dump.
+func CheckGoroutines(t testing.TB, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s", n, base, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

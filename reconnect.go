@@ -320,6 +320,9 @@ func (s *Session) maybeEnterRecoveryLocked() {
 	if !s.cfg.EnableFailover || s.cfg.DisableTCPLS {
 		err := &SessionDeadError{LastErr: errNoFailover}
 		s.engine.Note("recovery_failed", 0, 0, 0, 0)
+		if s.tel != nil {
+			s.tel.RecoveryFailures.Inc()
+		}
 		s.emitSessionEventLocked(SessionEvent{Kind: EventRecoveryFailed, Err: err})
 		s.failSessionLocked(err)
 		return
@@ -363,6 +366,9 @@ func (s *Session) recoveryLoop(rc ReconnectConfig) {
 			attempt++
 			addrs = s.candidateAddrsLocked()
 			s.engine.Note("reconnect_attempt", 0, 0, uint64(attempt), len(addrs))
+			if s.tel != nil {
+				s.tel.ReconnectAttempts.Inc()
+			}
 			s.emitSessionEventLocked(SessionEvent{Kind: EventReconnecting, Attempt: attempt})
 		}
 		s.mu.Unlock()
@@ -419,6 +425,9 @@ func (s *Session) recoveryLoop(rc ReconnectConfig) {
 // parked streams resynchronize onto target via failover replay.
 func (s *Session) finishRecoveryLocked(target uint32, attempt int) {
 	s.recovering = false
+	if s.tel != nil {
+		s.tel.Reconnects.Inc()
+	}
 	s.resumeParkedLocked(target)
 	s.emitSessionEventLocked(SessionEvent{Kind: EventReconnected, Conn: target, Attempt: attempt})
 }
@@ -457,6 +466,9 @@ func (s *Session) declareDead(attempts int, lastErr error) {
 	}
 	s.recovering = false
 	s.engine.Note("recovery_failed", 0, 0, uint64(attempts), 0)
+	if s.tel != nil {
+		s.tel.RecoveryFailures.Inc()
+	}
 	s.emitSessionEventLocked(SessionEvent{Kind: EventRecoveryFailed, Attempt: attempts, Err: err})
 	s.mu.Unlock()
 	s.failSession(err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"tcpls/internal/handshake"
 	"tcpls/internal/record"
 	"tcpls/internal/sched"
+	"tcpls/internal/testutil"
 )
 
 // newBareEngine builds a core engine with deterministic secrets for
@@ -197,9 +199,10 @@ func TestAutoFailoverEmitsEvents(t *testing.T) {
 // connection; the recovery supervisor re-dials the remembered address
 // through the join path and the stream resumes transparently.
 func TestReconnectAfterTotalLoss(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
 	scfg := &Config{EnableFailover: true, AckPeriod: 4, NumCookies: 8}
-	ln := startServer(t, scfg, echoHandler)
-	sess, err := Dial("tcp", ln.Addr().String(), &Config{
+	srv := startChaosServer(t, scfg, echoHandler)
+	sess, err := Dial("tcp", srv.ln.Addr().String(), &Config{
 		ServerName: "test.server", EnableFailover: true, AckPeriod: 4,
 		Reconnect: ReconnectConfig{
 			MaxAttempts: 20,
@@ -255,6 +258,11 @@ func TestReconnectAfterTotalLoss(t *testing.T) {
 	if string(buf) != "after!" {
 		t.Fatalf("echo after reconnect = %q", buf)
 	}
+
+	// Reconnection must not strand supervisor or I/O goroutines.
+	sess.Close()
+	srv.Close()
+	testutil.CheckGoroutines(t, baseGoroutines)
 }
 
 // TestReconnectDisabledDiesWithErrSessionDead: with the supervisor

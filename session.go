@@ -13,6 +13,7 @@ import (
 	"tcpls/internal/handshake"
 	"tcpls/internal/record"
 	"tcpls/internal/sched"
+	"tcpls/internal/telemetry"
 )
 
 // Session is one TCPLS session: one or more TCP connections carrying
@@ -69,6 +70,14 @@ type Session struct {
 	// engine; metricsLoopOn guards the kernel TCP_INFO refresher.
 	metrics       *sched.Metrics
 	metricsLoopOn bool
+
+	// Telemetry state (telemetry.go): the session's metric handles on
+	// the shared registry, the address whose HTTP endpoint this session
+	// holds a reference on, and the buffered qlog trace sink installed
+	// by TraceJSON.
+	tel       *telemetry.SessionMetrics
+	telAddr   string
+	traceSink *telemetry.Sink
 }
 
 // TCPOption is an encrypted TCP option received from the peer (§3.1).
@@ -133,6 +142,7 @@ func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, 
 	s.resumption = res.Secrets.Resumption
 	s.metrics = sched.NewMetrics()
 	s.engine.SetMetrics(s.metrics)
+	s.initTelemetry()
 	for _, a := range res.PeerAddrs {
 		s.peerAddrs = append(s.peerAddrs, &net.TCPAddr{IP: a.AsSlice()})
 	}
@@ -426,6 +436,9 @@ func (s *Session) autoFailoverLocked(failedID uint32) {
 		// A connection that previously absorbed a failover died itself;
 		// its replayed streams move again.
 		s.engine.Note("failover_cascade", failedID, 0, 0, 0)
+		if s.tel != nil {
+			s.tel.FailoverCascades.Inc()
+		}
 		delete(s.failoverTargets, failedID)
 	}
 	if len(s.engine.StreamsOnConn(failedID)) > 0 {
@@ -618,6 +631,7 @@ func (s *Session) failSessionLocked(err error) {
 	if !s.closed {
 		s.closed = true
 		s.closeErr = err
+		s.closeTelemetryLocked()
 		close(s.timerStop)
 		for _, pc := range s.conns {
 			pc.nc.Close()
@@ -636,6 +650,7 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.closeTelemetryLocked()
 	for id := range s.conns {
 		s.engine.CloseConnection(id)
 	}

@@ -1,0 +1,206 @@
+package tcpls
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"tcpls/internal/core"
+	"tcpls/internal/telemetry"
+)
+
+// TelemetryConfig is the Config.Telemetry knob: production observability
+// for a session. The zero value keeps the lock-free metrics registry on
+// (a handful of atomic increments per record) without serving anything;
+// Addr additionally exposes /metrics and /debug/pprof; Disabled turns
+// the whole layer into a nil-check on the hot path.
+type TelemetryConfig struct {
+	// Disabled switches metric collection off entirely. The engine's
+	// emission points reduce to one nil-check each and Session.Metrics
+	// returns only the basic engine Stats.
+	Disabled bool
+	// Addr, when non-empty, serves the shared metrics registry over
+	// HTTP at this address: Prometheus text format on /metrics and the
+	// pprof surface (goroutine, heap, profile, trace) under
+	// /debug/pprof/. Sessions and listeners sharing an Addr share one
+	// server; it stops when the last holder closes.
+	Addr string
+	// Sample thins the qlog trace sink: only one in Sample events is
+	// written (0 and 1 keep every event). Metrics are never sampled.
+	Sample int
+}
+
+// Stats re-exports the engine's raw counter block (see Session.Stats).
+type Stats = core.Stats
+
+// MetricsSnapshot is a point-in-time copy of a session's aggregated
+// telemetry, returned by Session.Metrics. Counters are cumulative since
+// the session started; gauges are instantaneous.
+type MetricsSnapshot struct {
+	// Stats is the engine's raw counter block (records, bytes, acks,
+	// retransmits), always populated even with telemetry disabled.
+	Stats Stats
+
+	// Recovery and failover counters (tcpls_* families on /metrics).
+	ConnFailures      uint64
+	Failovers         uint64
+	FailoverCascades  uint64
+	ReconnectAttempts uint64
+	Reconnects        uint64
+	RecoveryFailures  uint64
+
+	// SchedPicks counts coupled records routed per scheduler policy.
+	SchedPicks   map[string]uint64
+	SchedInvalid uint64
+
+	// Trace sink health: events enqueued and events lost to a full ring.
+	TraceEvents  uint64
+	TraceDropped uint64
+
+	// AckRTT summarizes the record-level acknowledgment RTT histogram.
+	AckRTTSamples uint64
+	AckRTTMean    time.Duration
+
+	// Instantaneous gauges.
+	ReorderHeapDepth int
+	ConnsOpen        int
+	StreamsOpen      int
+}
+
+// Metrics returns a snapshot of the session's telemetry. With
+// Telemetry.Disabled only the Stats block is populated.
+func (s *Session) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := MetricsSnapshot{Stats: s.engine.Stats()}
+	tel := s.tel
+	if tel == nil {
+		return snap
+	}
+	snap.ConnFailures = tel.ConnFailures.Load()
+	snap.Failovers = tel.Failovers.Load()
+	snap.FailoverCascades = tel.FailoverCascades.Load()
+	snap.ReconnectAttempts = tel.ReconnectAttempts.Load()
+	snap.Reconnects = tel.Reconnects.Load()
+	snap.RecoveryFailures = tel.RecoveryFailures.Load()
+	snap.SchedPicks = tel.PickCounts()
+	snap.SchedInvalid = tel.SchedInvalid.Load()
+	snap.TraceEvents = tel.TraceEvents.Load()
+	snap.TraceDropped = tel.TraceDropped.Load()
+	snap.AckRTTSamples = tel.AckRTT.Count()
+	snap.AckRTTMean = time.Duration(tel.AckRTT.Mean() * float64(time.Second))
+	snap.ReorderHeapDepth = int(tel.ReorderDepth.Load())
+	snap.ConnsOpen = int(tel.ConnsOpen.Load())
+	snap.StreamsOpen = int(tel.StreamsOpen.Load())
+	return snap
+}
+
+// MetricsHandler returns an http.Handler serving the process-wide
+// metrics registry in Prometheus text format, for applications that
+// already run an HTTP server and want /metrics on their own mux.
+func MetricsHandler() http.Handler {
+	return telemetry.Handler(telemetry.Default())
+}
+
+// ServeTelemetry starts the shared telemetry server on addr (the same
+// endpoint Config.Telemetry.Addr provides per session) and returns a
+// handle that keeps it alive until closed. Commands use this to hold
+// the endpoint open for the whole process lifetime regardless of
+// session churn.
+func ServeTelemetry(addr string) (io.Closer, error) {
+	if err := acquireTelemetryServer(addr); err != nil {
+		return nil, err
+	}
+	return telemetryRef(addr), nil
+}
+
+// telemetryRef is one reference on a shared telemetry server.
+type telemetryRef string
+
+func (r telemetryRef) Close() error {
+	releaseTelemetryServer(string(r))
+	return nil
+}
+
+// Shared telemetry servers, refcounted by listen address: every session
+// and listener configured with the same Telemetry.Addr holds one
+// reference; the HTTP server stops when the last reference drops (so
+// tests with ephemeral sessions leak nothing).
+var (
+	telServersMu sync.Mutex
+	telServers   = make(map[string]*sharedTelemetryServer)
+)
+
+type sharedTelemetryServer struct {
+	srv  *telemetry.Server
+	refs int
+}
+
+func acquireTelemetryServer(addr string) error {
+	telServersMu.Lock()
+	defer telServersMu.Unlock()
+	if ts, ok := telServers[addr]; ok {
+		ts.refs++
+		return nil
+	}
+	srv, err := telemetry.Serve(addr, telemetry.Default())
+	if err != nil {
+		return fmt.Errorf("tcpls: telemetry listen %s: %w", addr, err)
+	}
+	telServers[addr] = &sharedTelemetryServer{srv: srv, refs: 1}
+	return nil
+}
+
+func releaseTelemetryServer(addr string) {
+	telServersMu.Lock()
+	defer telServersMu.Unlock()
+	ts, ok := telServers[addr]
+	if !ok {
+		return
+	}
+	if ts.refs--; ts.refs <= 0 {
+		ts.srv.Close()
+		delete(telServers, addr)
+	}
+}
+
+// sessLabel renders the sess metric label: the first four SessID bytes,
+// enough to tell sessions apart on a dashboard without exploding
+// cardinality.
+func sessLabel(id SessID) string {
+	return fmt.Sprintf("%x", id[:4])
+}
+
+// initTelemetry wires the session's metric handles (shared process-wide
+// registry, labelled per session) and acquires the HTTP endpoint if one
+// is configured. Called from newSession before the engine sees traffic.
+func (s *Session) initTelemetry() {
+	if s.cfg.Telemetry.Disabled {
+		return
+	}
+	fams := telemetry.TCPLSFamilies(telemetry.Default())
+	s.tel = fams.Session(sessLabel(s.sessID))
+	s.engine.SetTelemetry(s.tel)
+	if addr := s.cfg.Telemetry.Addr; addr != "" {
+		if err := acquireTelemetryServer(addr); err == nil {
+			s.telAddr = addr
+		}
+	}
+}
+
+// closeTelemetryLocked releases the session's trace sink and HTTP
+// endpoint reference. Idempotent; called from every teardown path.
+func (s *Session) closeTelemetryLocked() {
+	if sink := s.traceSink; sink != nil {
+		s.traceSink = nil
+		// Close flushes; do it off the lock path budget — the sink's
+		// Close is bounded regardless.
+		go sink.Close()
+	}
+	if s.telAddr != "" {
+		releaseTelemetryServer(s.telAddr)
+		s.telAddr = ""
+	}
+}

@@ -1,0 +1,343 @@
+package tcpls
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tcpls/internal/testutil"
+)
+
+// scrapeMetrics fetches the Prometheus exposition from the shared
+// telemetry server registered under cfgAddr (the Config.Telemetry.Addr
+// key, which may be ":0" — the bound port is looked up internally).
+func scrapeMetrics(t *testing.T, cfgAddr string) string {
+	t.Helper()
+	telServersMu.Lock()
+	ts, ok := telServers[cfgAddr]
+	telServersMu.Unlock()
+	if !ok {
+		t.Fatalf("no shared telemetry server for %q", cfgAddr)
+	}
+	resp, err := http.Get("http://" + ts.srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample line ("name{labels} value") from an
+// exposition body; missing series read as 0 (Prometheus counters are
+// born lazily on first touch).
+func metricValue(body, series string) uint64 {
+	for _, line := range strings.Split(body, "\n") {
+		var v uint64
+		if n, _ := fmt.Sscanf(line, series+" %d", &v); n == 1 && strings.HasPrefix(line, series+" ") {
+			return v
+		}
+	}
+	return 0
+}
+
+// TestTelemetryMetricsMatchEventsDuringFailover drives the acceptance
+// scenario: a two-path session loses one path, fails over, and the
+// /metrics endpoint must agree with the SessionEvents the wrapper
+// emitted — while /debug/pprof stays responsive on the same port.
+func TestTelemetryMetricsMatchEventsDuringFailover(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	const telAddr = "127.0.0.1:0"
+
+	scfg := &Config{EnableFailover: true, AckPeriod: 4, NumCookies: 4}
+	srv := startChaosServer(t, scfg, echoHandler)
+	sess, err := Dial("tcp", srv.ln.Addr().String(), &Config{
+		ServerName: "test.server", EnableFailover: true, AckPeriod: 4,
+		Telemetry: TelemetryConfig{Addr: telAddr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.JoinPath("tcp", srv.ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill path 0; the sibling absorbs the streams.
+	sess.mu.Lock()
+	pc0 := sess.conns[0]
+	sess.mu.Unlock()
+	pc0.nc.Close()
+
+	// WaitEvent drains the queue, so tally kinds as they stream past.
+	var downs, failovers int
+	tally := func(ev SessionEvent) {
+		switch ev.Kind {
+		case EventConnDown:
+			downs++
+		case EventFailover:
+			failovers++
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for failovers == 0 {
+		ev, err := sess.WaitEvent(ctx)
+		if err != nil {
+			t.Fatalf("waiting for failover: %v", err)
+		}
+		tally(ev)
+	}
+	if _, err := st.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range sess.Events() {
+		tally(ev)
+	}
+
+	// The snapshot and the scrape must tell the same story as the
+	// event stream.
+	snap := sess.Metrics()
+	if snap.Failovers != uint64(failovers) || snap.Failovers == 0 {
+		t.Fatalf("snapshot failovers = %d, events saw %d", snap.Failovers, failovers)
+	}
+	if snap.ConnFailures < uint64(downs) || snap.ConnFailures == 0 {
+		t.Fatalf("snapshot conn failures = %d, events saw %d", snap.ConnFailures, downs)
+	}
+	if snap.Stats.RecordsSent == 0 || snap.ConnsOpen != 1 {
+		t.Fatalf("snapshot stats=%+v conns=%d", snap.Stats, snap.ConnsOpen)
+	}
+
+	label := sessLabel(sess.ID())
+	body := scrapeMetrics(t, telAddr)
+	if got := metricValue(body, fmt.Sprintf("tcpls_failovers_total{sess=%q}", label)); got != snap.Failovers {
+		t.Fatalf("/metrics failovers = %d, snapshot %d\n%s", got, snap.Failovers, body)
+	}
+	if got := metricValue(body, fmt.Sprintf("tcpls_conn_failures_total{sess=%q}", label)); got != snap.ConnFailures {
+		t.Fatalf("/metrics conn failures = %d, snapshot %d", got, snap.ConnFailures)
+	}
+	if got := metricValue(body, fmt.Sprintf("tcpls_retransmits_total{sess=%q,conn=\"1\"}", label)); got == 0 {
+		t.Fatal("/metrics shows no retransmits on the failover target")
+	}
+	if !strings.Contains(body, fmt.Sprintf("tcpls_records_sent_total{sess=%q,conn=\"0\"}", label)) {
+		t.Fatalf("/metrics missing per-conn records counter:\n%s", body)
+	}
+
+	// pprof rides on the same endpoint.
+	telServersMu.Lock()
+	telHTTPAddr := telServers[telAddr].srv.Addr()
+	telServersMu.Unlock()
+	resp, err := http.Get("http://" + telHTTPAddr + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/goroutine status %d", resp.StatusCode)
+	}
+
+	// Closing the last holder must stop the shared server and leak no
+	// goroutines.
+	sess.Close()
+	srv.Close()
+	telServersMu.Lock()
+	_, alive := telServers[telAddr]
+	telServersMu.Unlock()
+	if alive {
+		t.Fatal("shared telemetry server survived its last reference")
+	}
+	testutil.CheckGoroutines(t, baseGoroutines)
+}
+
+// TestTelemetryReconnectCountersMatchEvents asserts the recovery
+// supervisor's attempt/success counters line up with the emitted
+// EventReconnecting/EventReconnected sequence after total path loss.
+func TestTelemetryReconnectCountersMatchEvents(t *testing.T) {
+	scfg := &Config{EnableFailover: true, AckPeriod: 4, NumCookies: 8}
+	srv := startChaosServer(t, scfg, echoHandler)
+	sess, err := Dial("tcp", srv.ln.Addr().String(), &Config{
+		ServerName: "test.server", EnableFailover: true, AckPeriod: 4,
+		Reconnect: ReconnectConfig{
+			MaxAttempts: 20,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+			Deadline:    10 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	sess.mu.Lock()
+	pc0 := sess.conns[0]
+	sess.mu.Unlock()
+	pc0.nc.Close()
+
+	// WaitEvent drains the queue, so tally kinds as they stream past.
+	var attempts, reconnects int
+	tally := func(ev SessionEvent) {
+		switch ev.Kind {
+		case EventReconnecting:
+			attempts++
+		case EventReconnected:
+			reconnects++
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+	defer cancel()
+	for reconnects == 0 {
+		ev, err := sess.WaitEvent(ctx)
+		if err != nil {
+			t.Fatalf("waiting for reconnection: %v", err)
+		}
+		tally(ev)
+	}
+	for _, ev := range sess.Events() {
+		tally(ev)
+	}
+	snap := sess.Metrics()
+	if snap.ReconnectAttempts != uint64(attempts) || attempts == 0 {
+		t.Fatalf("snapshot attempts = %d, events saw %d", snap.ReconnectAttempts, attempts)
+	}
+	if snap.Reconnects != uint64(reconnects) || reconnects != 1 {
+		t.Fatalf("snapshot reconnects = %d, events saw %d", snap.Reconnects, reconnects)
+	}
+}
+
+// TestTelemetryDisabled: with the layer off, Metrics still reports the
+// engine's raw Stats but nothing else, and no registry handles exist.
+func TestTelemetryDisabled(t *testing.T) {
+	ln := startServer(t, &Config{}, echoHandler)
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{
+		ServerName: "test.server",
+		Telemetry:  TelemetryConfig{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+	if sess.tel != nil {
+		t.Fatal("Disabled session still resolved telemetry handles")
+	}
+	snap := sess.Metrics()
+	if snap.Stats.RecordsSent == 0 {
+		t.Fatal("Stats block missing with telemetry disabled")
+	}
+	if snap.Failovers != 0 || snap.SchedPicks != nil || snap.ConnsOpen != 0 {
+		t.Fatalf("disabled snapshot carries registry data: %+v", snap)
+	}
+}
+
+// TestTraceJSONThroughSink: TraceJSON output is valid JSON lines and the
+// per-session trace counters account for every emitted event.
+func TestTraceJSONThroughSink(t *testing.T) {
+	ln := startServer(t, &Config{}, echoHandler)
+	sess, err := Dial("tcp", ln.Addr().String(), &Config{ServerName: "test.server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	pr, pw := io.Pipe()
+	lines := make(chan string, 256)
+	go func() {
+		defer close(lines)
+		buf := make([]byte, 64<<10)
+		var pending strings.Builder
+		for {
+			n, err := pr.Read(buf)
+			pending.Write(buf[:n])
+			for {
+				s := pending.String()
+				i := strings.IndexByte(s, '\n')
+				if i < 0 {
+					break
+				}
+				lines <- s[:i]
+				pending.Reset()
+				pending.WriteString(s[i+1:])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	sess.TraceJSON(pw)
+
+	st, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write([]byte("traced")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(st, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop tracing; the old sink flushes asynchronously into the pipe.
+	sess.TraceJSON(nil)
+	var first string
+	select {
+	case first = <-lines:
+	case <-time.After(3 * time.Second):
+		t.Fatal("no trace lines flushed")
+	}
+	if !strings.HasPrefix(first, `{"time_us":`) || !strings.Contains(first, `"name":`) {
+		t.Fatalf("trace line not in qlog JSON schema: %q", first)
+	}
+	snap := sess.Metrics()
+	if snap.TraceEvents == 0 {
+		t.Fatal("tcpls_trace_events_total not fed by TraceJSON")
+	}
+	if snap.TraceDropped != 0 {
+		t.Fatalf("healthy sink dropped %d events", snap.TraceDropped)
+	}
+	pw.Close()
+}

@@ -1,11 +1,10 @@
 package tcpls
 
 import (
-	"fmt"
 	"io"
-	"sync"
 
 	"tcpls/internal/core"
+	"tcpls/internal/telemetry"
 )
 
 // TraceEvent re-exports the engine's trace event.
@@ -16,23 +15,52 @@ type TraceEvent = core.TraceEvent
 // for exactly this kind of offline analysis. Call before traffic flows;
 // pass nil to stop tracing.
 //
+// Events are serialized with encoding/json and routed through a bounded
+// ring buffer drained by a dedicated writer goroutine, so a slow or
+// stalled w never backpressures the engine's send/recv path: when the
+// ring fills, events are dropped and counted (tcpls_trace_dropped_total
+// on /metrics, TraceDropped in Session.Metrics). Config.Telemetry.Sample
+// thins the stream for high-rate transfers.
+//
 // Each line:
 //
 //	{"time_us":..., "name":"record_sent", "conn":0, "stream":2, "seq":41, "bytes":16368}
 func (s *Session) TraceJSON(w io.Writer) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	prev := s.traceSink
+	s.traceSink = nil
 	if w == nil {
 		s.engine.SetTracer(nil)
-		return
+	} else {
+		var events, dropped *telemetry.Counter
+		if s.tel != nil {
+			events = s.tel.TraceEvents
+			dropped = s.tel.TraceDropped
+		}
+		sink := telemetry.NewSink(w, telemetry.SinkOptions{
+			Sample:  s.cfg.Telemetry.Sample,
+			Events:  events,
+			Dropped: dropped,
+		})
+		s.traceSink = sink
+		s.engine.SetTracer(func(ev TraceEvent) {
+			sink.Emit(telemetry.Event{
+				Time:   ev.Time,
+				Name:   ev.Name,
+				Conn:   ev.Conn,
+				Stream: ev.Stream,
+				Seq:    ev.Seq,
+				Bytes:  ev.Bytes,
+			})
+		})
 	}
-	var wmu sync.Mutex
-	s.engine.SetTracer(func(ev TraceEvent) {
-		wmu.Lock()
-		defer wmu.Unlock()
-		fmt.Fprintf(w, `{"time_us":%d,"name":%q,"conn":%d,"stream":%d,"seq":%d,"bytes":%d}`+"\n",
-			ev.Time.UnixMicro(), ev.Name, ev.Conn, ev.Stream, ev.Seq, ev.Bytes)
-	})
+	s.mu.Unlock()
+	// Flush the displaced sink outside the session lock: Close drains a
+	// healthy writer completely (so callers swapping the trace target see
+	// every event) and its wait is bounded when the writer is stalled.
+	if prev != nil {
+		prev.Close()
+	}
 }
 
 // Trace installs a raw trace callback (for programmatic consumers).
