@@ -87,4 +87,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("enabled", func(b *testing.B) {
 		benchTelemetryTransfer(b, tcpls.TelemetryConfig{})
 	})
+	b.Run("no-flight", func(b *testing.B) {
+		benchTelemetryTransfer(b, tcpls.TelemetryConfig{FlightCapacity: -1})
+	})
 }

@@ -1,0 +1,128 @@
+package tcpls
+
+import (
+	"net/http"
+	"time"
+
+	"tcpls/internal/telemetry"
+)
+
+// DebugConn is one connection's live state on /debug/tcpls.
+type DebugConn struct {
+	ID           uint32   `json:"id"`
+	Failed       bool     `json:"failed,omitempty"`
+	Closed       bool     `json:"closed,omitempty"`
+	Streams      []uint32 `json:"streams,omitempty"`
+	QueuedBytes  int      `json:"queued_bytes,omitempty"`
+	SRTTUS       int64    `json:"srtt_us,omitempty"`
+	RTTVarUS     int64    `json:"rttvar_us,omitempty"`
+	DeliveryRate float64  `json:"delivery_rate_bps,omitempty"`
+	InFlight     uint64   `json:"in_flight_bytes,omitempty"`
+	Losses       uint64   `json:"losses,omitempty"`
+	LastRecvUS   int64    `json:"last_recv_us,omitempty"`
+}
+
+// DebugStream is one stream's live state on /debug/tcpls.
+type DebugStream struct {
+	ID            uint32 `json:"id"`
+	Conn          uint32 `json:"conn"`
+	Coupled       bool   `json:"coupled,omitempty"`
+	Parked        bool   `json:"parked,omitempty"` // homed on a failed connection
+	FinQueued     bool   `json:"fin_queued,omitempty"`
+	FinSent       bool   `json:"fin_sent,omitempty"`
+	PeerFin       bool   `json:"peer_fin,omitempty"`
+	PendingBytes  int    `json:"pending_bytes,omitempty"`
+	RetransmitQ   int    `json:"retransmit_queue,omitempty"`
+	UnackedBytes  int    `json:"unacked_bytes,omitempty"`
+	RecvBuffered  int    `json:"recv_buffered,omitempty"`
+	NextSendSeq   uint64 `json:"next_send_seq"`
+	PeerAckedSeq  uint64 `json:"peer_acked_seq"`
+	BytesSent     uint64 `json:"bytes_sent,omitempty"`
+	BytesReceived uint64 `json:"bytes_received,omitempty"`
+}
+
+// DebugSession is one session's live state on /debug/tcpls.
+type DebugSession struct {
+	Role         string        `json:"role"`
+	Closed       bool          `json:"closed,omitempty"`
+	Recovering   bool          `json:"recovering,omitempty"`
+	Scheduler    string        `json:"scheduler"`
+	ReorderDepth int           `json:"reorder_depth"`
+	CookiesLeft  int           `json:"cookies_left"`
+	FlightEvents int           `json:"flight_events"`
+	FlightTotal  uint64        `json:"flight_total"`
+	Conns        []DebugConn   `json:"conns"`
+	Streams      []DebugStream `json:"streams"`
+}
+
+// debugState snapshots the session for /debug/tcpls. Runs on the HTTP
+// handler's goroutine; takes the session lock briefly.
+func (s *Session) debugState() any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	role := "server"
+	if s.isClient {
+		role = "client"
+	}
+	ds := DebugSession{
+		Role:         role,
+		Closed:       s.closed,
+		Recovering:   s.recovering,
+		Scheduler:    s.engine.SchedulerName(),
+		ReorderDepth: s.engine.ReorderDepth(),
+		CookiesLeft:  len(s.cookies),
+	}
+	if s.flight != nil {
+		ds.FlightEvents = s.flight.Len()
+		ds.FlightTotal = s.flight.Total()
+	}
+	failed := make(map[uint32]bool)
+	for _, ci := range s.engine.ConnInfos() {
+		if ci.Failed {
+			failed[ci.ID] = true
+		}
+		dc := DebugConn{
+			ID:           ci.ID,
+			Failed:       ci.Failed,
+			Closed:       ci.Closed,
+			Streams:      ci.Streams,
+			QueuedBytes:  ci.QueuedBytes,
+			SRTTUS:       int64(ci.SRTT / time.Microsecond),
+			RTTVarUS:     int64(ci.RTTVar / time.Microsecond),
+			DeliveryRate: ci.DeliveryRate,
+			InFlight:     ci.InFlight,
+			Losses:       ci.Losses,
+		}
+		if !ci.LastRecv.IsZero() {
+			dc.LastRecvUS = ci.LastRecv.UnixMicro()
+		}
+		ds.Conns = append(ds.Conns, dc)
+	}
+	for _, si := range s.engine.StreamInfos() {
+		ds.Streams = append(ds.Streams, DebugStream{
+			ID:            si.ID,
+			Conn:          si.Conn,
+			Coupled:       si.Coupled,
+			Parked:        failed[si.Conn],
+			FinQueued:     si.FinQueued,
+			FinSent:       si.FinSent,
+			PeerFin:       si.PeerFin,
+			PendingBytes:  si.PendingBytes,
+			RetransmitQ:   si.RetransmitQ,
+			UnackedBytes:  si.UnackedBytes,
+			RecvBuffered:  si.RecvBuffered,
+			NextSendSeq:   si.NextSendSeq,
+			PeerAckedSeq:  si.PeerAckedSeq,
+			BytesSent:     si.BytesSent,
+			BytesReceived: si.BytesReceived,
+		})
+	}
+	return ds
+}
+
+// DebugHandler returns the /debug/tcpls handler — live per-session
+// conn/stream/path state as JSON — for applications embedding telemetry
+// in their own mux (the Config.Telemetry.Addr server serves it already).
+func DebugHandler() http.Handler {
+	return telemetry.DebugHandler()
+}

@@ -114,6 +114,7 @@ func (s *Session) JoinPath(network, addr string) (uint32, error) {
 	sessID := s.sessID
 	sname := s.cfg.ServerName
 	suites := s.cfg.Suites
+	s.engine.Note("cookie_consumed", connID, 0, 0, len(s.cookies))
 	s.mu.Unlock()
 
 	nc, err := net.Dial(network, addr)
@@ -143,6 +144,7 @@ func (s *Session) JoinPath(network, addr string) (uint32, error) {
 		return 0, err
 	}
 	s.addConnLocked(connID, nc)
+	s.engine.Note("join_accepted", connID, 0, 0, 0)
 	if s.dialNetwork == "" {
 		s.dialNetwork = network
 	}
@@ -182,6 +184,7 @@ func (s *Session) JoinConn(nc net.Conn) (uint32, error) {
 	sessID := s.sessID
 	sname := s.cfg.ServerName
 	suites := s.cfg.Suites
+	s.engine.Note("cookie_consumed", connID, 0, 0, len(s.cookies))
 	s.mu.Unlock()
 
 	hcfg := &handshake.Config{
@@ -205,6 +208,7 @@ func (s *Session) JoinConn(nc net.Conn) (uint32, error) {
 		return 0, err
 	}
 	s.addConnLocked(connID, nc)
+	s.engine.Note("join_accepted", connID, 0, 0, 0)
 	if leftover := tr.Leftover(); len(leftover) > 0 {
 		s.engine.Receive(connID, leftover, time.Now())
 		s.processEventsLocked()

@@ -66,6 +66,7 @@ func (s *Session) ReportConnFailed(connID uint32) error {
 	}
 	if !c.failed {
 		c.failed = true
+		s.lastNow = s.now() // wrapper-reported failure happens in real time
 		s.trace("conn_failed", connID, 0, 0, 0)
 		if s.tel != nil {
 			s.tel.ConnFailures.Inc()
@@ -129,6 +130,9 @@ func (s *Session) FailoverTo(failedID, targetID uint32) error {
 	}
 	failedConn.failed = true
 	failedConn.failedOver = true
+	if s.tracer != nil {
+		s.lastNow = s.now() // sync/retransmit traces happen now
+	}
 	s.trace("failover_started", failedID, 0, 0, 0)
 	if s.tel != nil {
 		s.tel.Failovers.Inc()
@@ -205,7 +209,12 @@ func (s *Session) failoverStreamSend(st *stream, fromID uint32, target *conn) er
 		// Path metrics: the bytes were lost on the failed path and
 		// are in flight again on the target; the replayed copy is
 		// barred from RTT sampling (Karn).
-		r.retx = true
+		r.retxCount++
+		if s.stampWrites {
+			// The replay travels on the target's next drained chunk; its
+			// write stamp overwrites the failed original's.
+			target.unwritten = append(target.unwritten, spanKey{stream: st.id, seq: r.seq})
+		}
 		if s.metrics != nil {
 			s.metrics.OnLost(fromID, len(r.payload))
 			s.metrics.OnSent(target.id, len(r.payload))

@@ -64,6 +64,10 @@ func (s *Session) handleRecord(c *conn, rec []byte) error {
 	case typeStreamData, typeStreamDataCoupled:
 		return s.handleStreamData(c, streamID, f)
 	default:
+		// Record-level arrival mark for control frames, so a trace
+		// reconstructs per-conn records-received exactly: every decrypted
+		// record is either record_received, dup_dropped, or ctl_received.
+		s.trace("ctl_received", c.id, streamID, uint64(f.typ), len(content))
 		return s.handleControl(c, streamID, f)
 	}
 }
@@ -111,6 +115,10 @@ func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
 		}
 		if s.tel != nil {
 			s.tel.ReorderDepth.Set(int64(s.coupled.buf.Pending()))
+		}
+		if depth := s.coupled.buf.Pending(); depth != s.lastReorderDepth {
+			s.trace("reorder_depth", c.id, streamID, uint64(depth), len(delivered))
+			s.lastReorderDepth = depth
 		}
 		if s.DeliverCoupled != nil {
 			for _, d := range delivered {
@@ -235,7 +243,7 @@ func (s *Session) handleAck(f *frame) error {
 		return nil
 	}
 	s.stats.AcksReceived++
-	s.trace("ack_received", 0, f.id, f.seq, 0)
+	s.trace("ack_received", st.conn, f.id, f.seq, 0)
 	if s.tel != nil {
 		if hc, ok := s.conns[st.conn]; ok {
 			hc.tel.AcksReceived.Inc()
@@ -250,11 +258,13 @@ func (s *Session) handleAck(f *frame) error {
 	for i < len(st.retransmit) && st.retransmit[i].seq < st.peerAcked {
 		r := &st.retransmit[i]
 		ackedBytes += len(r.payload)
-		if !r.retx && !r.sentAt.IsZero() {
+		if r.retxCount == 0 && !r.sentAt.IsZero() {
 			if d := s.lastNow.Sub(r.sentAt); d > 0 {
 				rttSample = d
 			}
 		}
+		// The acknowledgment completes this record's lifecycle span.
+		s.traceSpan(st.conn, st.id, r)
 		i++
 	}
 	if i > 0 {

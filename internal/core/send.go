@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"tcpls/internal/record"
 	"tcpls/internal/sched"
 	"tcpls/internal/wire"
@@ -57,6 +59,10 @@ func (s *Session) scheduler() sched.Scheduler {
 // Flush frames all queued application data into encrypted records on
 // their connections' output buffers. Call before draining Outgoing.
 func (s *Session) Flush() error {
+	if s.tracer != nil {
+		// Send-path trace events happen now, not at the last receive.
+		s.lastNow = s.now()
+	}
 	// Coupled group first: distribute records across coupled streams.
 	if err := s.flushCoupled(); err != nil {
 		return err
@@ -168,7 +174,7 @@ func (s *Session) flushCoupled() error {
 			for _, st := range cs {
 				s.trace("sched_pick", st.conn, st.id, aggSeq, n)
 				s.telPicks.Inc()
-				if err := s.sealStreamRecord(st, chunk, true, aggSeq); err != nil {
+				if err := s.sealStreamRecord(st, chunk, true, aggSeq, s.coupled.pendingSince); err != nil {
 					return err
 				}
 			}
@@ -187,7 +193,7 @@ func (s *Session) flushCoupled() error {
 			st := cs[idx]
 			s.trace("sched_pick", st.conn, st.id, aggSeq, n)
 			s.telPicks.Inc()
-			if err := s.sealStreamRecord(st, chunk, true, aggSeq); err != nil {
+			if err := s.sealStreamRecord(st, chunk, true, aggSeq, s.coupled.pendingSince); err != nil {
 				return err
 			}
 		}
@@ -205,12 +211,14 @@ func (s *Session) sendStreamRecord(st *stream, payload []byte, coupled bool) err
 		aggSeq = s.coupled.sendSeq
 		s.coupled.sendSeq++
 	}
-	return s.sealStreamRecord(st, payload, coupled, aggSeq)
+	return s.sealStreamRecord(st, payload, coupled, aggSeq, st.pendingSince)
 }
 
 // sealStreamRecord seals one stream data record onto the stream's
 // connection and, when failover is enabled, retains it for replay.
-func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, aggSeq uint64) error {
+// enqAt is the span's enqueue leg: when the bytes entered the stream's
+// pending queue (or the coupled group's).
+func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, aggSeq uint64, enqAt time.Time) error {
 	c, err := s.getConn(st.conn)
 	if err != nil {
 		return err
@@ -252,18 +260,22 @@ func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, agg
 	}
 	if s.cfg.EnableFailover {
 		sr := sentRecord{
-			seq:     seq,
-			typ:     typ,
-			payload: append([]byte(nil), payload...),
-			aggSeq:  aggSeq,
+			seq:      seq,
+			typ:      typ,
+			payload:  append([]byte(nil), payload...),
+			aggSeq:   aggSeq,
+			sentAt:   s.now(), // seal leg + ACK-driven RTT sampling
+			enqAt:    enqAt,
+			origConn: c.id,
 		}
 		if s.metrics != nil {
-			// Stamp for ACK-driven RTT sampling and count the bytes
-			// into flight; handleAck reverses both.
-			sr.sentAt = s.now()
+			// Count the bytes into flight; handleAck reverses this.
 			s.metrics.OnSent(c.id, len(payload))
 		}
 		st.retransmit = append(st.retransmit, sr)
+		if s.stampWrites {
+			c.unwritten = append(c.unwritten, spanKey{stream: st.id, seq: seq})
+		}
 	}
 	return nil
 }

@@ -200,6 +200,18 @@ type Session struct {
 	tracer  func(TraceEvent)
 	lastNow time.Time
 
+	// stampWrites arms record write-time tracking for lifecycle spans:
+	// Outgoing snapshots the records drained into each chunk, and the
+	// I/O wrapper reports the chunk's socket-write time back through
+	// NoteWritten (or NoteWriteDropped when the chunk was discarded).
+	// Off by default so sans-IO consumers (sims, tests) that never call
+	// NoteWritten accumulate no batch state.
+	stampWrites bool
+
+	// lastReorderDepth deduplicates reorder_depth trace events: one per
+	// depth change, not one per coupled record.
+	lastReorderDepth int
+
 	// tel is the aggregated-metrics surface (nil = telemetry disabled;
 	// every emission point is a single nil-check away from free).
 	// telPicks caches the per-policy scheduler pick counter, resolved
@@ -227,11 +239,12 @@ type Stats struct {
 // coupledState is the session-wide coupled-stream group (§4.3; the
 // prototype couples all coupled-flagged streams together).
 type coupledState struct {
-	sendSeq     uint64
-	rr          int // round-robin cursor over coupled streams
-	pendingData []byte
-	buf         *reorder.Buffer
-	recvData    []byte
+	sendSeq      uint64
+	rr           int // round-robin cursor over coupled streams
+	pendingData  []byte
+	pendingSince time.Time // enqueue stamp of the oldest unflushed bytes
+	buf          *reorder.Buffer
+	recvData     []byte
 }
 
 // NewSession builds an engine from completed handshake secrets.
@@ -362,6 +375,8 @@ func (s *Session) AddConnection(id uint32, now time.Time) error {
 	}
 	c.demux.Attach(ctlRecv)
 	s.conns[id] = c
+	s.lastNow = now
+	s.trace("conn_added", id, 0, 0, 0)
 	s.telSyncGauges()
 	return nil
 }
@@ -403,6 +418,14 @@ type conn struct {
 	// to resynchronize and is rejected.
 	failedOver bool
 	closed     bool
+	// Write-time span tracking (session.stampWrites): unwritten collects
+	// the data records sealed onto out since the last drain; Outgoing
+	// moves it onto writeBatches (one entry per drained chunk, possibly
+	// empty for control-only chunks) and NoteWritten / NoteWriteDropped
+	// pops batches in the same FIFO order the writer goroutine consumes
+	// chunks.
+	unwritten    []spanKey
+	writeBatches [][]spanKey
 	// tel holds this connection's pre-resolved counters; non-nil exactly
 	// when the session's telemetry is installed.
 	tel *telemetry.ConnMetrics
@@ -411,12 +434,14 @@ type conn struct {
 // sendCtl seals a control record onto the connection immediately,
 // preserving control/data ordering on the byte stream.
 func (s *Session) sendCtl(c *conn, content []byte) error {
+	seq := c.ctlSend.Seq()
 	out, err := c.ctlSend.Seal(c.out, record.ContentTypeApplicationData, content, s.cfg.PadRecordsTo)
 	if err != nil {
 		return err
 	}
 	c.out = out
 	s.stats.RecordsSent++
+	s.trace("ctl_sent", c.id, ctlStreamID(c.id), seq, len(content))
 	if s.tel != nil {
 		c.tel.RecordsSent.Inc()
 	}
@@ -454,7 +479,69 @@ func (s *Session) Outgoing(connID uint32) ([]byte, error) {
 	} else {
 		c.out = nil
 	}
+	if s.stampWrites && len(out) > 0 {
+		// One batch per non-empty chunk, even when the chunk carried only
+		// control records (nil batch): NoteWritten pops in chunk order.
+		c.writeBatches = append(c.writeBatches, c.unwritten)
+		c.unwritten = nil
+	}
 	return out, nil
+}
+
+// spanKey names one retained record for write-time stamping: the stream
+// it lives on and its TLS sequence number within that stream's context.
+type spanKey struct {
+	stream uint32
+	seq    uint64
+}
+
+// SetWriteStamping arms (or disarms) socket-write-time tracking for
+// record-lifecycle spans. When armed, every non-empty Outgoing chunk
+// must be matched by exactly one NoteWritten or NoteWriteDropped call,
+// in drain order, or batch state accumulates.
+func (s *Session) SetWriteStamping(on bool) {
+	s.stampWrites = on
+	if !on {
+		for _, c := range s.conns {
+			c.unwritten = nil
+			c.writeBatches = nil
+		}
+	}
+}
+
+// NoteWritten reports that the oldest undrained Outgoing chunk of conn
+// was written to the socket at now; the records it carried get their
+// span's write leg stamped.
+func (s *Session) NoteWritten(connID uint32, now time.Time) {
+	c, ok := s.conns[connID]
+	if !ok || len(c.writeBatches) == 0 {
+		return
+	}
+	batch := c.writeBatches[0]
+	c.writeBatches = c.writeBatches[1:]
+	if len(c.writeBatches) == 0 {
+		c.writeBatches = nil
+	}
+	for _, k := range batch {
+		if st, ok := s.streams[k.stream]; ok {
+			st.stampWritten(k.seq, now)
+		}
+	}
+}
+
+// NoteWriteDropped reports that the oldest undrained Outgoing chunk of
+// conn was discarded without reaching the socket (failed-conn drain):
+// its records keep a zero write stamp until a failover replay rewrites
+// them on another connection.
+func (s *Session) NoteWriteDropped(connID uint32) {
+	c, ok := s.conns[connID]
+	if !ok || len(c.writeBatches) == 0 {
+		return
+	}
+	c.writeBatches = c.writeBatches[1:]
+	if len(c.writeBatches) == 0 {
+		c.writeBatches = nil
+	}
 }
 
 // RecycleOutgoing returns a buffer obtained from Outgoing once the
@@ -470,4 +557,128 @@ func (s *Session) RecycleOutgoing(buf []byte) {
 func (s *Session) HasOutgoing(connID uint32) bool {
 	c, ok := s.conns[connID]
 	return ok && len(c.out) > 0
+}
+
+// ConnInfo is a point-in-time snapshot of one connection's engine state
+// for live introspection (/debug/tcpls).
+type ConnInfo struct {
+	ID           uint32
+	Failed       bool
+	Closed       bool
+	Streams      []uint32 // data streams currently attached (send side)
+	QueuedBytes  int      // sealed bytes not yet drained by Outgoing
+	LastRecv     time.Time
+	SRTT         time.Duration // zero when no path-metrics store or no sample
+	RTTVar       time.Duration
+	DeliveryRate float64 // bytes per second; zero when unsampled
+	InFlight     uint64
+	Losses       uint64
+}
+
+// StreamInfo is a point-in-time snapshot of one stream's engine state.
+type StreamInfo struct {
+	ID            uint32
+	Conn          uint32
+	Coupled       bool
+	FinQueued     bool
+	FinSent       bool
+	PeerFin       bool
+	PendingBytes  int // application bytes not yet sealed
+	RetransmitQ   int // records buffered for failover replay
+	UnackedBytes  int // payload bytes across the retransmit queue
+	RecvBuffered  int
+	NextSendSeq   uint64
+	PeerAckedSeq  uint64
+	BytesSent     uint64 // from telemetry when installed, else 0
+	BytesReceived uint64
+}
+
+// ConnInfos snapshots every connection, in ascending ID order.
+func (s *Session) ConnInfos() []ConnInfo {
+	ids := make([]uint32, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	out := make([]ConnInfo, 0, len(ids))
+	for _, id := range ids {
+		c := s.conns[id]
+		ci := ConnInfo{
+			ID:          id,
+			Failed:      c.failed,
+			Closed:      c.closed,
+			QueuedBytes: len(c.out),
+			LastRecv:    c.lastRecv,
+		}
+		for stID, st := range s.streams {
+			if st.conn == id {
+				ci.Streams = append(ci.Streams, stID)
+			}
+		}
+		sortIDs(ci.Streams)
+		if s.metrics != nil {
+			if ps, ok := s.metrics.Snapshot(id); ok {
+				ci.SRTT, ci.RTTVar = ps.SRTT, ps.RTTVar
+				ci.DeliveryRate = ps.DeliveryRate
+				ci.InFlight, ci.Losses = ps.InFlight, ps.Losses
+			}
+		}
+		out = append(out, ci)
+	}
+	return out
+}
+
+// StreamInfos snapshots every stream, in ascending ID order.
+func (s *Session) StreamInfos() []StreamInfo {
+	ids := s.Streams()
+	sortIDs(ids)
+	out := make([]StreamInfo, 0, len(ids))
+	for _, id := range ids {
+		st := s.streams[id]
+		si := StreamInfo{
+			ID:           id,
+			Conn:         st.conn,
+			Coupled:      st.coupled,
+			FinQueued:    st.finQueued,
+			FinSent:      st.finSent,
+			PeerFin:      st.peerFin,
+			PendingBytes: len(st.pending),
+			RetransmitQ:  len(st.retransmit),
+			RecvBuffered: len(st.recvData),
+			NextSendSeq:  st.sendCtx.Seq(),
+			PeerAckedSeq: st.peerAcked,
+		}
+		for i := range st.retransmit {
+			si.UnackedBytes += len(st.retransmit[i].payload)
+		}
+		if st.tel != nil {
+			si.BytesSent = st.tel.BytesSent.Load()
+			si.BytesReceived = st.tel.BytesReceived.Load()
+		}
+		out = append(out, si)
+	}
+	return out
+}
+
+// SchedulerName reports the active coupled-path scheduler's name
+// ("roundrobin" when none was installed).
+func (s *Session) SchedulerName() string {
+	if s.pathSched == nil {
+		return "roundrobin"
+	}
+	return s.pathSched.Name()
+}
+
+// ReorderDepth reports how many out-of-order coupled records the
+// receive-side reorder heap currently holds.
+func (s *Session) ReorderDepth() int { return s.coupled.buf.Pending() }
+
+// sortIDs sorts a small ID slice in place (insertion sort; topology
+// snapshots are tiny and this avoids an import).
+func sortIDs(ids []uint32) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 }

@@ -23,6 +23,10 @@ type stream struct {
 	coupled    bool
 	finQueued  bool
 	finSent    bool
+	// pendingSince stamps when the oldest unflushed bytes entered
+	// pending — the enqueue leg of the record-lifecycle span. Re-stamped
+	// whenever Write finds the queue empty.
+	pendingSince time.Time
 
 	// Receive side. The receive context lives in the owning conn's
 	// demux; recvCtx duplicates the pointer for direct access.
@@ -39,17 +43,42 @@ type stream struct {
 	tel *telemetry.StreamMetrics
 }
 
-// sentRecord is one record buffered for potential failover replay.
+// sentRecord is one record buffered for potential failover replay. It
+// doubles as the record's lifecycle span: enqAt/sentAt/writtenAt are the
+// enqueue, seal, and socket-write legs, and the acknowledgment that
+// trims the record completes the span (trace.go traceSpan).
 type sentRecord struct {
 	seq     uint64
 	typ     recordType
 	payload []byte
 	aggSeq  uint64
-	// sentAt stamps the seal time for ACK-driven RTT sampling (zero
-	// when no metrics store is installed); retx marks failover replays
-	// so Karn's algorithm skips their RTT samples.
-	sentAt time.Time
-	retx   bool
+	// sentAt stamps the seal time for ACK-driven RTT sampling and the
+	// span's seal leg; retxCount counts failover replays — a nonzero
+	// count bars the record from RTT sampling (Karn's algorithm, either
+	// copy could have produced the ack) and is the span's replay
+	// provenance.
+	sentAt    time.Time
+	enqAt     time.Time
+	writtenAt time.Time
+	origConn  uint32
+	retxCount uint16
+}
+
+// stampWritten records the socket-write time of the record with seq.
+// retransmit is seq-sorted; the scan runs from the back because the
+// just-written records are the newest. A replay's stamp overwrites the
+// original — the span reports the final successful write.
+func (st *stream) stampWritten(seq uint64, now time.Time) {
+	for i := len(st.retransmit) - 1; i >= 0; i-- {
+		r := &st.retransmit[i]
+		if r.seq == seq {
+			r.writtenAt = now
+			return
+		}
+		if r.seq < seq {
+			return
+		}
+	}
 }
 
 // CreateStream opens a new locally-initiated stream attached to connID
@@ -138,6 +167,9 @@ func (s *Session) Write(streamID uint32, data []byte) (int, error) {
 	}
 	if st.finQueued {
 		return 0, ErrStreamFinished
+	}
+	if len(st.pending) == 0 {
+		st.pendingSince = s.now()
 	}
 	st.pending = append(st.pending, data...)
 	return len(data), nil
@@ -230,6 +262,9 @@ func (s *Session) WriteCoupled(data []byte) (int, error) {
 	}
 	// Queue on the group: stash bytes on the first coupled stream's
 	// group buffer; Flush distributes per record.
+	if len(s.coupled.pendingData) == 0 {
+		s.coupled.pendingSince = s.now()
+	}
 	s.coupled.pendingData = append(s.coupled.pendingData, data...)
 	return len(data), nil
 }

@@ -9,17 +9,37 @@ import "time"
 type TraceEvent struct {
 	Time time.Time
 	Name string // record_sent, record_received, ack_sent, ack_received,
-	// dup_dropped, stream_attached, stream_fin, conn_failed,
-	// failover_started, sync_sent, sync_received, retransmit.
+	// dup_dropped, stream_attached, stream_fin, conn_failed, conn_added,
+	// failover_started, sync_sent, sync_received, retransmit, ctl_sent,
+	// ctl_received (Seq = frame type; every decrypted record is exactly
+	// one of record_received, dup_dropped, or ctl_received, so a trace
+	// reconstructs per-conn records-received counters).
 	// Scheduling events: sched_pick (Conn/Stream carried the record,
 	// Seq = aggregation sequence, Bytes = payload), sched_invalid
 	// (scheduler returned an out-of-range index; Seq = aggregation
 	// sequence, Bytes = the bad index), path_metrics (Seq = fused SRTT
-	// in microseconds, Bytes = delivery rate in bytes/s).
+	// in microseconds, Bytes = delivery rate in bytes/s),
+	// reorder_depth (Seq = out-of-order records held by the coupled
+	// reorder heap, Bytes = records just delivered in order).
+	// Lifecycle events: record_span (below).
 	Conn   uint32
 	Stream uint32
 	Seq    uint64
 	Bytes  int
+
+	// Record-lifecycle span fields, populated only for record_span
+	// events (one per acknowledged data record when failover is
+	// enabled): the four timestamps of the record's life — application
+	// enqueue, AEAD seal, socket write, and acknowledgment receipt —
+	// plus provenance across failover. Conn above is the connection the
+	// record was last (successfully) carried on; OrigConn is where it
+	// was first sealed; Retx counts failover replays of this record.
+	EnqueuedAt time.Time
+	SealedAt   time.Time
+	WrittenAt  time.Time
+	AckedAt    time.Time
+	OrigConn   uint32
+	Retx       int
 }
 
 // SetTracer installs a trace callback. The callback runs synchronously
@@ -43,9 +63,16 @@ func (s *Session) NotePathMetrics(connID uint32) {
 }
 
 // Note lets the I/O wrapper stamp its own lifecycle marks (e.g.
-// reconnect_attempt, reconnect_ok, failover_cascade) into the same trace
-// stream as the engine's protocol events, so one timeline covers both.
+// reconnect_attempt, reconnect_ok, failover_cascade, cookie_issued,
+// join_accepted) into the same trace stream as the engine's protocol
+// events, so one timeline covers both. Unlike the engine's internal
+// emissions, a Note refreshes the trace clock: wrapper marks happen in
+// real time, not at the last receive.
 func (s *Session) Note(name string, conn, stream uint32, seq uint64, bytes int) {
+	if s.tracer == nil {
+		return
+	}
+	s.lastNow = s.now()
 	s.trace(name, conn, stream, seq, bytes)
 }
 
@@ -61,5 +88,26 @@ func (s *Session) trace(name string, conn, stream uint32, seq uint64, bytes int)
 		Stream: stream,
 		Seq:    seq,
 		Bytes:  bytes,
+	})
+}
+
+// traceSpan emits the span-complete event for one acknowledged record.
+func (s *Session) traceSpan(conn, stream uint32, r *sentRecord) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer(TraceEvent{
+		Time:       s.lastNow,
+		Name:       "record_span",
+		Conn:       conn,
+		Stream:     stream,
+		Seq:        r.seq,
+		Bytes:      len(r.payload),
+		EnqueuedAt: r.enqAt,
+		SealedAt:   r.sentAt,
+		WrittenAt:  r.writtenAt,
+		AckedAt:    s.lastNow,
+		OrigConn:   r.origConn,
+		Retx:       int(r.retxCount),
 	})
 }

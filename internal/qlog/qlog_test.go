@@ -1,0 +1,203 @@
+package qlog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const qlogSample = `{"qlog_version":"0.3","qlog_format":"NDJSON","title":"tcpls"}
+{"time_us":1000,"category":"transport","type":"record_sent","data":{"conn":0,"stream":2,"seq":0,"bytes":100}}
+{"time_us":2000,"category":"transport","type":"ack_received","data":{"conn":0,"stream":2,"seq":1,"bytes":0}}
+`
+
+const flatSample = `{"time_us":1000,"name":"record_sent","conn":0,"stream":2,"seq":0,"bytes":100}
+{"time_us":2000,"name":"ack_received","conn":0,"stream":2,"seq":1,"bytes":0}
+`
+
+func TestParseBothSchemas(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"qlog", qlogSample},
+		{"flat", flatSample},
+	} {
+		events, err := Parse(strings.NewReader(tc.in))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(events) != 2 {
+			t.Fatalf("%s: parsed %d events, want 2", tc.name, len(events))
+		}
+		if events[0].Type != "record_sent" || events[0].Conn != 0 ||
+			events[0].Stream != 2 || events[0].Bytes != 100 || events[0].TimeUS != 1000 {
+			t.Fatalf("%s: event 0 mismatch: %+v", tc.name, events[0])
+		}
+		if events[1].Type != "ack_received" || events[1].Seq != 1 {
+			t.Fatalf("%s: event 1 mismatch: %+v", tc.name, events[1])
+		}
+	}
+}
+
+func TestParseConcatenatedDumps(t *testing.T) {
+	// A live trace followed by a flight dump: two headers, both skipped.
+	events, err := Parse(strings.NewReader(qlogSample + qlogSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(events))
+	}
+}
+
+func TestParseMalformedLine(t *testing.T) {
+	_, err := Parse(strings.NewReader(qlogSample + "{oops\n"))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("got %v, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Fatalf("error on line %d, want 4", pe.Line)
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	events := []Event{
+		{TimeUS: 1000, Type: "record_sent", Conn: 0, Bytes: 100},
+		{TimeUS: 1100, Type: "ctl_sent", Conn: 0, Bytes: 10},
+		{TimeUS: 1200, Type: "record_sent", Conn: 1, Bytes: 200},
+		{TimeUS: 1300, Type: "retransmit", Conn: 1, Bytes: 100},
+		{TimeUS: 1400, Type: "record_received", Conn: 0, Bytes: 50},
+		{TimeUS: 1500, Type: "dup_dropped", Conn: 0, Bytes: 50},
+		{TimeUS: 1600, Type: "ack_sent", Conn: 0},
+		{TimeUS: 1700, Type: "ack_received", Conn: 1},
+		{TimeUS: 1800, Type: "ctl_received", Conn: 0, Seq: 4, Bytes: 9},
+	}
+	rep := Analyze(events, Options{})
+	if len(rep.Paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(rep.Paths))
+	}
+	p0, p1 := rep.Paths[0], rep.Paths[1]
+	if p0.RecordsSent != 2 || p0.DataSent != 1 || p0.CtlSent != 1 {
+		t.Fatalf("conn 0 sent counts: %+v", p0)
+	}
+	if p0.RecordsRecv != 3 || p0.DupDropped != 1 || p0.CtlRecv != 1 || p0.AcksSent != 1 {
+		t.Fatalf("conn 0 recv counts: %+v", p0)
+	}
+	if p0.BytesReceived != 100 { // ctl payloads don't count as stream bytes
+		t.Fatalf("conn 0 bytes received %d, want 100", p0.BytesReceived)
+	}
+	if p1.RecordsSent != 2 || p1.Retransmits != 1 || p1.AcksReceived != 1 {
+		t.Fatalf("conn 1 counts: %+v", p1)
+	}
+}
+
+func TestAnalyzeFailoverGap(t *testing.T) {
+	events := []Event{
+		{TimeUS: 1000, Type: "record_sent", Conn: 0, Bytes: 100},
+		{TimeUS: 2000, Type: "conn_failed", Conn: 0},
+		{TimeUS: 2500, Type: "failover_started", Conn: 0},
+		{TimeUS: 3500, Type: "retransmit", Conn: 1, Bytes: 100},
+		{TimeUS: 4000, Type: "record_sent", Conn: 1, Bytes: 100},
+	}
+	rep := Analyze(events, Options{})
+	if len(rep.Failovers) != 1 {
+		t.Fatalf("got %d gaps, want 1", len(rep.Failovers))
+	}
+	g := rep.Failovers[0]
+	if !g.Closed || g.FailedConn != 0 || g.TargetConn != 1 {
+		t.Fatalf("gap: %+v", g)
+	}
+	if g.DurationUS != 1500 {
+		t.Fatalf("gap duration %dus, want 1500", g.DurationUS)
+	}
+	if g.Retransmits != 1 {
+		t.Fatalf("gap retransmits %d, want 1", g.Retransmits)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", rep.Violations)
+	}
+
+	// Budget assertion: 1.5ms gap fails a 1ms budget.
+	rep = Analyze(events, Options{MaxGap: time.Millisecond})
+	if len(rep.Violations) != 1 {
+		t.Fatalf("budget violation not flagged: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeUnclosedGap(t *testing.T) {
+	events := []Event{
+		{TimeUS: 1000, Type: "conn_failed", Conn: 0},
+		{TimeUS: 2000, Type: "record_sent", Conn: 0, Bytes: 1}, // same conn: not recovery
+	}
+	rep := Analyze(events, Options{})
+	if len(rep.Failovers) != 1 || rep.Failovers[0].Closed {
+		t.Fatalf("gap should stay open: %+v", rep.Failovers)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("unclosed gap not flagged as violation")
+	}
+}
+
+func TestAnalyzeSpans(t *testing.T) {
+	events := []Event{
+		{TimeUS: 5000, Type: "record_span", Conn: 0,
+			EnqUS: 1000, SealedUS: 1100, WrittenUS: 1200, AckedUS: 2200},
+		{TimeUS: 6000, Type: "record_span", Conn: 0, Retx: 1,
+			EnqUS: 1000, SealedUS: 1100, WrittenUS: 1500, AckedUS: 3500},
+	}
+	rep := Analyze(events, Options{})
+	if rep.Spans.Count != 2 || rep.Spans.RetxSpans != 1 {
+		t.Fatalf("span counts: %+v", rep.Spans)
+	}
+	if rep.Spans.WireP99US != 2000 {
+		t.Fatalf("wire p99 %dus, want 2000", rep.Spans.WireP99US)
+	}
+	// Only the clean (retx=0) span feeds the RTT series.
+	if len(rep.RTT) != 1 || len(rep.RTT[0].Buckets) != 1 || rep.RTT[0].Buckets[0].Value != 1000 {
+		t.Fatalf("rtt series: %+v", rep.RTT)
+	}
+}
+
+func TestAnalyzeInvertedSpanViolation(t *testing.T) {
+	events := []Event{
+		{TimeUS: 5000, Type: "record_span", Conn: 0, Line: 7,
+			EnqUS: 1000, SealedUS: 1100, WrittenUS: 2200, AckedUS: 1200},
+	}
+	rep := Analyze(events, Options{})
+	if len(rep.Violations) != 1 {
+		t.Fatalf("inverted span not flagged: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeReorderPercentiles(t *testing.T) {
+	var events []Event
+	for i := 1; i <= 100; i++ {
+		events = append(events, Event{TimeUS: int64(i * 1000), Type: "reorder_depth", Seq: uint64(i)})
+	}
+	rep := Analyze(events, Options{})
+	if rep.Reorder.Samples != 100 {
+		t.Fatalf("samples %d", rep.Reorder.Samples)
+	}
+	if rep.Reorder.P50 != 50 || rep.Reorder.P90 != 90 || rep.Reorder.P99 != 99 || rep.Reorder.Max != 100 {
+		t.Fatalf("percentiles: %+v", rep.Reorder)
+	}
+}
+
+func TestAnalyzeGoodputSeries(t *testing.T) {
+	events := []Event{
+		{TimeUS: 0, Type: "record_sent", Conn: 0, Bytes: 1000},
+		{TimeUS: 50_000, Type: "record_sent", Conn: 0, Bytes: 1000},
+		{TimeUS: 150_000, Type: "record_sent", Conn: 0, Bytes: 500},
+	}
+	rep := Analyze(events, Options{Interval: 100 * time.Millisecond})
+	if len(rep.Goodput) != 1 {
+		t.Fatalf("series: %+v", rep.Goodput)
+	}
+	b := rep.Goodput[0].Buckets
+	if len(b) != 2 {
+		t.Fatalf("buckets: %+v", b)
+	}
+	// 2000 bytes in a 100ms bucket = 20000 B/s.
+	if b[0].Value != 20000 || b[1].Value != 5000 {
+		t.Fatalf("goodput values: %+v", b)
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// FlightEvent is one entry in the flight recorder's ring: a flattened
+// trace event with every timestamp pre-converted to Unix microseconds.
+// The struct is plain value data — Name points at the engine's constant
+// event-name strings — so appending one copies ~100 bytes and allocates
+// nothing.
+type FlightEvent struct {
+	TimeUS int64
+	Name   string
+	Conn   uint32
+	Stream uint32
+	Seq    uint64
+	Bytes  int
+
+	// Span legs (record_span only); 0 = leg not stamped.
+	EnqUS     int64
+	SealedUS  int64
+	WrittenUS int64
+	AckedUS   int64
+	OrigConn  uint32
+	Retx      int32
+}
+
+// DefaultFlightCapacity bounds the ring at ~1 MiB: 8192 entries of the
+// ~112-byte FlightEvent plus the slice header.
+const DefaultFlightCapacity = 8192
+
+// Flight is the always-on flight recorder: a fixed-size in-memory ring
+// of the most recent trace events for one session. Append is mutex-
+// guarded, allocation-free, and cheap enough to leave enabled on the
+// hot path; when something dies, Dump (or the session's auto-dump on
+// SessionDeadError) reconstructs the last seconds of protocol history.
+type Flight struct {
+	mu      sync.Mutex
+	buf     []FlightEvent // len == cap, preallocated once
+	next    int           // ring cursor: index of the oldest entry once wrapped
+	total   uint64        // events ever appended (so Dump can report loss)
+	wrapped bool
+}
+
+// NewFlight builds a recorder holding the last capacity events
+// (DefaultFlightCapacity when capacity <= 0).
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &Flight{buf: make([]FlightEvent, capacity)}
+}
+
+// Append records one event, overwriting the oldest once the ring is
+// full. 0 allocs/op (benchmark-asserted).
+func (f *Flight) Append(ev FlightEvent) {
+	f.mu.Lock()
+	f.buf[f.next] = ev
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.wrapped = true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Len returns the number of events currently held.
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wrapped {
+		return len(f.buf)
+	}
+	return f.next
+}
+
+// Total returns the number of events ever appended; Total() - Len() is
+// how many the ring has forgotten.
+func (f *Flight) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot copies the held events out in append order (oldest first).
+func (f *Flight) Snapshot() []FlightEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.wrapped {
+		return append([]FlightEvent(nil), f.buf[:f.next]...)
+	}
+	out := make([]FlightEvent, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	out = append(out, f.buf[:f.next]...)
+	return out
+}
+
+// Dump writes the held events to w in the same qlog-lines framing the
+// live Sink produces (header line first), so tcpls-trace and qvis-style
+// tooling read flight dumps and live traces identically. The snapshot
+// is taken up front; appends during the write are not included.
+func (f *Flight) Dump(w io.Writer) error {
+	events := f.Snapshot()
+	bw := bufio.NewWriterSize(w, 32<<10)
+	if _, err := io.WriteString(bw, QlogHeader+"\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		fe := &events[i]
+		ev := Event{
+			TimeUS:    fe.TimeUS,
+			Name:      fe.Name,
+			Conn:      fe.Conn,
+			Stream:    fe.Stream,
+			Seq:       fe.Seq,
+			Bytes:     fe.Bytes,
+			EnqUS:     fe.EnqUS,
+			SealedUS:  fe.SealedUS,
+			WrittenUS: fe.WrittenUS,
+			AckedUS:   fe.AckedUS,
+			OrigConn:  fe.OrigConn,
+			Retx:      int(fe.Retx),
+		}
+		if err := encodeQlog(enc, &ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

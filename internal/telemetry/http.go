@@ -1,9 +1,12 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"sync"
 )
 
 // Server exposes a registry over HTTP: /metrics in Prometheus text
@@ -31,6 +34,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/tcpls", DebugHandler())
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -42,6 +46,60 @@ func Handler(reg *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+	})
+}
+
+// Debug sources: live per-session state providers rendered as JSON on
+// /debug/tcpls. The provider runs on the HTTP handler's goroutine and
+// must return a json.Marshal-able snapshot; it is responsible for its
+// own locking. Process-wide, like the metrics registry, so every shared
+// telemetry server sees every registered session.
+var (
+	debugMu      sync.Mutex
+	debugSources = make(map[string]func() any)
+)
+
+// RegisterDebug installs (or replaces) the live-state provider under
+// key. Keys must be unique per live session; the caller unregisters on
+// teardown.
+func RegisterDebug(key string, fn func() any) {
+	debugMu.Lock()
+	debugSources[key] = fn
+	debugMu.Unlock()
+}
+
+// UnregisterDebug removes a provider.
+func UnregisterDebug(key string) {
+	debugMu.Lock()
+	delete(debugSources, key)
+	debugMu.Unlock()
+}
+
+// DebugHandler returns the /debug/tcpls handler: a JSON object mapping
+// each registered session key to its live state snapshot.
+func DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		debugMu.Lock()
+		keys := make([]string, 0, len(debugSources))
+		fns := make(map[string]func() any, len(debugSources))
+		for k, fn := range debugSources {
+			keys = append(keys, k)
+			fns[k] = fn
+		}
+		debugMu.Unlock()
+		sort.Strings(keys)
+		// Snapshot outside debugMu: providers take their own session
+		// locks and must not hold up concurrent register/unregister.
+		out := struct {
+			Sessions map[string]any `json:"sessions"`
+		}{Sessions: make(map[string]any, len(keys))}
+		for _, k := range keys {
+			out.Sessions[k] = fns[k]()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&out)
 	})
 }
 

@@ -178,7 +178,7 @@ func TestSinkWritesJSONLines(t *testing.T) {
 		defer mu.Unlock()
 		return buf.Write(p)
 	})
-	s := NewSink(w, SinkOptions{})
+	s := NewSink(w, SinkOptions{Flat: true})
 	ts := time.Unix(12, 345678000)
 	s.Emit(Event{Time: ts, Name: "record_sent", Conn: 1, Stream: 2, Seq: 41, Bytes: 100})
 	s.Emit(Event{Time: ts, Name: "ack_received", Seq: 41})
@@ -209,6 +209,60 @@ type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
+// TestSinkQlogFraming: the default (non-flat) sink writes the qlog
+// NDJSON header first, then category/type-framed events with the event
+// fields nested under data.
+func TestSinkQlogFraming(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	s := NewSink(w, SinkOptions{})
+	ts := time.Unix(12, 345678000)
+	s.Emit(Event{Time: ts, Name: "record_sent", Conn: 1, Stream: 2, Seq: 41, Bytes: 100})
+	s.Emit(Event{Time: ts, Name: "conn_failed", Conn: 1})
+	s.Close()
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want header + 2 events: %q", len(lines), lines)
+	}
+	if lines[0] != QlogHeader {
+		t.Fatalf("first line = %q, want qlog header %q", lines[0], QlogHeader)
+	}
+	var ev struct {
+		TimeUS   int64  `json:"time_us"`
+		Category string `json:"category"`
+		Type     string `json:"type"`
+		Data     struct {
+			Conn   uint32 `json:"conn"`
+			Stream uint32 `json:"stream"`
+			Seq    uint64 `json:"seq"`
+			Bytes  int    `json:"bytes"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("event line is not JSON: %v", err)
+	}
+	if ev.Category != "transport" || ev.Type != "record_sent" {
+		t.Fatalf("framing mismatch: category=%q type=%q", ev.Category, ev.Type)
+	}
+	if ev.TimeUS != ts.UnixMicro() || ev.Data.Conn != 1 || ev.Data.Stream != 2 || ev.Data.Seq != 41 || ev.Data.Bytes != 100 {
+		t.Fatalf("data mismatch: %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &ev); err != nil {
+		t.Fatalf("second event line is not JSON: %v", err)
+	}
+	if ev.Category != "recovery" || ev.Type != "conn_failed" {
+		t.Fatalf("conn_failed framed as %s:%s, want recovery:conn_failed", ev.Category, ev.Type)
+	}
+}
+
 func TestSinkSampling(t *testing.T) {
 	var mu sync.Mutex
 	var buf bytes.Buffer
@@ -217,7 +271,7 @@ func TestSinkSampling(t *testing.T) {
 		defer mu.Unlock()
 		return buf.Write(p)
 	})
-	s := NewSink(w, SinkOptions{Sample: 10})
+	s := NewSink(w, SinkOptions{Sample: 10, Flat: true})
 	for i := 0; i < 100; i++ {
 		s.Emit(Event{Name: "e"})
 	}

@@ -113,13 +113,39 @@ func (l *Listener) acceptLoop() {
 // single-use cookie.
 func (l *Listener) ValidateJoin(id SessID, cookie Cookie) bool {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	ss, ok := l.sessions[id]
-	if !ok || !ss.cookies[cookie] {
-		return false
+	valid := ok && ss.cookies[cookie]
+	if valid {
+		ss.cookies[cookie] = false
 	}
-	ss.cookies[cookie] = false
-	return true
+	// Trace the join decision onto the session's timeline when the
+	// session object already exists (the initial handshake may still be
+	// completing on its own connection).
+	var sess *Session
+	if ok {
+		select {
+		case <-ss.ready:
+			sess = ss.sess
+		default:
+		}
+	}
+	l.mu.Unlock()
+	if sess != nil {
+		name := "cookie_consumed"
+		if !valid {
+			name = "join_rejected"
+		}
+		sess.noteTrace(name, 0, 0, 0)
+	}
+	return valid
+}
+
+// noteTrace stamps a wrapper-level mark onto the session's trace
+// timeline from outside the usual locked paths.
+func (s *Session) noteTrace(name string, conn uint32, seq uint64, bytes int) {
+	s.mu.Lock()
+	s.engine.Note(name, conn, 0, seq, bytes)
+	s.mu.Unlock()
 }
 
 // handleConn runs the server handshake on one TCP connection and either
@@ -225,6 +251,7 @@ func (s *Session) IssueCookies(conn uint32, n int) error {
 	}
 	s.mu.Lock()
 	cb := s.onNewServerCookies
+	s.engine.Note("cookie_issued", conn, 0, 0, n)
 	err := s.engine.SendNewCookies(conn, cookies)
 	out := s.collectOutgoingLocked()
 	s.mu.Unlock()
@@ -252,6 +279,7 @@ func (s *Session) adoptJoinedConn(connID uint32, nc net.Conn, leftover []byte) {
 		return
 	}
 	s.addConnLocked(connID, nc)
+	s.engine.Note("join_accepted", connID, 0, 0, 0)
 	var pending []outChunk
 	if len(leftover) > 0 {
 		s.engine.Receive(connID, leftover, time.Now())

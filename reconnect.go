@@ -492,6 +492,7 @@ func (s *Session) redial(addr string, deadline time.Time) (uint32, error) {
 	s.cookies = s.cookies[1:]
 	connID := s.nextConnID
 	s.nextConnID++
+	s.engine.Note("cookie_consumed", connID, 0, 0, len(s.cookies))
 	sessID := s.sessID
 	sname := s.cfg.ServerName
 	suites := s.cfg.Suites
@@ -546,6 +547,7 @@ func (s *Session) redial(addr string, deadline time.Time) (uint32, error) {
 		return 0, err
 	}
 	s.addConnLocked(connID, nc)
+	s.engine.Note("join_accepted", connID, 0, 0, 0)
 	s.rememberAddrLocked(addr)
 	var pending []outChunk
 	if leftover := tr.Leftover(); len(leftover) > 0 {

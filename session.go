@@ -78,6 +78,13 @@ type Session struct {
 	tel       *telemetry.SessionMetrics
 	telAddr   string
 	traceSink *telemetry.Sink
+
+	// Diagnosis state (trace.go): the always-on flight recorder, the
+	// user's Trace callback, and this session's /debug/tcpls registry
+	// key. All tracer installs go through refreshTracerLocked.
+	flight   *telemetry.Flight
+	traceFn  func(core.TraceEvent)
+	debugKey string
 }
 
 // TCPOption is an encrypted TCP option received from the peer (§3.1).
@@ -201,11 +208,22 @@ func (s *Session) writeLoop(pc *pathConn) {
 		case data := <-pc.writeCh:
 			if pc.failed.Load() {
 				pc.pending.Add(-1)
+				s.mu.Lock()
+				s.engine.NoteWriteDropped(pc.id)
+				s.mu.Unlock()
 				continue // drain and discard
 			}
 			_, err := pc.nc.Write(data)
+			now := time.Now()
 			pc.pending.Add(-1)
 			s.mu.Lock()
+			if err == nil {
+				// Stamp the socket-write leg of the records this chunk
+				// carried (lifecycle spans).
+				s.engine.NoteWritten(pc.id, now)
+			} else {
+				s.engine.NoteWriteDropped(pc.id)
+			}
 			s.engine.RecycleOutgoing(data)
 			s.mu.Unlock()
 			if err != nil {
@@ -328,8 +346,10 @@ func (s *Session) collectOutgoingLocked() []outChunk {
 	for id, pc := range s.conns {
 		if pc.failed.Load() {
 			// Drain and drop: the engine may still frame onto a conn it
-			// does not know has failed yet.
+			// does not know has failed yet. The dropped chunk's records
+			// keep a zero write stamp until failover replays them.
 			s.engine.Outgoing(id)
+			s.engine.NoteWriteDropped(id)
 			continue
 		}
 		data, err := s.engine.Outgoing(id)
@@ -384,6 +404,7 @@ func (s *Session) processEventsLocked() {
 			for _, c := range ev.Cookies {
 				s.cookies = append(s.cookies, Cookie(c))
 			}
+			s.engine.Note("cookie_received", ev.Conn, 0, 0, len(ev.Cookies))
 		case core.EventTCPOption:
 			s.tcpOpts = append(s.tcpOpts, TCPOption{Conn: ev.Conn, Kind: ev.OptKind, Value: ev.OptVal})
 		case core.EventBPFCC:
@@ -394,6 +415,7 @@ func (s *Session) processEventsLocked() {
 				delete(s.echoCh, ev.Token)
 			}
 		case core.EventSessionTicket:
+			s.engine.Note("ticket_received", ev.Conn, 0, 0, len(ev.Data))
 			if len(s.resumption) > 0 {
 				s.ticket = &ClientTicket{
 					ServerName: s.cfg.ServerName,
@@ -631,6 +653,13 @@ func (s *Session) failSessionLocked(err error) {
 	if !s.closed {
 		s.closed = true
 		s.closeErr = err
+		// Postmortem: a session dying with an error (SessionDeadError,
+		// protocol failure) dumps its flight recorder automatically when
+		// a destination is configured. Off the lock path — the ring has
+		// its own lock and the writer may be slow.
+		if err != nil && s.flight != nil && s.cfg.Telemetry.FlightDump != nil {
+			go s.flight.Dump(s.cfg.Telemetry.FlightDump)
+		}
 		s.closeTelemetryLocked()
 		close(s.timerStop)
 		for _, pc := range s.conns {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcpls/internal/core"
@@ -30,6 +31,18 @@ type TelemetryConfig struct {
 	// Sample thins the qlog trace sink: only one in Sample events is
 	// written (0 and 1 keep every event). Metrics are never sampled.
 	Sample int
+	// FlatTrace keeps TraceJSON on the legacy flat JSON schema (one
+	// object per line, no qlog header) instead of qlog framing.
+	FlatTrace bool
+	// FlightCapacity sizes the always-on flight recorder ring (events
+	// held, ~112 bytes each). 0 means the default 8192 (~1 MiB);
+	// negative disables the recorder.
+	FlightCapacity int
+	// FlightDump, when set, receives an automatic flight-recorder dump
+	// when the session dies with an error (SessionDeadError, protocol
+	// failure) — the postmortem trace. The write happens on its own
+	// goroutine; the writer must be safe for one concurrent use.
+	FlightDump io.Writer
 }
 
 // Stats re-exports the engine's raw counter block (see Session.Stats).
@@ -67,6 +80,28 @@ type MetricsSnapshot struct {
 	ReorderHeapDepth int
 	ConnsOpen        int
 	StreamsOpen      int
+
+	// Conns breaks the record counters down per connection (per path) —
+	// the totals tcpls-trace reconciles a flight dump against.
+	Conns map[uint32]ConnMetricsSnapshot
+
+	// Flight recorder health: events currently held and ever appended.
+	FlightEvents int
+	FlightTotal  uint64
+}
+
+// ConnMetricsSnapshot is one connection's counter block inside a
+// MetricsSnapshot.
+type ConnMetricsSnapshot struct {
+	RecordsSent     uint64
+	RecordsReceived uint64
+	BytesSent       uint64
+	BytesReceived   uint64
+	Retransmits     uint64
+	AcksSent        uint64
+	AcksReceived    uint64
+	DupRecords      uint64
+	FailedDecrypts  uint64
 }
 
 // Metrics returns a snapshot of the session's telemetry. With
@@ -75,6 +110,10 @@ func (s *Session) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := MetricsSnapshot{Stats: s.engine.Stats()}
+	if f := s.flight; f != nil {
+		snap.FlightEvents = f.Len()
+		snap.FlightTotal = f.Total()
+	}
 	tel := s.tel
 	if tel == nil {
 		return snap
@@ -94,6 +133,22 @@ func (s *Session) Metrics() MetricsSnapshot {
 	snap.ReorderHeapDepth = int(tel.ReorderDepth.Load())
 	snap.ConnsOpen = int(tel.ConnsOpen.Load())
 	snap.StreamsOpen = int(tel.StreamsOpen.Load())
+	ids := tel.ConnIDs()
+	snap.Conns = make(map[uint32]ConnMetricsSnapshot, len(ids))
+	for _, id := range ids {
+		cm := tel.Conn(id)
+		snap.Conns[id] = ConnMetricsSnapshot{
+			RecordsSent:     cm.RecordsSent.Load(),
+			RecordsReceived: cm.RecordsReceived.Load(),
+			BytesSent:       cm.BytesSent.Load(),
+			BytesReceived:   cm.BytesReceived.Load(),
+			Retransmits:     cm.Retransmits.Load(),
+			AcksSent:        cm.AcksSent.Load(),
+			AcksReceived:    cm.AcksReceived.Load(),
+			DupRecords:      cm.DupRecords.Load(),
+			FailedDecrypts:  cm.FailedDecrypts.Load(),
+		}
+	}
 	return snap
 }
 
@@ -173,9 +228,16 @@ func sessLabel(id SessID) string {
 	return fmt.Sprintf("%x", id[:4])
 }
 
+// debugSeq disambiguates /debug/tcpls keys: the client and server ends
+// of one TCPLS session share a sessLabel, and labels can recur across a
+// process lifetime.
+var debugSeq atomic.Uint64
+
 // initTelemetry wires the session's metric handles (shared process-wide
-// registry, labelled per session) and acquires the HTTP endpoint if one
-// is configured. Called from newSession before the engine sees traffic.
+// registry, labelled per session), starts the always-on flight recorder,
+// registers the /debug/tcpls state provider, and acquires the HTTP
+// endpoint if one is configured. Called from newSession before the
+// engine sees traffic (no lock needed yet).
 func (s *Session) initTelemetry() {
 	if s.cfg.Telemetry.Disabled {
 		return
@@ -183,6 +245,19 @@ func (s *Session) initTelemetry() {
 	fams := telemetry.TCPLSFamilies(telemetry.Default())
 	s.tel = fams.Session(sessLabel(s.sessID))
 	s.engine.SetTelemetry(s.tel)
+	if s.cfg.Telemetry.FlightCapacity >= 0 {
+		s.flight = telemetry.NewFlight(s.cfg.Telemetry.FlightCapacity)
+		// Record-lifecycle spans need the socket-write leg; the wrapper's
+		// writer goroutines report it via NoteWritten/NoteWriteDropped.
+		s.engine.SetWriteStamping(true)
+		s.refreshTracerLocked()
+	}
+	role := "server"
+	if s.isClient {
+		role = "client"
+	}
+	s.debugKey = fmt.Sprintf("%s-%s-%d", sessLabel(s.sessID), role, debugSeq.Add(1))
+	telemetry.RegisterDebug(s.debugKey, s.debugState)
 	if addr := s.cfg.Telemetry.Addr; addr != "" {
 		if err := acquireTelemetryServer(addr); err == nil {
 			s.telAddr = addr
@@ -190,14 +265,20 @@ func (s *Session) initTelemetry() {
 	}
 }
 
-// closeTelemetryLocked releases the session's trace sink and HTTP
-// endpoint reference. Idempotent; called from every teardown path.
+// closeTelemetryLocked releases the session's trace sink, debug
+// registration, and HTTP endpoint reference. Idempotent; called from
+// every teardown path. The flight recorder stays readable after close —
+// DumpFlight on a dead session is the whole point.
 func (s *Session) closeTelemetryLocked() {
 	if sink := s.traceSink; sink != nil {
 		s.traceSink = nil
 		// Close flushes; do it off the lock path budget — the sink's
 		// Close is bounded regardless.
 		go sink.Close()
+	}
+	if s.debugKey != "" {
+		telemetry.UnregisterDebug(s.debugKey)
+		s.debugKey = ""
 	}
 	if s.telAddr != "" {
 		releaseTelemetryServer(s.telAddr)

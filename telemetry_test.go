@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"tcpls/internal/telemetry"
 	"tcpls/internal/testutil"
 )
 
@@ -329,8 +330,17 @@ func TestTraceJSONThroughSink(t *testing.T) {
 	case <-time.After(3 * time.Second):
 		t.Fatal("no trace lines flushed")
 	}
-	if !strings.HasPrefix(first, `{"time_us":`) || !strings.Contains(first, `"name":`) {
-		t.Fatalf("trace line not in qlog JSON schema: %q", first)
+	if first != telemetry.QlogHeader {
+		t.Fatalf("first trace line = %q, want qlog header", first)
+	}
+	var second string
+	select {
+	case second = <-lines:
+	case <-time.After(3 * time.Second):
+		t.Fatal("no event lines after qlog header")
+	}
+	if !strings.HasPrefix(second, `{"time_us":`) || !strings.Contains(second, `"type":`) {
+		t.Fatalf("trace line not in qlog NDJSON schema: %q", second)
 	}
 	snap := sess.Metrics()
 	if snap.TraceEvents == 0 {

@@ -102,6 +102,7 @@ func (s *Session) issueTicket(conn uint32) error {
 		return err
 	}
 	s.mu.Lock()
+	s.engine.Note("ticket_issued", conn, 0, 0, len(ticket))
 	err = s.engine.SendSessionTicket(conn, nonce, ticket)
 	out := s.collectOutgoingLocked()
 	s.mu.Unlock()

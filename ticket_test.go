@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tcpls/internal/telemetry"
 )
 
 // waitTicket polls for the server-issued resumption ticket.
@@ -158,19 +160,24 @@ func TestTraceJSON(t *testing.T) {
 	sess.TraceJSON(nil)
 
 	out := buf.String()
-	if !strings.Contains(out, `"name":"record_received"`) {
+	if !strings.Contains(out, `"type":"record_received"`) {
 		t.Fatalf("trace missing record events: %q", out)
 	}
-	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != telemetry.QlogHeader {
+		t.Fatalf("first line = %q, want qlog header", lines[0])
+	}
+	for _, line := range lines[1:] {
 		var ev struct {
-			TimeUs int64  `json:"time_us"`
-			Name   string `json:"name"`
+			TimeUs   int64  `json:"time_us"`
+			Category string `json:"category"`
+			Type     string `json:"type"`
 		}
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
 			t.Fatalf("invalid trace line %q: %v", line, err)
 		}
-		if ev.Name == "" {
-			t.Fatalf("unnamed event: %q", line)
+		if ev.Type == "" || ev.Category == "" {
+			t.Fatalf("unframed event: %q", line)
 		}
 	}
 }

@@ -1,7 +1,9 @@
 package tcpls
 
 import (
+	"errors"
 	"io"
+	"time"
 
 	"tcpls/internal/core"
 	"tcpls/internal/telemetry"
@@ -10,10 +12,9 @@ import (
 // TraceEvent re-exports the engine's trace event.
 type TraceEvent = core.TraceEvent
 
-// TraceJSON streams the session's protocol events to w as JSON lines in
-// a qlog-flavoured schema — the paper artifact ships QLOG/QVIS support
-// for exactly this kind of offline analysis. Call before traffic flows;
-// pass nil to stop tracing.
+// TraceJSON streams the session's protocol events to w as qlog lines —
+// the paper artifact ships QLOG/QVIS support for exactly this kind of
+// offline analysis. Call before traffic flows; pass nil to stop tracing.
 //
 // Events are serialized with encoding/json and routed through a bounded
 // ring buffer drained by a dedicated writer goroutine, so a slow or
@@ -22,38 +23,35 @@ type TraceEvent = core.TraceEvent
 // on /metrics, TraceDropped in Session.Metrics). Config.Telemetry.Sample
 // thins the stream for high-rate transfers.
 //
-// Each line:
+// The first line is the qlog header, then one event per line:
 //
-//	{"time_us":..., "name":"record_sent", "conn":0, "stream":2, "seq":41, "bytes":16368}
+//	{"qlog_version":"0.3","qlog_format":"NDJSON","title":"tcpls"}
+//	{"time_us":..., "category":"transport", "type":"record_sent", "data":{"conn":0,"stream":2,"seq":41,"bytes":16368}}
+//
+// Config.Telemetry.FlatTrace restores the legacy flat schema
+// ({"time_us":...,"name":...,...}, no header).
 func (s *Session) TraceJSON(w io.Writer) {
-	s.mu.Lock()
-	prev := s.traceSink
-	s.traceSink = nil
-	if w == nil {
-		s.engine.SetTracer(nil)
-	} else {
+	var sink *telemetry.Sink
+	if w != nil {
 		var events, dropped *telemetry.Counter
+		s.mu.Lock()
 		if s.tel != nil {
 			events = s.tel.TraceEvents
 			dropped = s.tel.TraceDropped
 		}
-		sink := telemetry.NewSink(w, telemetry.SinkOptions{
+		s.mu.Unlock()
+		// The sink spawns its writer goroutine; build it off the lock.
+		sink = telemetry.NewSink(w, telemetry.SinkOptions{
 			Sample:  s.cfg.Telemetry.Sample,
+			Flat:    s.cfg.Telemetry.FlatTrace,
 			Events:  events,
 			Dropped: dropped,
 		})
-		s.traceSink = sink
-		s.engine.SetTracer(func(ev TraceEvent) {
-			sink.Emit(telemetry.Event{
-				Time:   ev.Time,
-				Name:   ev.Name,
-				Conn:   ev.Conn,
-				Stream: ev.Stream,
-				Seq:    ev.Seq,
-				Bytes:  ev.Bytes,
-			})
-		})
 	}
+	s.mu.Lock()
+	prev := s.traceSink
+	s.traceSink = sink
+	s.refreshTracerLocked()
 	s.mu.Unlock()
 	// Flush the displaced sink outside the session lock: Close drains a
 	// healthy writer completely (so callers swapping the trace target see
@@ -63,9 +61,105 @@ func (s *Session) TraceJSON(w io.Writer) {
 	}
 }
 
-// Trace installs a raw trace callback (for programmatic consumers).
+// Trace installs a raw trace callback (for programmatic consumers). The
+// callback runs on the engine's protocol path under the session lock:
+// keep it cheap and never call back into the session. It composes with
+// (does not displace) an active TraceJSON sink and the flight recorder;
+// nil removes a previously installed callback.
 func (s *Session) Trace(fn func(TraceEvent)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.engine.SetTracer(fn)
+	s.traceFn = fn
+	s.refreshTracerLocked()
+}
+
+// refreshTracerLocked is the single point that installs the engine
+// tracer, fanning each event out to the flight recorder, the TraceJSON
+// sink, and the Trace callback — whichever are active. Every installer
+// (initTelemetry, TraceJSON, Trace) routes through here so none can
+// displace another's consumer and strand its bookkeeping (the sink's
+// writer goroutine in particular).
+func (s *Session) refreshTracerLocked() {
+	flight, sink, fn := s.flight, s.traceSink, s.traceFn
+	if flight == nil && sink == nil && fn == nil {
+		s.engine.SetTracer(nil)
+		return
+	}
+	s.engine.SetTracer(func(ev TraceEvent) {
+		if flight != nil {
+			flight.Append(toFlightEvent(&ev))
+		}
+		if sink != nil {
+			sink.Emit(toSinkEvent(&ev))
+		}
+		if fn != nil {
+			fn(ev)
+		}
+	})
+}
+
+// usOrZero converts a span leg to Unix microseconds, keeping the zero
+// time (leg not stamped) at 0.
+func usOrZero(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMicro()
+}
+
+// toFlightEvent flattens an engine event for the flight ring: all
+// timestamps pre-converted so Append copies plain values and allocates
+// nothing.
+func toFlightEvent(ev *TraceEvent) telemetry.FlightEvent {
+	return telemetry.FlightEvent{
+		TimeUS:    ev.Time.UnixMicro(),
+		Name:      ev.Name,
+		Conn:      ev.Conn,
+		Stream:    ev.Stream,
+		Seq:       ev.Seq,
+		Bytes:     ev.Bytes,
+		EnqUS:     usOrZero(ev.EnqueuedAt),
+		SealedUS:  usOrZero(ev.SealedAt),
+		WrittenUS: usOrZero(ev.WrittenAt),
+		AckedUS:   usOrZero(ev.AckedAt),
+		OrigConn:  ev.OrigConn,
+		Retx:      int32(ev.Retx),
+	}
+}
+
+// toSinkEvent mirrors an engine event into the sink's schema.
+func toSinkEvent(ev *TraceEvent) telemetry.Event {
+	return telemetry.Event{
+		Time:       ev.Time,
+		Name:       ev.Name,
+		Conn:       ev.Conn,
+		Stream:     ev.Stream,
+		Seq:        ev.Seq,
+		Bytes:      ev.Bytes,
+		EnqueuedAt: ev.EnqueuedAt,
+		SealedAt:   ev.SealedAt,
+		WrittenAt:  ev.WrittenAt,
+		AckedAt:    ev.AckedAt,
+		OrigConn:   ev.OrigConn,
+		Retx:       ev.Retx,
+	}
+}
+
+// errNoFlight reports a dump request on a session whose flight recorder
+// is off (Telemetry.Disabled or FlightCapacity < 0).
+var errNoFlight = errors.New("tcpls: flight recorder disabled")
+
+// DumpFlight writes the flight recorder's contents — the most recent
+// trace events, spans included — to w in the same qlog-lines framing as
+// TraceJSON, so tcpls-trace reads dumps and live traces identically.
+// Safe to call at any time, including concurrently with Close and from
+// a signal handler; the dump is a point-in-time snapshot.
+func (s *Session) DumpFlight(w io.Writer) error {
+	s.mu.Lock()
+	flight := s.flight
+	s.mu.Unlock()
+	if flight == nil {
+		return errNoFlight
+	}
+	return flight.Dump(w)
 }
