@@ -68,6 +68,30 @@ type Config struct {
 	// record lengths leak nothing (bandwidth trade-off). Zero disables.
 	PadRecordsTo int
 
+	// MaxReorderBytes and MaxReorderRecords cap the coupled-stream
+	// reorder heap (payload bytes / parked records). Past either cap the
+	// engine declares the quietest other coupled path suspect and fails
+	// it over (EnableFailover required for the failover; the cap itself
+	// always bounds telemetry), rather than buffering a stalled path's
+	// gap forever. Zero means the defaults (16 MiB / 8192 records);
+	// negative disables that cap.
+	MaxReorderBytes   int
+	MaxReorderRecords int
+	// MaxRecvBufferBytes caps each stream's (and the coupled group's)
+	// receive buffer. At the cap the session stops reading the
+	// offending connection's socket until the application drains Read —
+	// TCP's receive window then pushes back on the peer. Zero means the
+	// default (16 MiB); negative disables the cap.
+	MaxRecvBufferBytes int
+	// MaxRetransmitBytes budgets each stream's failover retransmit
+	// buffer. At half the budget the session solicits a fresh
+	// acknowledgment from the peer; at the budget further sealing for
+	// the stream parks until ACKs trim the buffer, and Write returns
+	// ErrRetransmitBudget once a further budget's worth of bytes queues
+	// behind the stall. Zero means the default (16 MiB); negative
+	// disables the budget.
+	MaxRetransmitBytes int
+
 	// Scheduler names the multipath record scheduler for coupled
 	// streams: "roundrobin" (the default), "lowrtt" (lowest fused
 	// SRTT), "rate" (delivery-rate-weighted — the bandwidth-aggregation
@@ -138,10 +162,14 @@ func (c *Config) validateScheduler() error {
 
 func (c *Config) coreConfig() core.Config {
 	return core.Config{
-		EnableFailover:   c.EnableFailover,
-		AckPeriod:        c.AckPeriod,
-		MaxRecordPayload: c.MaxRecordPayload,
-		UserTimeout:      c.UserTimeout,
-		PadRecordsTo:     c.PadRecordsTo,
+		EnableFailover:     c.EnableFailover,
+		AckPeriod:          c.AckPeriod,
+		MaxRecordPayload:   c.MaxRecordPayload,
+		UserTimeout:        c.UserTimeout,
+		PadRecordsTo:       c.PadRecordsTo,
+		MaxReorderBytes:    c.MaxReorderBytes,
+		MaxReorderRecords:  c.MaxReorderRecords,
+		MaxRecvBufferBytes: c.MaxRecvBufferBytes,
+		MaxRetransmitBytes: c.MaxRetransmitBytes,
 	}
 }

@@ -20,6 +20,7 @@ type DebugConn struct {
 	InFlight     uint64   `json:"in_flight_bytes,omitempty"`
 	Losses       uint64   `json:"losses,omitempty"`
 	LastRecvUS   int64    `json:"last_recv_us,omitempty"`
+	RecvPaused   bool     `json:"recv_paused,omitempty"` // reads parked on backpressure
 }
 
 // DebugStream is one stream's live state on /debug/tcpls.
@@ -35,6 +36,8 @@ type DebugStream struct {
 	RetransmitQ   int    `json:"retransmit_queue,omitempty"`
 	UnackedBytes  int    `json:"unacked_bytes,omitempty"`
 	RecvBuffered  int    `json:"recv_buffered,omitempty"`
+	RecvBlocked   bool   `json:"recv_blocked,omitempty"`  // receive buffer at its cap
+	AckSolicited  bool   `json:"ack_solicited,omitempty"` // AckRequest outstanding
 	NextSendSeq   uint64 `json:"next_send_seq"`
 	PeerAckedSeq  uint64 `json:"peer_acked_seq"`
 	BytesSent     uint64 `json:"bytes_sent,omitempty"`
@@ -43,16 +46,22 @@ type DebugStream struct {
 
 // DebugSession is one session's live state on /debug/tcpls.
 type DebugSession struct {
-	Role         string        `json:"role"`
-	Closed       bool          `json:"closed,omitempty"`
-	Recovering   bool          `json:"recovering,omitempty"`
-	Scheduler    string        `json:"scheduler"`
-	ReorderDepth int           `json:"reorder_depth"`
-	CookiesLeft  int           `json:"cookies_left"`
-	FlightEvents int           `json:"flight_events"`
-	FlightTotal  uint64        `json:"flight_total"`
-	Conns        []DebugConn   `json:"conns"`
-	Streams      []DebugStream `json:"streams"`
+	Role         string `json:"role"`
+	Closed       bool   `json:"closed,omitempty"`
+	Recovering   bool   `json:"recovering,omitempty"`
+	Scheduler    string `json:"scheduler"`
+	ReorderDepth int    `json:"reorder_depth"`
+	// Flow-control gauges (Config.MaxReorder*/MaxRetransmitBytes) with
+	// their session high-watermarks.
+	ReorderBytes        int           `json:"reorder_bytes"`
+	ReorderBytesPeak    int           `json:"reorder_bytes_peak"`
+	RetransmitBytes     int           `json:"retransmit_bytes"`
+	RetransmitBytesPeak int           `json:"retransmit_bytes_peak"`
+	CookiesLeft         int           `json:"cookies_left"`
+	FlightEvents        int           `json:"flight_events"`
+	FlightTotal         uint64        `json:"flight_total"`
+	Conns               []DebugConn   `json:"conns"`
+	Streams             []DebugStream `json:"streams"`
 }
 
 // debugState snapshots the session for /debug/tcpls. Runs on the HTTP
@@ -65,12 +74,16 @@ func (s *Session) debugState() any {
 		role = "client"
 	}
 	ds := DebugSession{
-		Role:         role,
-		Closed:       s.closed,
-		Recovering:   s.recovering,
-		Scheduler:    s.engine.SchedulerName(),
-		ReorderDepth: s.engine.ReorderDepth(),
-		CookiesLeft:  len(s.cookies),
+		Role:                role,
+		Closed:              s.closed,
+		Recovering:          s.recovering,
+		Scheduler:           s.engine.SchedulerName(),
+		ReorderDepth:        s.engine.ReorderDepth(),
+		ReorderBytes:        s.engine.ReorderBytes(),
+		ReorderBytesPeak:    s.engine.ReorderPeakBytes(),
+		RetransmitBytes:     s.engine.RetransmitBytes(),
+		RetransmitBytesPeak: s.engine.RetransmitPeakBytes(),
+		CookiesLeft:         len(s.cookies),
 	}
 	if s.flight != nil {
 		ds.FlightEvents = s.flight.Len()
@@ -92,6 +105,7 @@ func (s *Session) debugState() any {
 			DeliveryRate: ci.DeliveryRate,
 			InFlight:     ci.InFlight,
 			Losses:       ci.Losses,
+			RecvPaused:   ci.RecvPaused,
 		}
 		if !ci.LastRecv.IsZero() {
 			dc.LastRecvUS = ci.LastRecv.UnixMicro()
@@ -111,6 +125,8 @@ func (s *Session) debugState() any {
 			RetransmitQ:   si.RetransmitQ,
 			UnackedBytes:  si.UnackedBytes,
 			RecvBuffered:  si.RecvBuffered,
+			RecvBlocked:   si.RecvBlocked,
+			AckSolicited:  si.AckSolicited,
 			NextSendSeq:   si.NextSendSeq,
 			PeerAckedSeq:  si.PeerAckedSeq,
 			BytesSent:     si.BytesSent,

@@ -98,6 +98,35 @@ func (s *Session) FailedConnsWithStreams() []uint32 {
 	return out
 }
 
+// NotifyConnFailed propagates a locally detected connection failure to
+// the peer without re-homing any streams — Fig. 4 step 2, the server's
+// half of failover. Target selection belongs to the client (only it can
+// re-dial, and two sides choosing targets independently can cross their
+// STREAM_ATTACHes and re-home the same stream onto different
+// connections); a server that detects a dead path sends this notice on
+// the lowest live connection and waits for the client's ATTACH + SYNC
+// to move the parked streams (handleStreamAttach replays our send side
+// when it arrives). No-op without failover or without a live path.
+func (s *Session) NotifyConnFailed(failedID uint32) error {
+	if !s.cfg.EnableFailover {
+		return nil
+	}
+	var via *conn
+	for id, c := range s.conns {
+		if id == failedID || c.failed || c.closed {
+			continue
+		}
+		if via == nil || id < via.id {
+			via = c
+		}
+	}
+	if via == nil {
+		return ErrConnFailed
+	}
+	s.trace("failover_notified", via.id, 0, uint64(failedID), 0)
+	return s.sendCtl(via, appendFailover(nil, failedID))
+}
+
 // FailoverTo resynchronizes and retransmits all streams of failedID onto
 // targetID (Fig. 4): it notifies the peer, re-attaches each stream,
 // sends a SYNC with the resume sequence, and replays every

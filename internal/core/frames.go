@@ -75,6 +75,11 @@ const (
 	// resumption secret and the nonce; the opaque ticket lets the
 	// server recover the same PSK statelessly on a later connection.
 	typeSessionTicket recordType = 0x10
+	// typeAckRequest: [streamID:4][type]. Solicits an immediate
+	// cumulative ACK for streamID: a sender whose retransmit buffer
+	// approaches its budget re-requests acknowledgment instead of
+	// growing without bound (lost-ACK recovery on the ctl path).
+	typeAckRequest recordType = 0x11
 )
 
 // ErrBadFrame is returned for TCPLS records whose trailer is malformed.
@@ -133,6 +138,11 @@ func appendStreamFin(dst []byte, streamID uint32, finalSeq uint64) []byte {
 	dst = wire.AppendUint32(dst, streamID)
 	dst = wire.AppendUint64(dst, finalSeq)
 	return append(dst, byte(typeStreamFin))
+}
+
+func appendAckRequest(dst []byte, streamID uint32) []byte {
+	dst = wire.AppendUint32(dst, streamID)
+	return append(dst, byte(typeAckRequest))
 }
 
 func appendTCPOption(dst []byte, kind uint8, value []byte) []byte {
@@ -220,7 +230,7 @@ func parseFrame(content []byte) (*frame, error) {
 		}
 		f.id = wire.Uint32(body[:4])
 		f.seq = wire.Uint64(body[4:])
-	case typeFailover, typeStreamAttach, typeStreamDetach:
+	case typeFailover, typeStreamAttach, typeStreamDetach, typeAckRequest:
 		if len(body) != 4 {
 			return nil, ErrBadFrame
 		}

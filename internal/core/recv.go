@@ -113,6 +113,7 @@ func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
 		} else {
 			delivered = s.coupled.buf.Offer(f.aggSeq, append([]byte(nil), f.payload...))
 		}
+		s.noteReorderBytes()
 		if s.tel != nil {
 			s.tel.ReorderDepth.Set(int64(s.coupled.buf.Pending()))
 		}
@@ -120,6 +121,7 @@ func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
 			s.trace("reorder_depth", c.id, streamID, uint64(depth), len(delivered))
 			s.lastReorderDepth = depth
 		}
+		s.checkReorderCap(c, streamID)
 		if s.DeliverCoupled != nil {
 			for _, d := range delivered {
 				s.DeliverCoupled(d)
@@ -131,18 +133,111 @@ func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
 			if len(delivered) > 0 {
 				s.emit(Event{Kind: EventCoupledData, Stream: streamID, Conn: c.id})
 			}
+			if err := s.checkRecvCap(c, streamID, len(s.coupled.recvData), &s.coupled.recvBlocked); err != nil {
+				return err
+			}
 		}
 	} else if s.DeliverData != nil {
 		s.DeliverData(streamID, f.payload)
 	} else {
 		st.recvData = append(st.recvData, f.payload...)
 		s.emit(Event{Kind: EventStreamData, Stream: streamID, Conn: c.id})
+		if err := s.checkRecvCap(c, streamID, len(st.recvData), &st.recvBlocked); err != nil {
+			return err
+		}
 	}
 
 	st.recvSinceAck++
 	st.bytesSinceAck += len(f.payload)
 	s.maybeAck(c, st)
 	return nil
+}
+
+// checkRecvCap applies the receive-buffer bound after buffered bytes
+// grew. At the cap it raises the stream's (or the coupled group's)
+// backpressure flag — surfaced through RecvPaused so the I/O wrapper
+// stops reading the socket and TCP's receive window closes. At twice
+// the cap — only reachable by callers that keep feeding Receive past
+// the backpressure signal — it returns ErrRecvBufferFull. The record
+// is already buffered either way: delivery is reliable, so bytes are
+// never dropped once their sequence advanced.
+func (s *Session) checkRecvCap(c *conn, streamID uint32, buffered int, blocked *bool) error {
+	cap := s.cfg.maxRecvBytes()
+	if cap <= 0 {
+		return nil
+	}
+	if buffered >= cap && !*blocked {
+		*blocked = true
+		s.trace("flowctl_limit", c.id, streamID, flowctlRecvBuffer, buffered)
+		if s.tel != nil {
+			s.tel.FlowctlLimits.Inc()
+		}
+	}
+	if buffered >= 2*cap {
+		return fmt.Errorf("stream %d: %d bytes buffered: %w", streamID, buffered, ErrRecvBufferFull)
+	}
+	return nil
+}
+
+// checkReorderCap bounds the coupled reorder heap (§4.3): a path that
+// stalls while others keep delivering inflates the heap without bound.
+// Past the configured byte or record cap the quietest *other* live
+// coupled path is declared suspect and failed — handing the stall to
+// the existing failover/replay machinery (the failed path's records
+// replay on a live one, filling the gap) instead of allocating
+// forever. Hysteresis: one declaration per excursion, re-armed when
+// the heap drains below half the cap.
+func (s *Session) checkReorderCap(arrival *conn, streamID uint32) {
+	maxBytes, maxRecs := s.cfg.maxReorderBytes(), s.cfg.maxReorderRecords()
+	bytes, recs := s.coupled.buf.PendingBytes(), s.coupled.buf.Pending()
+	over := (maxBytes > 0 && bytes >= maxBytes) || (maxRecs > 0 && recs >= maxRecs)
+	if !over {
+		if s.coupled.capTripped &&
+			(maxBytes <= 0 || bytes <= maxBytes/2) && (maxRecs <= 0 || recs <= maxRecs/2) {
+			s.coupled.capTripped = false
+		}
+		return
+	}
+	if s.coupled.capTripped {
+		return
+	}
+	s.coupled.capTripped = true
+	s.trace("flowctl_limit", arrival.id, streamID, flowctlReorder, bytes)
+	if s.tel != nil {
+		s.tel.FlowctlLimits.Inc()
+	}
+	if !s.cfg.EnableFailover {
+		return
+	}
+	// The suspect is the stream-carrying path that has been quiet
+	// longest — the heap grows because the missing aggregation
+	// sequences travel a path that stopped delivering, and the path
+	// records arrive on is by definition alive. All attached streams
+	// are considered, not just known-coupled ones: the stalled path's
+	// records never arrived, so the receiver never learned its stream
+	// was coupled. Ties break toward the lowest connection ID so the
+	// declaration is deterministic.
+	var suspect *conn
+	for _, st := range s.streams {
+		c, ok := s.conns[st.conn]
+		if !ok || c == arrival || c.failed || c.closed {
+			continue
+		}
+		if suspect == nil || c.lastRecv.Before(suspect.lastRecv) ||
+			(c.lastRecv.Equal(suspect.lastRecv) && c.id < suspect.id) {
+			suspect = c
+		}
+	}
+	if suspect == nil {
+		return
+	}
+	suspect.failed = true
+	s.trace("conn_failed", suspect.id, 0, 0, 0)
+	if s.tel != nil {
+		s.tel.ConnFailures.Inc()
+	}
+	s.telSyncGauges()
+	s.emit(Event{Kind: EventConnFailed, Conn: suspect.id})
 }
 
 // maybeAck applies the §4.2 acknowledgment policy: every AckPeriod
@@ -172,8 +267,11 @@ func (s *Session) sendAck(c *conn, st *stream) {
 
 // FlushAcks forces acknowledgments for all streams with unacked receipts
 // (used at transfer end so the sender can drain retransmit buffers).
+// Streams are walked in ID order so the emitted ack sequence — and any
+// trace built from it — is deterministic.
 func (s *Session) FlushAcks() {
-	for _, st := range s.streams {
+	for _, id := range s.sortedStreamIDs() {
+		st := s.streams[id]
 		if st.recvSinceAck > 0 {
 			if c, ok := s.conns[st.conn]; ok && !c.failed {
 				s.sendAck(c, st)
@@ -210,6 +308,8 @@ func (s *Session) handleControl(c *conn, streamID uint32, f *frame) error {
 	case typeNewCookie:
 		s.emit(Event{Kind: EventNewCookies, Conn: c.id, Cookies: f.cookies})
 		return nil
+	case typeAckRequest:
+		return s.handleAckRequest(c, f)
 	case typeBPFCC:
 		return s.handleBPFChunk(c, f)
 	case typeEchoRequest:
@@ -269,6 +369,15 @@ func (s *Session) handleAck(f *frame) error {
 	}
 	if i > 0 {
 		st.retransmit = append(st.retransmit[:0], st.retransmit[i:]...)
+		st.retransmitBytes -= ackedBytes
+		s.noteRetransmitBytes(-ackedBytes)
+		// Progress re-arms the budget machinery: a parked stream whose
+		// buffer dropped back under budget seals again at the next
+		// flush, and a fresh solicitation may go out if it fills again.
+		st.ackSolicited = false
+		if budget := s.cfg.maxRetransmitBytes(); budget <= 0 || st.retransmitBytes < budget {
+			st.budgetTripped = false
+		}
 		if s.tel != nil && rttSample > 0 {
 			s.tel.AckRTT.Observe(rttSample.Seconds())
 		}
@@ -343,15 +452,53 @@ func (s *Session) handleStreamFin(c *conn, f *frame) error {
 	return nil
 }
 
+// handleAckRequest answers a peer's ACK solicitation with an immediate
+// cumulative acknowledgment (lost-ACK recovery: the peer's retransmit
+// buffer is approaching its budget and cannot wait out our batching
+// policy). Without failover no acks flow at all, so the request is
+// ignored rather than answered inconsistently.
+func (s *Session) handleAckRequest(c *conn, f *frame) error {
+	st, err := s.getStream(f.id)
+	if err != nil {
+		return nil // requests may race stream teardown
+	}
+	s.trace("ack_requested", c.id, f.id, st.recvCtx.Seq(), 0)
+	if s.cfg.EnableFailover {
+		s.sendAck(c, st)
+	}
+	return nil
+}
+
+// Bounds on eBPF congestion-controller reassembly (§4.4): real CC
+// bytecode is a few KiB, so a megabyte of program across a few
+// thousand chunks is generous — and a forged header can no longer make
+// a single record allocate unbounded reassembly state.
+const (
+	maxBPFProgLen = 1 << 20
+	maxBPFChunks  = 4096
+)
+
 // handleBPFChunk reassembles an eBPF congestion-controller program.
+// Header fields are validated against each other before any allocation:
+// chunkCount and progLen come off the wire and sized buffers must never
+// outrun what a legitimate sender could have produced.
 func (s *Session) handleBPFChunk(c *conn, f *frame) error {
-	if int(f.chunkCount) == 0 {
+	count := int(f.chunkCount)
+	switch {
+	case count == 0 || count > maxBPFChunks:
+		return ErrBadFrame
+	case f.progLen > maxBPFProgLen:
+		return ErrBadFrame
+	case int(f.progLen) < count-1:
+		// count chunks with all but the last non-empty need at least
+		// count-1 bytes of program.
 		return ErrBadFrame
 	}
-	if s.bpfChunks == nil || s.bpfTotal != int(f.chunkCount) || s.bpfProgLen != f.progLen {
-		s.bpfChunks = make([][]byte, f.chunkCount)
+	if s.bpfChunks == nil || s.bpfTotal != count || s.bpfProgLen != f.progLen {
+		s.bpfChunks = make([][]byte, count)
 		s.bpfGot = 0
-		s.bpfTotal = int(f.chunkCount)
+		s.bpfBytes = 0
+		s.bpfTotal = count
 		s.bpfProgLen = f.progLen
 	}
 	idx := int(f.chunkIdx)
@@ -359,8 +506,15 @@ func (s *Session) handleBPFChunk(c *conn, f *frame) error {
 		return ErrBadFrame
 	}
 	if s.bpfChunks[idx] == nil {
+		if s.bpfBytes+len(f.chunk) > int(s.bpfProgLen) {
+			// Chunks claim more bytes than the advertised program
+			// length: drop the whole reassembly, not just this chunk.
+			s.bpfChunks = nil
+			return ErrBadFrame
+		}
 		s.bpfChunks[idx] = append([]byte(nil), f.chunk...)
 		s.bpfGot++
+		s.bpfBytes += len(f.chunk)
 	}
 	if s.bpfGot < s.bpfTotal {
 		return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"tcpls/internal/record"
@@ -79,25 +80,69 @@ func (s *Session) Flush() error {
 
 func (s *Session) sortedStreamIDs() []uint32 {
 	ids := s.Streams()
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			if ids[j] < ids[i] {
-				ids[i], ids[j] = ids[j], ids[i]
-			}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// solicitAck sends one AckRequest for st on its connection (§4.2's ctl
+// path): a sender whose retransmit buffer approaches its budget asks
+// for a fresh cumulative ack instead of waiting out the receiver's
+// batching policy (or a lost ack). At most one request is in flight per
+// stream; handleAck re-arms it when an ack trims the buffer.
+func (s *Session) solicitAck(st *stream) {
+	if st.ackSolicited || !s.cfg.EnableFailover {
+		return
+	}
+	c, ok := s.conns[st.conn]
+	if !ok || c.failed || c.closed {
+		return
+	}
+	if s.sendCtl(c, appendAckRequest(nil, st.id)) != nil {
+		return
+	}
+	st.ackSolicited = true
+	s.trace("ack_solicited", c.id, st.id, st.peerAcked, st.retransmitBytes)
+	if s.tel != nil {
+		s.tel.AckSolicits.Inc()
+	}
+}
+
+// retransmitParked reports whether st's retransmit buffer is at its
+// budget, so sealing must park until ACKs trim it. On the at-cap edge
+// it emits one flowctl_limit trace per excursion and (re-)solicits an
+// acknowledgment so the stall resolves itself when only an ack was
+// lost.
+func (s *Session) retransmitParked(st *stream, budget int) bool {
+	if budget <= 0 || st.retransmitBytes < budget {
+		return false
+	}
+	if !st.budgetTripped {
+		st.budgetTripped = true
+		s.trace("flowctl_limit", st.conn, st.id, flowctlRetransmit, st.retransmitBytes)
+		if s.tel != nil {
+			s.tel.FlowctlLimits.Inc()
 		}
 	}
-	return ids
+	s.solicitAck(st)
+	return true
 }
 
 // flushStream frames one stream's pending bytes. A stream whose
 // connection has failed is parked, not an error: its pending bytes stay
-// queued until failover or the recovery supervisor re-homes it.
+// queued until failover or the recovery supervisor re-homes it. The
+// same applies at the retransmit budget: remaining bytes park (with an
+// ACK solicitation) until acknowledgments trim the buffer, rather than
+// growing it without bound.
 func (s *Session) flushStream(st *stream) error {
 	if c, ok := s.conns[st.conn]; ok && (c.failed || c.closed) {
 		return nil
 	}
 	max := s.cfg.maxPayload()
+	budget := s.cfg.maxRetransmitBytes()
 	for len(st.pending) > 0 {
+		if s.retransmitParked(st, budget) {
+			return nil
+		}
 		n := len(st.pending)
 		if n > max {
 			n = max
@@ -137,11 +182,15 @@ func (s *Session) flushCoupled() error {
 	if len(cs) == 0 {
 		return ErrNotCoupled
 	}
-	// Schedule only over streams whose connections are alive; with no
-	// live path the group's bytes park until recovery re-homes a stream.
+	// Schedule only over streams whose connections are alive and whose
+	// retransmit buffers have budget left; with no live path the group's
+	// bytes park until recovery re-homes a stream (or ACKs trim a
+	// budget-parked buffer).
+	budget := s.cfg.maxRetransmitBytes()
 	live := cs[:0]
 	for _, st := range cs {
-		if c, ok := s.conns[st.conn]; ok && !c.failed && !c.closed {
+		if c, ok := s.conns[st.conn]; ok && !c.failed && !c.closed &&
+			!s.retransmitParked(st, budget) {
 			live = append(live, st)
 		}
 	}
@@ -165,16 +214,30 @@ func (s *Session) flushCoupled() error {
 		}
 		chunk := s.coupled.pendingData[:n]
 		idx := ps.Pick(s.coupled.sendSeq, views)
-		aggSeq := s.coupled.sendSeq
-		s.coupled.sendSeq++
 		if idx == sched.PickAll {
 			// Redundant scheduling: the same aggregation sequence goes
 			// out on every path; the receiver's reorder buffer keeps
-			// exactly one copy.
+			// exactly one copy. Replicas that crossed their retransmit
+			// budget mid-flush are skipped; with none open the rest of
+			// the group's bytes park for a later flush. One shared
+			// immutable copy backs every replica's retransmit entry —
+			// copying per path multiplied memory by the path count.
+			var open []*stream
 			for _, st := range cs {
+				if !s.retransmitParked(st, budget) {
+					open = append(open, st)
+				}
+			}
+			if len(open) == 0 {
+				return nil
+			}
+			aggSeq := s.coupled.sendSeq
+			s.coupled.sendSeq++
+			shared := append([]byte(nil), chunk...)
+			for _, st := range open {
 				s.trace("sched_pick", st.conn, st.id, aggSeq, n)
 				s.telPicks.Inc()
-				if err := s.sealStreamRecord(st, chunk, true, aggSeq, s.coupled.pendingSince); err != nil {
+				if err := s.sealStreamRecord(st, chunk, true, aggSeq, s.coupled.pendingSince, shared); err != nil {
 					return err
 				}
 			}
@@ -184,16 +247,24 @@ func (s *Session) flushCoupled() error {
 				// index) instead of clamping silently, then fall back
 				// to the first coupled stream per the SetScheduler
 				// contract.
-				s.trace("sched_invalid", 0, 0, aggSeq, idx)
+				s.trace("sched_invalid", 0, 0, s.coupled.sendSeq, idx)
 				if s.tel != nil {
 					s.tel.SchedInvalid.Inc()
 				}
 				idx = 0
 			}
 			st := cs[idx]
+			if s.retransmitParked(st, budget) {
+				// The picked path crossed its retransmit budget mid-
+				// flush: park the remaining group bytes; the next flush
+				// re-filters the candidate set.
+				return nil
+			}
+			aggSeq := s.coupled.sendSeq
+			s.coupled.sendSeq++
 			s.trace("sched_pick", st.conn, st.id, aggSeq, n)
 			s.telPicks.Inc()
-			if err := s.sealStreamRecord(st, chunk, true, aggSeq, s.coupled.pendingSince); err != nil {
+			if err := s.sealStreamRecord(st, chunk, true, aggSeq, s.coupled.pendingSince, nil); err != nil {
 				return err
 			}
 		}
@@ -211,14 +282,16 @@ func (s *Session) sendStreamRecord(st *stream, payload []byte, coupled bool) err
 		aggSeq = s.coupled.sendSeq
 		s.coupled.sendSeq++
 	}
-	return s.sealStreamRecord(st, payload, coupled, aggSeq, st.pendingSince)
+	return s.sealStreamRecord(st, payload, coupled, aggSeq, st.pendingSince, nil)
 }
 
 // sealStreamRecord seals one stream data record onto the stream's
 // connection and, when failover is enabled, retains it for replay.
 // enqAt is the span's enqueue leg: when the bytes entered the stream's
-// pending queue (or the coupled group's).
-func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, aggSeq uint64, enqAt time.Time) error {
+// pending queue (or the coupled group's). retained, when non-nil, is a
+// caller-owned immutable copy of payload to retain instead of copying —
+// redundant (PickAll) scheduling shares one copy across all replicas.
+func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, aggSeq uint64, enqAt time.Time, retained []byte) error {
 	c, err := s.getConn(st.conn)
 	if err != nil {
 		return err
@@ -259,10 +332,13 @@ func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, agg
 		s.pathSched.OnSent(c.id, len(payload))
 	}
 	if s.cfg.EnableFailover {
+		if retained == nil {
+			retained = append([]byte(nil), payload...)
+		}
 		sr := sentRecord{
 			seq:      seq,
 			typ:      typ,
-			payload:  append([]byte(nil), payload...),
+			payload:  retained,
 			aggSeq:   aggSeq,
 			sentAt:   s.now(), // seal leg + ACK-driven RTT sampling
 			enqAt:    enqAt,
@@ -273,8 +349,15 @@ func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, agg
 			s.metrics.OnSent(c.id, len(payload))
 		}
 		st.retransmit = append(st.retransmit, sr)
+		st.retransmitBytes += len(payload)
+		s.noteRetransmitBytes(len(payload))
 		if s.stampWrites {
 			c.unwritten = append(c.unwritten, spanKey{stream: st.id, seq: seq})
+		}
+		// Soft watermark: at half the budget, ask the peer for a fresh
+		// cumulative ack before the hard park at the budget.
+		if budget := s.cfg.maxRetransmitBytes(); budget > 0 && st.retransmitBytes*2 >= budget {
+			s.solicitAck(st)
 		}
 	}
 	return nil

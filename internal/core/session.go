@@ -65,6 +65,69 @@ type Config struct {
 	// control alike — become indistinguishable by size on the wire,
 	// at a bandwidth cost. Zero disables padding.
 	PadRecordsTo int
+
+	// MaxReorderBytes caps the payload bytes the coupled reorder heap
+	// may park (§4.3). When an out-of-order record would push the heap
+	// past the cap and failover is enabled, the engine declares the
+	// quietest other coupled path suspect and fails it — triggering the
+	// existing failover/replay machinery — instead of allocating
+	// forever against a stalled-but-alive path. 0 means the default
+	// (16 MiB); negative disables the cap.
+	MaxReorderBytes int
+	// MaxReorderRecords caps the records the reorder heap may park,
+	// independent of their size. 0 means the default (8192); negative
+	// disables the cap.
+	MaxReorderRecords int
+	// MaxRecvBufferBytes caps each stream's (and the coupled group's)
+	// receive buffer when no Deliver callback drains it. At the cap the
+	// engine reports backpressure via RecvPaused so the I/O wrapper
+	// stops reading the socket (TCP's own receive window then pushes
+	// back on the peer); at twice the cap — only reachable by callers
+	// that ignore the backpressure signal — Receive returns a typed
+	// ErrRecvBufferFull instead of growing without bound. 0 means the
+	// default (16 MiB); negative disables the cap.
+	MaxRecvBufferBytes int
+	// MaxRetransmitBytes budgets each stream's retransmit buffer when
+	// failover is enabled. At half the budget the engine solicits a
+	// fresh cumulative ACK on the ctl path (lost-ACK recovery); at the
+	// budget it parks further sealing for that stream until ACKs trim
+	// the buffer, and Write returns a typed ErrRetransmitBudget once a
+	// further budget's worth of bytes queues behind the stall. 0 means
+	// the default (16 MiB); negative disables the budget.
+	MaxRetransmitBytes int
+}
+
+// Default flow-control bounds (see the Max* knobs on Config).
+const (
+	DefaultMaxReorderBytes    = 16 << 20
+	DefaultMaxReorderRecords  = 8192
+	DefaultMaxRecvBufferBytes = 16 << 20
+	DefaultMaxRetransmitBytes = 16 << 20
+)
+
+// boundOrDefault resolves a flow-control knob: 0 means def, negative
+// means unlimited (returned as 0 so callers test `> 0`).
+func boundOrDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (c Config) maxReorderBytes() int {
+	return boundOrDefault(c.MaxReorderBytes, DefaultMaxReorderBytes)
+}
+func (c Config) maxReorderRecords() int {
+	return boundOrDefault(c.MaxReorderRecords, DefaultMaxReorderRecords)
+}
+func (c Config) maxRecvBytes() int {
+	return boundOrDefault(c.MaxRecvBufferBytes, DefaultMaxRecvBufferBytes)
+}
+func (c Config) maxRetransmitBytes() int {
+	return boundOrDefault(c.MaxRetransmitBytes, DefaultMaxRetransmitBytes)
 }
 
 func (c Config) ackPeriod() int {
@@ -149,6 +212,17 @@ var (
 	ErrStreamFinished = errors.New("core: stream already finished")
 	ErrNotCoupled     = errors.New("core: no coupled streams configured")
 	ErrDuplicateConn  = errors.New("core: connection ID already exists")
+	// ErrRecvBufferFull: a stream's receive buffer reached twice its
+	// configured cap because the caller kept feeding Receive after the
+	// RecvPaused backpressure signal tripped. The offending record is
+	// still buffered (stream delivery is reliable; bytes cannot be
+	// dropped once the sequence advanced) — the caller must drain Read
+	// before feeding more.
+	ErrRecvBufferFull = errors.New("core: receive buffer full")
+	// ErrRetransmitBudget: a stream Write would queue more than a full
+	// extra retransmit budget behind a stream whose retransmit buffer is
+	// already at its cap waiting on ACKs.
+	ErrRetransmitBudget = errors.New("core: retransmit buffer budget exhausted")
 )
 
 // Session is the sans-IO TCPLS protocol engine for one endpoint of one
@@ -187,8 +261,11 @@ type Session struct {
 	coupled   coupledState
 
 	// bpf reassembly state (one program in flight at a time, §4.4).
+	// bpfBytes counts stored chunk bytes so a forged chunk stream can
+	// never outgrow the advertised program length.
 	bpfChunks  [][]byte
 	bpfGot     int
+	bpfBytes   int
 	bpfTotal   int
 	bpfProgLen uint32
 
@@ -219,6 +296,12 @@ type Session struct {
 	tel      *telemetry.SessionMetrics
 	telPicks *telemetry.Counter
 
+	// retransmitTotal sums payload bytes across every stream's retransmit
+	// buffer (the per-stream values live on each stream); retransmitPeak
+	// high-watermarks it.
+	retransmitTotal int
+	retransmitPeak  int
+
 	// Stats counters.
 	stats Stats
 }
@@ -245,6 +328,15 @@ type coupledState struct {
 	pendingSince time.Time // enqueue stamp of the oldest unflushed bytes
 	buf          *reorder.Buffer
 	recvData     []byte
+	// recvBlocked: recvData hit the receive-buffer cap; reported through
+	// RecvPaused until ReadCoupled drains below half the cap.
+	recvBlocked bool
+	// capTripped arms hysteresis for the reorder-cap suspect declaration:
+	// one failover per excursion above the cap, rearmed when the heap
+	// drains below half.
+	capTripped bool
+	// peakBytes high-watermarks the reorder heap's payload bytes.
+	peakBytes int
 }
 
 // NewSession builds an engine from completed handshake secrets.
@@ -573,6 +665,7 @@ type ConnInfo struct {
 	DeliveryRate float64 // bytes per second; zero when unsampled
 	InFlight     uint64
 	Losses       uint64
+	RecvPaused   bool // receive backpressure wants socket reads paused
 }
 
 // StreamInfo is a point-in-time snapshot of one stream's engine state.
@@ -591,6 +684,8 @@ type StreamInfo struct {
 	PeerAckedSeq  uint64
 	BytesSent     uint64 // from telemetry when installed, else 0
 	BytesReceived uint64
+	RecvBlocked   bool // receive buffer at its cap (backpressure)
+	AckSolicited  bool // an AckRequest is outstanding for this stream
 }
 
 // ConnInfos snapshots every connection, in ascending ID order.
@@ -609,6 +704,7 @@ func (s *Session) ConnInfos() []ConnInfo {
 			Closed:      c.closed,
 			QueuedBytes: len(c.out),
 			LastRecv:    c.lastRecv,
+			RecvPaused:  s.RecvPaused(id),
 		}
 		for stID, st := range s.streams {
 			if st.conn == id {
@@ -647,9 +743,9 @@ func (s *Session) StreamInfos() []StreamInfo {
 			RecvBuffered: len(st.recvData),
 			NextSendSeq:  st.sendCtx.Seq(),
 			PeerAckedSeq: st.peerAcked,
-		}
-		for i := range st.retransmit {
-			si.UnackedBytes += len(st.retransmit[i].payload)
+			UnackedBytes: st.retransmitBytes,
+			RecvBlocked:  st.recvBlocked,
+			AckSolicited: st.ackSolicited,
 		}
 		if st.tel != nil {
 			si.BytesSent = st.tel.BytesSent.Load()
@@ -672,6 +768,61 @@ func (s *Session) SchedulerName() string {
 // ReorderDepth reports how many out-of-order coupled records the
 // receive-side reorder heap currently holds.
 func (s *Session) ReorderDepth() int { return s.coupled.buf.Pending() }
+
+// ReorderBytes reports the payload bytes currently parked in the
+// coupled reorder heap; ReorderPeakBytes is its session high-watermark.
+func (s *Session) ReorderBytes() int     { return s.coupled.buf.PendingBytes() }
+func (s *Session) ReorderPeakBytes() int { return s.coupled.peakBytes }
+
+// RetransmitBytes reports the payload bytes held across all streams'
+// retransmit buffers; RetransmitPeakBytes is its session high-watermark.
+func (s *Session) RetransmitBytes() int     { return s.retransmitTotal }
+func (s *Session) RetransmitPeakBytes() int { return s.retransmitPeak }
+
+// RecvPaused reports whether the receive side wants the I/O wrapper to
+// stop reading connID's socket: some stream whose records arrive on
+// that connection (or the coupled group, whose records may arrive on
+// any connection) has a full receive buffer. Pausing reads lets TCP's
+// own receive window close and push back on the peer.
+func (s *Session) RecvPaused(connID uint32) bool {
+	c, ok := s.conns[connID]
+	if !ok || c.failed || c.closed {
+		return false
+	}
+	if s.coupled.recvBlocked {
+		return true
+	}
+	for _, st := range s.streams {
+		if st.recvBlocked && !st.coupled && st.conn == connID {
+			return true
+		}
+	}
+	return false
+}
+
+// noteRetransmitBytes adjusts the session-wide retransmit-buffer byte
+// total by delta and refreshes the peak and telemetry gauge.
+func (s *Session) noteRetransmitBytes(delta int) {
+	s.retransmitTotal += delta
+	if s.retransmitTotal > s.retransmitPeak {
+		s.retransmitPeak = s.retransmitTotal
+	}
+	if s.tel != nil {
+		s.tel.RetransmitBytes.Set(int64(s.retransmitTotal))
+	}
+}
+
+// noteReorderBytes refreshes the reorder-heap peak and telemetry gauge
+// after the heap's contents changed.
+func (s *Session) noteReorderBytes() {
+	n := s.coupled.buf.PendingBytes()
+	if n > s.coupled.peakBytes {
+		s.coupled.peakBytes = n
+	}
+	if s.tel != nil {
+		s.tel.ReorderBytes.Set(int64(n))
+	}
+}
 
 // sortIDs sorts a small ID slice in place (insertion sort; topology
 // snapshots are tiny and this avoids an import).

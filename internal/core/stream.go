@@ -23,6 +23,14 @@ type stream struct {
 	coupled    bool
 	finQueued  bool
 	finSent    bool
+	// retransmitBytes sums payload bytes across retransmit — the
+	// stream's charge against Config.MaxRetransmitBytes. budgetTripped
+	// marks that sealing is parked at the budget (one flowctl_limit
+	// trace per excursion); ackSolicited marks an AckRequest in flight,
+	// cleared when an ack trims the buffer.
+	retransmitBytes int
+	budgetTripped   bool
+	ackSolicited    bool
 	// pendingSince stamps when the oldest unflushed bytes entered
 	// pending — the enqueue leg of the record-lifecycle span. Re-stamped
 	// whenever Write finds the queue empty.
@@ -30,8 +38,11 @@ type stream struct {
 
 	// Receive side. The receive context lives in the owning conn's
 	// demux; recvCtx duplicates the pointer for direct access.
-	recvCtx        *record.StreamContext
-	recvData       []byte
+	recvCtx  *record.StreamContext
+	recvData []byte
+	// recvBlocked: recvData hit Config.MaxRecvBufferBytes; reported
+	// through RecvPaused until Read drains below half the cap.
+	recvBlocked    bool
 	nextDeliverSeq uint64 // duplicate filter across failover replays
 	recvSinceAck   int
 	bytesSinceAck  int
@@ -168,6 +179,13 @@ func (s *Session) Write(streamID uint32, data []byte) (int, error) {
 	if st.finQueued {
 		return 0, ErrStreamFinished
 	}
+	// Hard retransmit cap: a stream parked at its budget (waiting on
+	// ACKs) still accepts up to one further budget's worth of pending
+	// bytes, then Write errors instead of queueing without bound.
+	if budget := s.cfg.maxRetransmitBytes(); budget > 0 &&
+		st.retransmitBytes >= budget && len(st.pending)+len(data) > budget {
+		return 0, fmt.Errorf("stream %d: %w", streamID, ErrRetransmitBudget)
+	}
 	if len(st.pending) == 0 {
 		st.pendingSince = s.now()
 	}
@@ -185,6 +203,11 @@ func (s *Session) Read(streamID uint32, p []byte) (int, error) {
 	st.recvData = st.recvData[n:]
 	if len(st.recvData) == 0 {
 		st.recvData = nil
+	}
+	// Backpressure hysteresis: resume socket reads once the buffer has
+	// drained below half its cap, not on the first byte read.
+	if st.recvBlocked && len(st.recvData) <= s.cfg.maxRecvBytes()/2 {
+		st.recvBlocked = false
 	}
 	return n, nil
 }
@@ -235,16 +258,7 @@ func (s *Session) SetCoupled(streamID uint32, coupled bool) error {
 // coupledStreams lists coupled streams in deterministic (creation) order.
 func (s *Session) coupledStreams() []*stream {
 	var out []*stream
-	// Iterate in stream-ID order for determinism.
-	ids := s.Streams()
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			if ids[j] < ids[i] {
-				ids[i], ids[j] = ids[j], ids[i]
-			}
-		}
-	}
-	for _, id := range ids {
+	for _, id := range s.sortedStreamIDs() {
 		if st := s.streams[id]; st.coupled && !st.finSent {
 			out = append(out, st)
 		}
@@ -259,6 +273,22 @@ func (s *Session) WriteCoupled(data []byte) (int, error) {
 	cs := s.coupledStreams()
 	if len(cs) == 0 {
 		return 0, ErrNotCoupled
+	}
+	// Hard retransmit cap for the group: only when EVERY coupled stream
+	// is parked at its budget does further queueing error — while any
+	// path still has budget, Flush can drain onto it.
+	if budget := s.cfg.maxRetransmitBytes(); budget > 0 &&
+		len(s.coupled.pendingData)+len(data) > budget {
+		allParked := true
+		for _, st := range cs {
+			if st.retransmitBytes < budget {
+				allParked = false
+				break
+			}
+		}
+		if allParked {
+			return 0, fmt.Errorf("coupled group: %w", ErrRetransmitBudget)
+		}
 	}
 	// Queue on the group: stash bytes on the first coupled stream's
 	// group buffer; Flush distributes per record.
@@ -275,6 +305,9 @@ func (s *Session) ReadCoupled(p []byte) int {
 	s.coupled.recvData = s.coupled.recvData[n:]
 	if len(s.coupled.recvData) == 0 {
 		s.coupled.recvData = nil
+	}
+	if s.coupled.recvBlocked && len(s.coupled.recvData) <= s.cfg.maxRecvBytes()/2 {
+		s.coupled.recvBlocked = false
 	}
 	return n
 }

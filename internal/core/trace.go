@@ -21,6 +21,12 @@ type TraceEvent struct {
 	// in microseconds, Bytes = delivery rate in bytes/s),
 	// reorder_depth (Seq = out-of-order records held by the coupled
 	// reorder heap, Bytes = records just delivered in order).
+	// Flow-control events: flowctl_limit (a configured bound tripped;
+	// Seq = which one, see the flowctl* codes, Bytes = bytes held at
+	// the trip), ack_solicited (retransmit budget pressure sent an
+	// AckRequest; Seq = peer-acked watermark, Bytes = retransmit-buffer
+	// bytes), ack_requested (the peer's solicitation arrived; Seq =
+	// next receive sequence).
 	// Lifecycle events: record_span (below).
 	Conn   uint32
 	Stream uint32
@@ -41,6 +47,14 @@ type TraceEvent struct {
 	OrigConn   uint32
 	Retx       int
 }
+
+// flowctl_limit trace codes (the event's Seq field): which configured
+// bound tripped.
+const (
+	flowctlReorder    = 1 // reorder-heap byte/record cap (Config.MaxReorder*)
+	flowctlRecvBuffer = 2 // receive-buffer cap (Config.MaxRecvBufferBytes)
+	flowctlRetransmit = 3 // retransmit budget (Config.MaxRetransmitBytes)
+)
 
 // SetTracer installs a trace callback. The callback runs synchronously
 // on the engine's path: keep it cheap (append to a buffer, write a

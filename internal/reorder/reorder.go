@@ -51,7 +51,11 @@ func (b *Buffer) PendingBytes() int { return b.bytes }
 // Offer hands one item to the buffer. It returns the data that became
 // deliverable, in order. The common case — item arrives in sequence and
 // nothing is parked — returns the item's own slice without copying.
-// Duplicates (seq < next, or already parked) are discarded.
+// Duplicates (seq < next, or already parked) are discarded; a duplicate
+// of a parked item is detected at pop time, not push time, so Offer
+// never scans the heap — under deep reorder the old per-Offer linear
+// walk made the push path O(n²). The cost of lazy dedup is a transient
+// double-count in Pending/PendingBytes while both copies sit parked.
 func (b *Buffer) Offer(seq uint64, data []byte) [][]byte {
 	if seq < b.next {
 		return nil // duplicate of something already delivered
@@ -61,28 +65,23 @@ func (b *Buffer) Offer(seq uint64, data []byte) [][]byte {
 		return [][]byte{data} // fast path: zero copy, no heap traffic
 	}
 	if seq > b.next {
-		for _, it := range b.heap {
-			if it.Seq == seq {
-				return nil // duplicate of something already parked
-			}
-		}
 		heap.Push(&b.heap, Item{Seq: seq, Data: data})
 		b.bytes += len(data)
 		return nil
 	}
-	// seq == next with parked items: deliver it plus the contiguous run.
+	// seq == next with parked items: deliver it plus the contiguous run,
+	// discarding parked duplicates interleaved with the run as they
+	// surface at the top of the heap.
 	out := [][]byte{data}
 	b.next++
-	for len(b.heap) > 0 && b.heap[0].Seq == b.next {
+	for len(b.heap) > 0 && b.heap[0].Seq <= b.next {
 		it := heap.Pop(&b.heap).(Item)
 		b.bytes -= len(it.Data)
+		if it.Seq < b.next {
+			continue // duplicate of something already delivered
+		}
 		out = append(out, it.Data)
 		b.next++
-	}
-	// Drop any duplicates of what we just delivered.
-	for len(b.heap) > 0 && b.heap[0].Seq < b.next {
-		it := heap.Pop(&b.heap).(Item)
-		b.bytes -= len(it.Data)
 	}
 	return out
 }

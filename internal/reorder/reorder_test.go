@@ -74,6 +74,48 @@ func TestStaleParkedDuplicatesDropped(t *testing.T) {
 	}
 }
 
+func TestInterleavedDuplicatesInRun(t *testing.T) {
+	// Parked duplicates (lazy dedup: Offer no longer scans the heap) must
+	// not stall the contiguous run or corrupt the bytes accounting.
+	b := New(1)
+	b.Offer(2, []byte{2})
+	b.Offer(2, []byte{2, 2}) // duplicate parks too, double-counting bytes
+	b.Offer(4, []byte{4})
+	b.Offer(3, []byte{3})
+	b.Offer(3, []byte{3, 3})
+	if b.Pending() != 5 || b.PendingBytes() != 7 {
+		t.Fatalf("parked=%d bytes=%d, want 5/7 (duplicates double-count while parked)",
+			b.Pending(), b.PendingBytes())
+	}
+	out := b.Offer(1, []byte{1})
+	var got []byte
+	for _, d := range out {
+		got = append(got, d[0])
+	}
+	if string(got) != string([]byte{1, 2, 3, 4}) {
+		t.Fatalf("delivered %v, want [1 2 3 4]", got)
+	}
+	if b.Pending() != 0 || b.PendingBytes() != 0 {
+		t.Fatalf("after drain: parked=%d bytes=%d, want 0/0", b.Pending(), b.PendingBytes())
+	}
+}
+
+func TestDuplicateOfDeliveredSeqDropsAtPop(t *testing.T) {
+	// A duplicate parked behind a not-yet-delivered copy of the same seq
+	// is discarded when it surfaces, never delivered twice.
+	b := New(0)
+	b.Offer(1, []byte{1})
+	b.Offer(1, []byte{1})
+	b.Offer(1, []byte{1})
+	out := b.Offer(0, []byte{0})
+	if len(out) != 2 || out[0][0] != 0 || out[1][0] != 1 {
+		t.Fatalf("got %v, want [[0] [1]]", out)
+	}
+	if b.Pending() != 0 || b.PendingBytes() != 0 {
+		t.Fatalf("dup copies leaked: parked=%d bytes=%d", b.Pending(), b.PendingBytes())
+	}
+}
+
 func TestReset(t *testing.T) {
 	b := New(0)
 	b.Offer(5, []byte{5})
@@ -136,6 +178,22 @@ func BenchmarkInOrder(b *testing.B) {
 	b.SetBytes(int64(len(data)))
 	for i := 0; i < b.N; i++ {
 		buf.Offer(uint64(i), data)
+	}
+}
+
+func BenchmarkDeepReorder(b *testing.B) {
+	// Worst-case reorder depth: each block of deepReorderD records
+	// arrives fully reversed, so the heap deepens to D-1 before the gap
+	// fills and the whole block drains. The old Offer-side duplicate
+	// scan walked the heap on every push — O(D) per record, O(D²) per
+	// block; without it each push is O(log D).
+	const D = 4096
+	buf := New(0)
+	data := make([]byte, 256)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		block := uint64(i/D) * D
+		buf.Offer(block+uint64(D-1-i%D), data)
 	}
 }
 

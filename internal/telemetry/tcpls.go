@@ -36,12 +36,17 @@ type Families struct {
 	traceEvents  *CounterVec // sess
 	traceDropped *CounterVec // sess
 
+	flowctlLimits *CounterVec // sess
+	ackSolicits   *CounterVec // sess
+
 	ackRTT     *HistogramVec // sess
 	recordSize *HistogramVec // sess
 
-	reorderDepth *GaugeVec // sess
-	connsOpen    *GaugeVec // sess
-	streamsOpen  *GaugeVec // sess
+	reorderDepth    *GaugeVec // sess
+	reorderBytes    *GaugeVec // sess
+	retransmitBytes *GaugeVec // sess
+	connsOpen       *GaugeVec // sess
+	streamsOpen     *GaugeVec // sess
 }
 
 // TCPLSFamilies registers (or resolves) the TCPLS metric set on r.
@@ -73,12 +78,17 @@ func TCPLSFamilies(r *Registry) *Families {
 		traceEvents:  r.CounterVec("tcpls_trace_events_total", "Trace events enqueued on the qlog sink.", "sess"),
 		traceDropped: r.CounterVec("tcpls_trace_dropped_total", "Trace events dropped because the sink ring was full.", "sess"),
 
+		flowctlLimits: r.CounterVec("tcpls_flowctl_limit_total", "Configured memory bounds tripped (reorder cap, receive buffer, retransmit budget).", "sess"),
+		ackSolicits:   r.CounterVec("tcpls_ack_solicited_total", "ACK solicitations sent under retransmit-budget pressure.", "sess"),
+
 		ackRTT:     r.HistogramVec("tcpls_ack_rtt_seconds", "Record-level acknowledgment round-trip samples (Karn-filtered).", RTTBuckets, "sess"),
 		recordSize: r.HistogramVec("tcpls_record_payload_bytes", "Stream payload size per sealed record.", SizeBuckets, "sess"),
 
-		reorderDepth: r.GaugeVec("tcpls_reorder_heap_depth", "Out-of-order records held by the coupled reorder heap.", "sess"),
-		connsOpen:    r.GaugeVec("tcpls_conns_open", "Live TCP connections in the session.", "sess"),
-		streamsOpen:  r.GaugeVec("tcpls_streams_open", "Open streams in the session.", "sess"),
+		reorderDepth:    r.GaugeVec("tcpls_reorder_heap_depth", "Out-of-order records held by the coupled reorder heap.", "sess"),
+		reorderBytes:    r.GaugeVec("tcpls_reorder_bytes", "Payload bytes parked in the coupled reorder heap.", "sess"),
+		retransmitBytes: r.GaugeVec("tcpls_retransmit_bytes", "Payload bytes held across all streams' retransmit buffers.", "sess"),
+		connsOpen:       r.GaugeVec("tcpls_conns_open", "Live TCP connections in the session.", "sess"),
+		streamsOpen:     r.GaugeVec("tcpls_streams_open", "Open streams in the session.", "sess"),
 	}
 }
 
@@ -89,22 +99,26 @@ type SessionMetrics struct {
 	fams *Families
 	sess string
 
-	ConnFailures     *Counter
-	Failovers        *Counter
-	FailoverCascades *Counter
+	ConnFailures      *Counter
+	Failovers         *Counter
+	FailoverCascades  *Counter
 	ReconnectAttempts *Counter
 	Reconnects        *Counter
 	RecoveryFailures  *Counter
 	SchedInvalid      *Counter
 	TraceEvents       *Counter
 	TraceDropped      *Counter
+	FlowctlLimits     *Counter
+	AckSolicits       *Counter
 
 	AckRTT     *Histogram
 	RecordSize *Histogram
 
-	ReorderDepth *Gauge
-	ConnsOpen    *Gauge
-	StreamsOpen  *Gauge
+	ReorderDepth    *Gauge
+	ReorderBytes    *Gauge
+	RetransmitBytes *Gauge
+	ConnsOpen       *Gauge
+	StreamsOpen     *Gauge
 
 	mu      sync.Mutex
 	conns   map[uint32]*ConnMetrics
@@ -126,9 +140,13 @@ func (f *Families) Session(sess string) *SessionMetrics {
 		SchedInvalid:      f.schedInvalid.With(sess),
 		TraceEvents:       f.traceEvents.With(sess),
 		TraceDropped:      f.traceDropped.With(sess),
+		FlowctlLimits:     f.flowctlLimits.With(sess),
+		AckSolicits:       f.ackSolicits.With(sess),
 		AckRTT:            f.ackRTT.With(sess),
 		RecordSize:        f.recordSize.With(sess),
 		ReorderDepth:      f.reorderDepth.With(sess),
+		ReorderBytes:      f.reorderBytes.With(sess),
+		RetransmitBytes:   f.retransmitBytes.With(sess),
 		ConnsOpen:         f.connsOpen.With(sess),
 		StreamsOpen:       f.streamsOpen.With(sess),
 		conns:             make(map[uint32]*ConnMetrics),

@@ -102,6 +102,15 @@ var (
 	ErrSessionClosed = errors.New("tcpls: session closed")
 	ErrNoCookies     = errors.New("tcpls: no join cookies left")
 	ErrNotTCPLS      = errors.New("tcpls: peer did not negotiate TCPLS")
+	// ErrRecvBufferFull: a receive buffer reached twice its
+	// Config.MaxRecvBufferBytes cap (only possible when the session's
+	// own backpressure is bypassed, e.g. by a peer feeding a paused
+	// connection through another path).
+	ErrRecvBufferFull = core.ErrRecvBufferFull
+	// ErrRetransmitBudget: Write would queue more than a full extra
+	// Config.MaxRetransmitBytes behind a stream parked at its
+	// retransmit budget.
+	ErrRetransmitBudget = core.ErrRetransmitBudget
 )
 
 // pathConn binds a TCP connection to its engine connection ID. Each
@@ -276,6 +285,14 @@ func (s *Session) readLoop(pc *pathConn) {
 			s.processEventsLocked()
 			out := s.collectOutgoingLocked()
 			s.cond.Broadcast()
+			// Receive-buffer backpressure: while the engine reports a
+			// full buffer fed by this connection, park instead of
+			// reading more — the kernel buffer fills, TCP's receive
+			// window closes, and the peer stalls. Stream.Read drains the
+			// buffer and broadcasts to resume.
+			for rerr == nil && !s.closed && !pc.failed.Load() && s.engine.RecvPaused(pc.id) {
+				s.cond.Wait()
+			}
 			s.mu.Unlock()
 			s.writeAll(out)
 			if rerr != nil {
@@ -462,6 +479,19 @@ func (s *Session) autoFailoverLocked(failedID uint32) {
 			s.tel.FailoverCascades.Inc()
 		}
 		delete(s.failoverTargets, failedID)
+	}
+	if !s.isClient {
+		// Failover target selection is the client's (§4.2): a server
+		// picking its own target races the client's pick, and crossed
+		// STREAM_ATTACHes re-home the same stream onto different
+		// connections — each side then sends where the other no longer
+		// listens. Propagate the failure and park; the client's ATTACH +
+		// SYNC re-homes the streams and replays our send side.
+		// The notice rides the outgoing batch every caller of
+		// processEventsLocked collects.
+		s.engine.NotifyConnFailed(failedID)
+		s.maybeEnterRecoveryLocked()
+		return
 	}
 	if len(s.engine.StreamsOnConn(failedID)) > 0 {
 		tried := map[uint32]bool{failedID: true}

@@ -52,7 +52,11 @@ func (st *Stream) Read(p []byte) (int, error) {
 	defer s.mu.Unlock()
 	for {
 		if n := s.engine.Readable(st.id); n > 0 {
-			return s.engine.Read(st.id, p)
+			rn, err := s.engine.Read(st.id, p)
+			// Draining may clear receive backpressure; wake any readLoop
+			// parked on RecvPaused.
+			s.cond.Broadcast()
+			return rn, err
 		}
 		if s.engine.PeerFinished(st.id) {
 			return 0, io.EOF
@@ -161,7 +165,11 @@ func (s *Session) ReadCoupled(p []byte) (int, error) {
 	defer s.mu.Unlock()
 	for {
 		if s.engine.CoupledReadable() > 0 {
-			return s.engine.ReadCoupled(p), nil
+			n := s.engine.ReadCoupled(p)
+			// Draining may clear receive backpressure; wake any readLoop
+			// parked on RecvPaused.
+			s.cond.Broadcast()
+			return n, nil
 		}
 		if s.closed {
 			return 0, s.closedErrLocked()

@@ -72,14 +72,26 @@ type MetricsSnapshot struct {
 	TraceEvents  uint64
 	TraceDropped uint64
 
+	// Flow-control counters: configured memory bounds tripped and ACK
+	// solicitations sent under retransmit-budget pressure.
+	FlowctlLimits uint64
+	AckSolicits   uint64
+
 	// AckRTT summarizes the record-level acknowledgment RTT histogram.
 	AckRTTSamples uint64
 	AckRTTMean    time.Duration
 
-	// Instantaneous gauges.
-	ReorderHeapDepth int
-	ConnsOpen        int
-	StreamsOpen      int
+	// Instantaneous gauges. The byte gauges and their session peaks come
+	// straight from the engine, so they are populated even with
+	// Telemetry.Disabled — the chaos tests assert memory bounds through
+	// them.
+	ReorderHeapDepth    int
+	ReorderBytes        int
+	ReorderBytesPeak    int
+	RetransmitBytes     int
+	RetransmitBytesPeak int
+	ConnsOpen           int
+	StreamsOpen         int
 
 	// Conns breaks the record counters down per connection (per path) —
 	// the totals tcpls-trace reconciles a flight dump against.
@@ -110,12 +122,17 @@ func (s *Session) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := MetricsSnapshot{Stats: s.engine.Stats()}
+	snap.ReorderBytes = s.engine.ReorderBytes()
+	snap.ReorderBytesPeak = s.engine.ReorderPeakBytes()
+	snap.RetransmitBytes = s.engine.RetransmitBytes()
+	snap.RetransmitBytesPeak = s.engine.RetransmitPeakBytes()
 	if f := s.flight; f != nil {
 		snap.FlightEvents = f.Len()
 		snap.FlightTotal = f.Total()
 	}
 	tel := s.tel
 	if tel == nil {
+		snap.ReorderHeapDepth = s.engine.ReorderDepth()
 		return snap
 	}
 	snap.ConnFailures = tel.ConnFailures.Load()
@@ -128,6 +145,8 @@ func (s *Session) Metrics() MetricsSnapshot {
 	snap.SchedInvalid = tel.SchedInvalid.Load()
 	snap.TraceEvents = tel.TraceEvents.Load()
 	snap.TraceDropped = tel.TraceDropped.Load()
+	snap.FlowctlLimits = tel.FlowctlLimits.Load()
+	snap.AckSolicits = tel.AckSolicits.Load()
 	snap.AckRTTSamples = tel.AckRTT.Count()
 	snap.AckRTTMean = time.Duration(tel.AckRTT.Mean() * float64(time.Second))
 	snap.ReorderHeapDepth = int(tel.ReorderDepth.Load())
