@@ -1,0 +1,124 @@
+// Command tcpls-server runs the production TCPLS server runtime
+// (internal/server): thousands of concurrent sessions behind
+// accept-edge admission control, a process memory budget, and graceful
+// drain on SIGINT/SIGTERM.
+//
+//	tcpls-server -listen :4443 -mode echo
+//	tcpls-server -listen :4443 -mode file -root /srv/files
+//
+// Observability:
+//
+//	tcpls-server -metrics-addr 127.0.0.1:9090
+//	curl 127.0.0.1:9090/metrics       # tcpls_* and tcpls_server_* families
+//	curl 127.0.0.1:9090/debug/tcpls   # live registry/budget/session state
+//
+// Load shedding:
+//
+//	-max-sessions 5000          cap registered sessions
+//	-accept-rate 200            handshakes/sec token bucket
+//	-memory-budget 268435456    shed when buffered memory nears 256 MiB
+//	-max-handshakes-per-ip 32   concurrent handshakes from one IP
+//	-join-rate-per-ip 10        cookie/join attempts per second per IP
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tcpls"
+	"tcpls/internal/server"
+)
+
+var (
+	listenFlag  = flag.String("listen", ":4443", "listen address")
+	modeFlag    = flag.String("mode", "echo", "handler: echo or file")
+	rootFlag    = flag.String("root", ".", "file-serving root (-mode file)")
+	nameFlag    = flag.String("name", "server.tcpls", "server certificate name")
+	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/tcpls, and /debug/pprof on this address")
+
+	failoverF = flag.Bool("failover", false, "enable failover (record acks)")
+	hsTimeout = flag.Duration("handshake-timeout", 0, "per-connection handshake deadline (0 = 10s default, negative disables)")
+
+	maxSessions  = flag.Int("max-sessions", 0, "cap concurrent sessions (0 = unlimited)")
+	acceptRate   = flag.Float64("accept-rate", 0, "handshake admissions per second (0 = unlimited)")
+	acceptBurst  = flag.Int("accept-burst", 0, "accept token-bucket depth (0 = rate)")
+	memoryBudget = flag.Int64("memory-budget", 0, "process buffered-memory budget in bytes (0 = unlimited)")
+	perIPHs      = flag.Int("max-handshakes-per-ip", 0, "concurrent handshakes per remote IP (0 = unlimited)")
+	perIPJoins   = flag.Float64("join-rate-per-ip", 0, "join attempts per second per remote IP (0 = unlimited)")
+	drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline before force-closing sessions")
+)
+
+func main() {
+	flag.Parse()
+
+	var handler server.Handler
+	switch *modeFlag {
+	case "echo":
+		handler = server.Echo()
+	case "file":
+		handler = server.Files(*rootFlag)
+	default:
+		log.Fatalf("unknown -mode %q (want echo or file)", *modeFlag)
+	}
+
+	cert, err := tcpls.NewCertificate(*nameFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcfg := &tcpls.Config{
+		Certificate:      cert,
+		EnableFailover:   *failoverF,
+		HandshakeTimeout: *hsTimeout,
+	}
+	if *metricsAddr != "" {
+		closer, err := tcpls.ServeTelemetry(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closer.Close()
+		tcfg.Telemetry.Addr = *metricsAddr
+		log.Printf("telemetry on http://%s/metrics and /debug/tcpls", *metricsAddr)
+	}
+
+	srv := server.New(server.Config{
+		TCPLS: tcfg,
+		Limits: server.Limits{
+			AcceptRate:         *acceptRate,
+			AcceptBurst:        *acceptBurst,
+			MaxHandshakesPerIP: *perIPHs,
+			JoinRatePerIP:      *perIPJoins,
+			MaxSessions:        *maxSessions,
+		},
+		MemoryBudget: *memoryBudget,
+		Handler:      handler,
+	})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe("tcp", *listenFlag) }()
+	log.Printf("tcpls-server: %s mode on %s", *modeFlag, *listenFlag)
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	case sig := <-sigs:
+		log.Printf("tcpls-server: %v — draining (deadline %s)", sig, *drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("tcpls-server: drain deadline hit, sessions force-closed: %v", err)
+	} else {
+		log.Printf("tcpls-server: drained cleanly")
+	}
+	<-errCh
+}

@@ -3,6 +3,7 @@ package tcpls
 import (
 	"crypto/ed25519"
 	"fmt"
+	"net"
 	"net/netip"
 	"time"
 
@@ -51,6 +52,26 @@ type Config struct {
 	// Hello is offered/echoed and no transport services are available.
 	// Used by the TLS/TCP baseline in the paper's Fig. 7.
 	DisableTCPLS bool
+
+	// HandshakeTimeout bounds the server-side handshake on each accepted
+	// TCP connection: a client that connects and then stalls (or
+	// trickles bytes) is cut off at the deadline instead of pinning a
+	// handshake goroutine and its admission slot forever. The deadline
+	// covers the whole handshake, including a join's wait for its
+	// session's initial handshake to finish. Zero means the default
+	// (10s); negative disables the deadline. Client handshakes bound
+	// themselves with dial timeouts instead.
+	HandshakeTimeout time.Duration
+
+	// Admission, when set, gates the server accept path — the hook the
+	// production server runtime (internal/server) uses for token-bucket
+	// accept rate limiting, per-IP caps, and memory-budget shedding.
+	// AdmitConn runs after the TCP accept and before any handshake
+	// work; AdmitJoin gates each cookie/join attempt; AdmitSession
+	// gates creation of a new session after a successful handshake.
+	// Rejections close the connection; a join rejected by admission is
+	// traced as join_rejected on the target session's timeline.
+	Admission AdmissionControl
 
 	// EnableFailover turns on record acknowledgments, retransmission
 	// buffering, and automatic failover (paper §4.2).
@@ -138,6 +159,47 @@ type Config struct {
 	Ticket *ClientTicket
 	// DisableTickets stops the server from issuing resumption tickets.
 	DisableTickets bool
+}
+
+// AdmissionControl gates the server accept edge. Implementations must
+// be safe for concurrent use; every method runs on a per-connection
+// handshake goroutine. internal/server provides the production
+// implementation (token bucket, per-IP caps, process memory budget);
+// the interface lives here so the Listener needs no knowledge of it.
+type AdmissionControl interface {
+	// AdmitConn is consulted once per accepted TCP connection, before
+	// any handshake work. A non-nil error rejects the connection (it is
+	// closed without a handshake byte being read). On success the
+	// returned release func, if non-nil, is called exactly once when
+	// the handshake finishes (either way) — the hook for concurrent-
+	// handshake accounting. AdmitConn may block (bounded) to wait for
+	// an accept token; that wait is the admission-control backpressure.
+	AdmitConn(remote net.Addr) (release func(), err error)
+	// AdmitJoin gates one cookie/join attempt from remote. Returning
+	// false rejects the join: the cookie is NOT consumed and the
+	// handshake fails with a join rejection.
+	AdmitJoin(remote net.Addr) bool
+	// AdmitSession gates registration of a new session (initial
+	// handshakes only, not joins) right after the handshake succeeds.
+	// A non-nil error sheds the session: its connection is closed and
+	// its cookie state dropped before Accept ever sees it.
+	AdmitSession(remote net.Addr) error
+}
+
+// defaultHandshakeTimeout bounds the server-side handshake when
+// Config.HandshakeTimeout is zero.
+const defaultHandshakeTimeout = 10 * time.Second
+
+// handshakeTimeout resolves the configured server handshake deadline:
+// zero means the default, negative disables.
+func (c *Config) handshakeTimeout() time.Duration {
+	switch {
+	case c.HandshakeTimeout < 0:
+		return 0
+	case c.HandshakeTimeout == 0:
+		return defaultHandshakeTimeout
+	}
+	return c.HandshakeTimeout
 }
 
 func (c *Config) clone() *Config {

@@ -53,15 +53,19 @@ type DebugSession struct {
 	ReorderDepth int    `json:"reorder_depth"`
 	// Flow-control gauges (Config.MaxReorder*/MaxRetransmitBytes) with
 	// their session high-watermarks.
-	ReorderBytes        int           `json:"reorder_bytes"`
-	ReorderBytesPeak    int           `json:"reorder_bytes_peak"`
-	RetransmitBytes     int           `json:"retransmit_bytes"`
-	RetransmitBytesPeak int           `json:"retransmit_bytes_peak"`
-	CookiesLeft         int           `json:"cookies_left"`
-	FlightEvents        int           `json:"flight_events"`
-	FlightTotal         uint64        `json:"flight_total"`
-	Conns               []DebugConn   `json:"conns"`
-	Streams             []DebugStream `json:"streams"`
+	ReorderBytes        int `json:"reorder_bytes"`
+	ReorderBytesPeak    int `json:"reorder_bytes_peak"`
+	RetransmitBytes     int `json:"retransmit_bytes"`
+	RetransmitBytesPeak int `json:"retransmit_bytes_peak"`
+	// MemoryBytes is the full buffered-memory rollup (reorder heap +
+	// retransmit buffers + receive buffers + pending sends) — the same
+	// figure the server runtime charges against its process budget.
+	MemoryBytes  int           `json:"memory_bytes"`
+	CookiesLeft  int           `json:"cookies_left"`
+	FlightEvents int           `json:"flight_events"`
+	FlightTotal  uint64        `json:"flight_total"`
+	Conns        []DebugConn   `json:"conns"`
+	Streams      []DebugStream `json:"streams"`
 }
 
 // debugState snapshots the session for /debug/tcpls. Runs on the HTTP
@@ -83,6 +87,7 @@ func (s *Session) debugState() any {
 		ReorderBytesPeak:    s.engine.ReorderPeakBytes(),
 		RetransmitBytes:     s.engine.RetransmitBytes(),
 		RetransmitBytesPeak: s.engine.RetransmitPeakBytes(),
+		MemoryBytes:         s.engine.BufferedBytes(),
 		CookiesLeft:         len(s.cookies),
 	}
 	if s.flight != nil {

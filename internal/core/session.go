@@ -779,6 +779,20 @@ func (s *Session) ReorderPeakBytes() int { return s.coupled.peakBytes }
 func (s *Session) RetransmitBytes() int     { return s.retransmitTotal }
 func (s *Session) RetransmitPeakBytes() int { return s.retransmitPeak }
 
+// BufferedBytes sums every buffer the engine holds on behalf of the
+// peer or the application: the coupled reorder heap, the failover
+// retransmit buffers, and each stream's receive buffer and unsent
+// pending data. This is the per-session figure the server runtime
+// rolls up into its process-wide memory budget, so it walks the
+// streams directly instead of allocating StreamInfo snapshots.
+func (s *Session) BufferedBytes() int {
+	total := s.coupled.buf.PendingBytes() + s.retransmitTotal
+	for _, st := range s.streams {
+		total += len(st.recvData) + len(st.pending)
+	}
+	return total
+}
+
 // RecvPaused reports whether the receive side wants the I/O wrapper to
 // stop reading connID's socket: some stream whose records arrive on
 // that connection (or the coupled group, whose records may arrive on

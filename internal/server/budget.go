@@ -1,0 +1,66 @@
+package server
+
+// Budget is the process-wide memory budget: the sum the per-session
+// flow-control caps (MaxRecvBufferBytes, MaxReorderBytes,
+// MaxRetransmitBytes) are rolled up against. It charges the larger of
+// the registry's actual buffered-byte rollup and a nominal per-session
+// reservation — the rollup is authoritative but refreshes on an
+// interval, so the nominal floor keeps a burst of brand-new sessions
+// (whose buffers are still empty) from sailing past the budget between
+// rollups.
+type Budget struct {
+	reg *Registry
+	// limit is the budget in bytes; zero or negative disables shedding.
+	limit int64
+	// nominal is the per-session reservation (default
+	// DefaultNominalBytes).
+	nominal int64
+}
+
+const (
+	// DefaultNominalBytes reserves 256 KiB per session against the
+	// budget — a loaded-but-not-pathological session's working set,
+	// far below the multi-MiB worst case the flow-control caps allow.
+	DefaultNominalBytes = 256 << 10
+	// highWaterNum/highWaterDen put the shed threshold at 90% of the
+	// budget, leaving headroom for already-admitted sessions to grow.
+	highWaterNum = 9
+	highWaterDen = 10
+)
+
+// NewBudget builds a budget over reg. limit <= 0 disables shedding;
+// nominal <= 0 means DefaultNominalBytes.
+func NewBudget(reg *Registry, limit, nominal int64) *Budget {
+	if nominal <= 0 {
+		nominal = DefaultNominalBytes
+	}
+	return &Budget{reg: reg, limit: limit, nominal: nominal}
+}
+
+// Used is the charged memory: max(actual rollup, nominal × sessions).
+func (b *Budget) Used() int64 {
+	actual := b.reg.MemoryBytes()
+	floor := b.nominal * int64(b.reg.Len())
+	if floor > actual {
+		return floor
+	}
+	return actual
+}
+
+// Limit returns the configured budget (0 = unlimited).
+func (b *Budget) Limit() int64 {
+	if b.limit <= 0 {
+		return 0
+	}
+	return b.limit
+}
+
+// Hot reports whether the process is at or past the shed threshold
+// (90% of the budget) — new sessions should be rejected until rollups
+// or departures bring usage back down.
+func (b *Budget) Hot() bool {
+	if b.limit <= 0 {
+		return false
+	}
+	return b.Used() >= b.limit/highWaterDen*highWaterNum
+}

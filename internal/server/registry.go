@@ -1,0 +1,185 @@
+// Package server is the production server runtime: a lock-striped
+// session registry, accept-edge admission control (token-bucket rate
+// limiting, per-IP caps, handshake deadlines), a process-wide memory
+// budget rolled up from the per-session flow-control gauges, and a
+// Server wrapper with graceful drain — everything the paper's §5
+// deployment story needs to hold thousands of concurrent TCPLS
+// sessions on one process without unbounded memory or goroutine
+// growth.
+package server
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"tcpls/internal/handshake"
+)
+
+// SessID keys registry entries; it is the handshake-layer session ID
+// (the same 16 random bytes tcpls.SessID aliases).
+type SessID = handshake.SessID
+
+// Session is the registry's view of one live session: enough to roll
+// up memory and to force-close on drain deadline. *tcpls.Session
+// satisfies it; tests use fakes.
+type Session interface {
+	MemoryFootprint() int
+	Close() error
+}
+
+// entry is one registered session plus its last rolled-up footprint,
+// kept so the registry can adjust the process total by the delta when
+// the rollup refreshes or the session leaves.
+type entry struct {
+	sess Session
+	mem  int64
+}
+
+// shard is one lock stripe of the registry. Sessions hash to shards by
+// the first four bytes of their ID — uniformly random, so the stripes
+// stay balanced without any mixing.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[SessID]*entry
+}
+
+// Registry tracks live sessions across power-of-two lock-striped
+// shards. Len and MemoryBytes are O(1) atomic reads so the admission
+// path never touches a shard lock.
+type Registry struct {
+	shards []shard
+	mask   uint32
+
+	count atomic.Int64
+	mem   atomic.Int64
+}
+
+// DefaultShards is the registry stripe count when Config.Shards is
+// zero: enough that 5k sessions see ~80 per lock.
+const DefaultShards = 64
+
+// NewRegistry builds a registry with at least the requested number of
+// shards, rounded up to a power of two. shards <= 0 means
+// DefaultShards.
+func NewRegistry(shards int) *Registry {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	r := &Registry{shards: make([]shard, n), mask: uint32(n - 1)}
+	for i := range r.shards {
+		r.shards[i].sessions = make(map[SessID]*entry)
+	}
+	return r
+}
+
+func (r *Registry) shardFor(id SessID) *shard {
+	return &r.shards[binary.LittleEndian.Uint32(id[:4])&r.mask]
+}
+
+// Add registers a session under id. It reports false (and registers
+// nothing) if the id is already present.
+func (r *Registry) Add(id SessID, s Session) bool {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[id]; ok {
+		return false
+	}
+	mem := int64(s.MemoryFootprint())
+	sh.sessions[id] = &entry{sess: s, mem: mem}
+	r.count.Add(1)
+	r.mem.Add(mem)
+	return true
+}
+
+// Remove unregisters id, returning the session if it was present.
+func (r *Registry) Remove(id SessID) (Session, bool) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	delete(sh.sessions, id)
+	r.count.Add(-1)
+	r.mem.Add(-e.mem)
+	return e.sess, true
+}
+
+// Get returns the session registered under id.
+func (r *Registry) Get(id SessID) (Session, bool) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	return e.sess, true
+}
+
+// Len is the number of registered sessions (O(1)).
+func (r *Registry) Len() int { return int(r.count.Load()) }
+
+// MemoryBytes is the rolled-up buffered-memory footprint across all
+// registered sessions, as of the last Rollup (O(1)).
+func (r *Registry) MemoryBytes() int64 { return r.mem.Load() }
+
+// Rollup refreshes every session's memory footprint and returns the
+// new total. It walks one shard at a time — a 5k-session rollup holds
+// each stripe lock for ~80 MemoryFootprint calls, never the whole
+// registry.
+func (r *Registry) Rollup() int64 {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.sessions {
+			mem := int64(e.sess.MemoryFootprint())
+			r.mem.Add(mem - e.mem)
+			e.mem = mem
+		}
+		sh.mu.Unlock()
+	}
+	return r.mem.Load()
+}
+
+// ForEach visits every registered session until fn returns false.
+// Sessions are visited under their shard lock; fn must not call back
+// into the registry.
+func (r *Registry) ForEach(fn func(id SessID, s Session) bool) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for id, e := range sh.sessions {
+			if !fn(id, e.sess) {
+				sh.mu.Unlock()
+				return
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// CloseAll force-closes every registered session (drain deadline).
+// Sessions stay registered; their handlers observe the close, return,
+// and remove them on the normal path.
+func (r *Registry) CloseAll() {
+	var victims []Session
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.sessions {
+			victims = append(victims, e.sess)
+		}
+		sh.mu.Unlock()
+	}
+	for _, s := range victims {
+		s.Close()
+	}
+}

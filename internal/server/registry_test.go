@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// fakeSession is a registry/budget test double.
+type fakeSession struct {
+	mu     sync.Mutex
+	mem    int
+	closed bool
+}
+
+func (f *fakeSession) MemoryFootprint() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mem
+}
+
+func (f *fakeSession) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func (f *fakeSession) setMem(n int) {
+	f.mu.Lock()
+	f.mem = n
+	f.mu.Unlock()
+}
+
+func (f *fakeSession) isClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed
+}
+
+func sid(n uint32) SessID {
+	var id SessID
+	binary.LittleEndian.PutUint32(id[:4], n)
+	return id
+}
+
+func TestRegistryAddRemove(t *testing.T) {
+	r := NewRegistry(8)
+	a, b := &fakeSession{mem: 100}, &fakeSession{mem: 200}
+	if !r.Add(sid(1), a) {
+		t.Fatal("Add(1) failed")
+	}
+	if r.Add(sid(1), b) {
+		t.Fatal("duplicate Add(1) succeeded")
+	}
+	if !r.Add(sid(2), b) {
+		t.Fatal("Add(2) failed")
+	}
+	if got := r.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if got := r.MemoryBytes(); got != 300 {
+		t.Fatalf("MemoryBytes = %d, want 300", got)
+	}
+	if s, ok := r.Get(sid(2)); !ok || s != Session(b) {
+		t.Fatal("Get(2) mismatch")
+	}
+	if s, ok := r.Remove(sid(1)); !ok || s != Session(a) {
+		t.Fatal("Remove(1) mismatch")
+	}
+	if _, ok := r.Remove(sid(1)); ok {
+		t.Fatal("double Remove(1) succeeded")
+	}
+	if got, want := r.Len(), 1; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got := r.MemoryBytes(); got != 200 {
+		t.Fatalf("MemoryBytes after remove = %d, want 200", got)
+	}
+}
+
+func TestRegistryRollup(t *testing.T) {
+	r := NewRegistry(4)
+	ss := make([]*fakeSession, 100)
+	for i := range ss {
+		ss[i] = &fakeSession{mem: 10}
+		if !r.Add(sid(uint32(i)), ss[i]) {
+			t.Fatal("Add failed")
+		}
+	}
+	if got := r.MemoryBytes(); got != 1000 {
+		t.Fatalf("initial MemoryBytes = %d, want 1000", got)
+	}
+	for _, s := range ss {
+		s.setMem(25)
+	}
+	if got := r.Rollup(); got != 2500 {
+		t.Fatalf("Rollup = %d, want 2500", got)
+	}
+	// Removal after a rollup must subtract the refreshed figure, not
+	// the stale admission-time one.
+	r.Remove(sid(0))
+	if got := r.MemoryBytes(); got != 2475 {
+		t.Fatalf("MemoryBytes after remove = %d, want 2475", got)
+	}
+}
+
+func TestRegistryShardsBalanced(t *testing.T) {
+	r := NewRegistry(16)
+	if len(r.shards) != 16 {
+		t.Fatalf("shards = %d, want 16", len(r.shards))
+	}
+	for i := 0; i < 1600; i++ {
+		r.Add(sid(uint32(i)), &fakeSession{})
+	}
+	// Sequential low-word IDs stripe round-robin over the mask; every
+	// shard must hold some sessions (the real IDs are uniformly random).
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+		n := len(r.shards[i].sessions)
+		r.shards[i].mu.Unlock()
+		if n == 0 {
+			t.Fatalf("shard %d empty after 1600 adds", i)
+		}
+	}
+}
+
+func TestRegistryCloseAllAndForEach(t *testing.T) {
+	r := NewRegistry(4)
+	ss := make([]*fakeSession, 10)
+	for i := range ss {
+		ss[i] = &fakeSession{}
+		r.Add(sid(uint32(i)), ss[i])
+	}
+	var visited int
+	r.ForEach(func(id SessID, s Session) bool {
+		visited++
+		return true
+	})
+	if visited != 10 {
+		t.Fatalf("ForEach visited %d, want 10", visited)
+	}
+	r.CloseAll()
+	for i, s := range ss {
+		if !s.isClosed() {
+			t.Fatalf("session %d not closed by CloseAll", i)
+		}
+	}
+	// CloseAll does not unregister — handlers do that on their way out.
+	if got := r.Len(); got != 10 {
+		t.Fatalf("Len after CloseAll = %d, want 10", got)
+	}
+}
+
+func TestRegistryShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {3, 4}, {64, 64}, {65, 128},
+	} {
+		if got := len(NewRegistry(tc.in).shards); got != tc.want {
+			t.Errorf("NewRegistry(%d): %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBudget(t *testing.T) {
+	r := NewRegistry(4)
+	b := NewBudget(r, 1000, 100)
+	if b.Hot() {
+		t.Fatal("empty budget hot")
+	}
+	// Nominal floor: 5 empty sessions charge 5×100 despite a zero
+	// rollup.
+	for i := 0; i < 5; i++ {
+		r.Add(sid(uint32(i)), &fakeSession{})
+	}
+	if got := b.Used(); got != 500 {
+		t.Fatalf("Used = %d, want nominal floor 500", got)
+	}
+	if b.Hot() {
+		t.Fatal("budget hot at 50%")
+	}
+	// Actual rollup overtakes the floor.
+	big := &fakeSession{mem: 900}
+	r.Add(sid(99), big)
+	r.Rollup()
+	if got := b.Used(); got != 900 {
+		t.Fatalf("Used = %d, want actual 900", got)
+	}
+	if !b.Hot() {
+		t.Fatal("budget not hot at 90%")
+	}
+	r.Remove(sid(99))
+	if b.Hot() {
+		t.Fatal("budget still hot after shedding the big session")
+	}
+	// Unlimited budget never goes hot.
+	if NewBudget(r, 0, 100).Hot() {
+		t.Fatal("unlimited budget hot")
+	}
+}

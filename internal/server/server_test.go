@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tcpls"
+	"tcpls/internal/telemetry"
+	"tcpls/internal/testutil"
+)
+
+// startServer builds a Server with a fresh metrics registry, wires a
+// loopback listener through its admission controller, and serves in
+// the background. Cleanup shuts it down hard.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	if cfg.TCPLS == nil {
+		cfg.TCPLS = &tcpls.Config{}
+	}
+	if cfg.TCPLS.Certificate == nil {
+		cert, err := tcpls.NewCertificate("test.server")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.TCPLS.Certificate = cert
+	}
+	if cfg.MetricsRegistry == nil {
+		cfg.MetricsRegistry = telemetry.NewRegistry()
+	}
+	if cfg.Handler == nil {
+		cfg.Handler = Echo()
+	}
+	srv := New(cfg)
+	ln, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		select {
+		case err := <-serveDone:
+			if err != nil {
+				t.Errorf("Serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Shutdown")
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func dialClient(t *testing.T, addr string) *tcpls.Session {
+	t.Helper()
+	sess, err := tcpls.Dial("tcp", addr, &tcpls.Config{ServerName: "test.server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// echoOnce opens a stream, pushes payload, and checks the echo comes
+// back byte-exact.
+func echoOnce(sess *tcpls.Session, payload []byte) error {
+	st, err := sess.OpenStream()
+	if err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if _, err := st.Write(payload); err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- st.Close() // FIN: the echo handler's copy ends
+	}()
+	got, err := io.ReadAll(st)
+	if err != nil {
+		return err
+	}
+	if werr := <-errCh; werr != nil {
+		return werr
+	}
+	if !bytes.Equal(got, payload) {
+		return errors.New("echo mismatch")
+	}
+	return nil
+}
+
+// TestServerEchoConcurrentSessions serves a burst of concurrent echo
+// sessions and checks the registry, the metrics rollup, and the
+// goroutine count all return to baseline after a graceful Shutdown.
+func TestServerEchoConcurrentSessions(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, addr := startServer(t, Config{RollupInterval: 20 * time.Millisecond})
+
+	const n = 16
+	payload := make([]byte, 32<<10)
+	rand.Read(payload)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess, err := tcpls.Dial("tcp", addr, &tcpls.Config{ServerName: "test.server"})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer sess.Close()
+			errs <- echoOnce(sess, payload)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.sm.Accepted.Load(); got != n {
+		t.Fatalf("accepted = %d, want %d", got, n)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful Shutdown: %v", err)
+	}
+	if got := srv.Registry().Len(); got != 0 {
+		t.Fatalf("registry holds %d sessions after drain", got)
+	}
+	if got := srv.sm.Drained.Load(); got != n {
+		t.Fatalf("drained = %d, want %d", got, n)
+	}
+	testutil.CheckGoroutines(t, base)
+}
+
+// TestServerShedsAtMaxSessions holds sessions open past MaxSessions
+// and checks the overflow is shed with an observable reject.
+func TestServerShedsAtMaxSessions(t *testing.T) {
+	srv, addr := startServer(t, Config{Limits: Limits{MaxSessions: 2}})
+
+	var held []*tcpls.Session
+	defer func() {
+		for _, s := range held {
+			s.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		held = append(held, dialClient(t, addr))
+	}
+	// The registry counts sessions as handlers pick them up; wait for
+	// both before probing the limit.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Registry().Len() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry = %d, want 2", srv.Registry().Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sess, err := tcpls.Dial("tcp", addr, &tcpls.Config{
+		ServerName: "test.server",
+		Reconnect:  tcpls.ReconnectConfig{Disabled: true, Deadline: 200 * time.Millisecond},
+	})
+	if err == nil {
+		// Client-side handshake can finish before the shed closes the
+		// connection; the session must then die, not serve.
+		defer sess.Close()
+		select {
+		case <-sess.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatal("overflow session survived MaxSessions shed")
+		}
+	}
+	if got := srv.sm.Rejected(ReasonMaxSessions).Load(); got == 0 {
+		t.Fatal("no max_sessions rejection recorded")
+	}
+	if got := srv.Registry().Len(); got != 2 {
+		t.Fatalf("registry = %d, want 2", got)
+	}
+}
+
+// TestServerDrainGraceful starts a drain while sessions still have
+// data in flight: in-flight echoes must complete byte-exact, new
+// sessions must be rejected, and Shutdown must return nil.
+func TestServerDrainGraceful(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+
+	const n = 3
+	sessions := make([]*tcpls.Session, n)
+	for i := range sessions {
+		sessions[i] = dialClient(t, addr)
+	}
+	// Drain guarantees cover served sessions; wait until the handlers
+	// picked all three up before pulling the plug.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Registry().Len() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry = %d, want %d", srv.Registry().Len(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	shutdownErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownErr <- srv.Shutdown(ctx) }()
+
+	// Wait for the drain gate so the new-session probe is
+	// deterministic.
+	deadline = time.Now().Add(2 * time.Second)
+	for !srv.Admission().Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain gate never set")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := tcpls.Dial("tcp", addr, &tcpls.Config{ServerName: "test.server"}); err == nil {
+		t.Fatal("new session admitted during drain")
+	}
+
+	// Established sessions keep working through the drain.
+	payload := make([]byte, 256<<10)
+	rand.Read(payload)
+	for _, sess := range sessions {
+		if err := echoOnce(sess, payload); err != nil {
+			t.Fatalf("echo during drain: %v", err)
+		}
+		sess.Close()
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("graceful Shutdown: %v", err)
+	}
+	if got := srv.sm.Rejected(ReasonDraining).Load(); got == 0 {
+		t.Fatal("no draining rejection recorded")
+	}
+}
+
+// TestServerDrainDeadline parks sessions that never close and checks
+// Shutdown force-closes them at the context deadline, still reaping
+// every handler before returning.
+func TestServerDrainDeadline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, addr := startServer(t, Config{})
+
+	var sessions []*tcpls.Session
+	for i := 0; i < 3; i++ {
+		sessions = append(sessions, dialClient(t, addr))
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hard drain took %v", elapsed)
+	}
+	if got := srv.Registry().Len(); got != 0 {
+		t.Fatalf("registry holds %d sessions after hard drain", got)
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	sessions = nil
+	testutil.CheckGoroutines(t, base)
+}
+
+// TestServerDebugState checks the /debug/tcpls provider snapshot.
+func TestServerDebugState(t *testing.T) {
+	srv, addr := startServer(t, Config{MemoryBudget: 1 << 20})
+	sess := dialClient(t, addr)
+	defer sess.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Registry().Len() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	state := srv.debugState().(map[string]any)
+	if got := state["sessions"].(int); got != 1 {
+		t.Fatalf("debug sessions = %d, want 1", got)
+	}
+	if got := state["budget_limit_bytes"].(int64); got != 1<<20 {
+		t.Fatalf("debug budget limit = %d, want %d", got, 1<<20)
+	}
+	if state["draining"].(bool) {
+		t.Fatal("debug draining true on a live server")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// soakDefaultSessions is the soak's total session count without the
+// race detector (override with TCPLS_SOAK_SESSIONS).
+const soakDefaultSessions = 5000

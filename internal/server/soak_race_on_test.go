@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// soakDefaultSessions is scaled down under the race detector: the
+// instrumented handshake and record path run ~10x slower.
+const soakDefaultSessions = 500

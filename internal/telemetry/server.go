@@ -1,0 +1,80 @@
+package telemetry
+
+import "sync"
+
+// ServerFamilies is the server-runtime metric family set: the accept
+// edge (admissions, rejections, drains) and the process-wide session
+// and memory rollups maintained by internal/server. Creating it is
+// idempotent, like TCPLSFamilies; multiple listeners against a shared
+// registry aggregate under the listener label.
+type ServerFamilies struct {
+	sessions    *GaugeVec     // listener
+	memoryBytes *GaugeVec     // listener
+	handshakes  *GaugeVec     // listener
+	accepted    *CounterVec   // listener
+	rejected    *CounterVec   // listener, reason
+	drained     *CounterVec   // listener
+	admitWait   *HistogramVec // listener
+}
+
+// ServerFamiliesOn registers (or resolves) the server metric set on r.
+func ServerFamiliesOn(r *Registry) *ServerFamilies {
+	return &ServerFamilies{
+		sessions:    r.GaugeVec("tcpls_server_sessions", "Live TCPLS sessions in the server registry.", "listener"),
+		memoryBytes: r.GaugeVec("tcpls_server_memory_bytes", "Buffered session memory charged against the process budget (registry rollup).", "listener"),
+		handshakes:  r.GaugeVec("tcpls_server_handshakes_inflight", "TCP connections currently inside the server handshake.", "listener"),
+		accepted:    r.CounterVec("tcpls_server_accepted_total", "Sessions admitted past the accept edge.", "listener"),
+		rejected:    r.CounterVec("tcpls_server_rejected_total", "Connections, joins, and sessions rejected at the accept edge, by reason.", "listener", "reason"),
+		drained:     r.CounterVec("tcpls_server_drained_total", "Sessions retired by the server (handler return or shutdown).", "listener"),
+		admitWait:   r.HistogramVec("tcpls_server_admission_wait_seconds", "Time spent waiting for an accept token before admission.", RTTBuckets, "listener"),
+	}
+}
+
+// ServerMetrics is one listener's pre-resolved handle set. All fields
+// are nil-safe through the underlying metric types' nil receivers; a
+// nil *ServerMetrics also disables everything.
+type ServerMetrics struct {
+	fams     *ServerFamilies
+	listener string
+
+	Sessions      *Gauge
+	MemoryBytes   *Gauge
+	Handshakes    *Gauge
+	Accepted      *Counter
+	Drained       *Counter
+	AdmissionWait *Histogram
+
+	mu      sync.Mutex
+	rejects map[string]*Counter
+}
+
+// Server resolves the per-listener handles for label value listener.
+func (f *ServerFamilies) Server(listener string) *ServerMetrics {
+	return &ServerMetrics{
+		fams:          f,
+		listener:      listener,
+		Sessions:      f.sessions.With(listener),
+		MemoryBytes:   f.memoryBytes.With(listener),
+		Handshakes:    f.handshakes.With(listener),
+		Accepted:      f.accepted.With(listener),
+		Drained:       f.drained.With(listener),
+		AdmissionWait: f.admitWait.With(listener),
+		rejects:       make(map[string]*Counter),
+	}
+}
+
+// Rejected resolves (once) the rejection counter for a reason. Safe on
+// a nil receiver.
+func (sm *ServerMetrics) Rejected(reason string) *Counter {
+	if sm == nil {
+		return nil
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if c, ok := sm.rejects[reason]; ok {
+		return c
+	}
+	c := sm.fams.rejected.With(sm.listener, reason)
+	sm.rejects[reason] = c
+	return c
+}

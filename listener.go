@@ -20,6 +20,10 @@ type Listener struct {
 
 	mu       sync.Mutex
 	sessions map[SessID]*serverSession
+	// hsConns tracks connections whose handshake is still in flight, so
+	// Close can unblock their goroutines instead of leaking them until
+	// the peer gives up.
+	hsConns  map[net.Conn]struct{}
 	acceptCh chan acceptResult
 	done     chan struct{}
 	closed   bool
@@ -59,6 +63,7 @@ func NewListener(ln net.Listener, cfg *Config) *Listener {
 		ln:       ln,
 		cfg:      cfg.clone(),
 		sessions: make(map[SessID]*serverSession),
+		hsConns:  make(map[net.Conn]struct{}),
 		acceptCh: make(chan acceptResult, 16),
 		done:     make(chan struct{}),
 	}
@@ -72,27 +77,73 @@ func NewListener(ln net.Listener, cfg *Config) *Listener {
 // Addr returns the listener's address.
 func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
 
-// Accept blocks for the next new TCPLS session.
+// Accept blocks for the next new TCPLS session. Sessions whose
+// handshake completed before the listener closed are still returned —
+// a draining server serves them rather than dropping a client that
+// finished its handshake in good faith.
 func (l *Listener) Accept() (*Session, error) {
 	select {
 	case res := <-l.acceptCh:
 		return res.sess, res.err
+	default:
+	}
+	select {
+	case res := <-l.acceptCh:
+		return res.sess, res.err
 	case <-l.done:
+		// One more non-blocking drain: a handshake that finished just
+		// as Close ran may have parked its result in the buffer.
+		select {
+		case res := <-l.acceptCh:
+			return res.sess, res.err
+		default:
+		}
 		return nil, net.ErrClosed
 	}
 }
 
-// Close stops the listener. Established sessions keep running.
+// Close stops the listener. Established sessions keep running;
+// connections still mid-handshake are closed so their goroutines exit
+// rather than leak until the peer gives up.
 func (l *Listener) Close() error {
 	l.mu.Lock()
 	closed := l.closed
 	l.closed = true
+	hs := make([]net.Conn, 0, len(l.hsConns))
+	for nc := range l.hsConns {
+		hs = append(hs, nc)
+	}
 	l.mu.Unlock()
 	if closed {
 		return nil
 	}
 	close(l.done)
+	for _, nc := range hs {
+		nc.Close()
+	}
 	return l.ln.Close()
+}
+
+// trackHandshake registers an in-flight handshake connection; false
+// means the listener already closed and the conn should be dropped.
+func (l *Listener) trackHandshake(nc net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	l.hsConns[nc] = struct{}{}
+	return true
+}
+
+// untrackHandshake removes a connection from the in-flight set and
+// reports whether the listener closed while the handshake ran (in which
+// case the conn must be dropped, not adopted).
+func (l *Listener) untrackHandshake(nc net.Conn) (listenerClosed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.hsConns, nc)
+	return l.closed
 }
 
 func (l *Listener) acceptLoop() {
@@ -118,11 +169,25 @@ func (l *Listener) ValidateJoin(id SessID, cookie Cookie) bool {
 	if valid {
 		ss.cookies[cookie] = false
 	}
+	l.mu.Unlock()
 	// Trace the join decision onto the session's timeline when the
 	// session object already exists (the initial handshake may still be
 	// completing on its own connection).
+	name := "cookie_consumed"
+	if !valid {
+		name = "join_rejected"
+	}
+	l.noteSessionTrace(id, name)
+	return valid
+}
+
+// noteSessionTrace stamps a listener-level mark (cookie_consumed,
+// join_rejected) onto a session's trace timeline, when the session
+// object already exists.
+func (l *Listener) noteSessionTrace(id SessID, name string) {
+	l.mu.Lock()
 	var sess *Session
-	if ok {
+	if ss, ok := l.sessions[id]; ok {
 		select {
 		case <-ss.ready:
 			sess = ss.sess
@@ -131,13 +196,25 @@ func (l *Listener) ValidateJoin(id SessID, cookie Cookie) bool {
 	}
 	l.mu.Unlock()
 	if sess != nil {
-		name := "cookie_consumed"
-		if !valid {
-			name = "join_rejected"
-		}
 		sess.noteTrace(name, 0, 0, 0)
 	}
-	return valid
+}
+
+// joinGate is the per-connection join validator: it applies admission
+// control for the connection's remote address before consulting the
+// listener's cookie table, so a join flood from one IP burns admission
+// budget, not cookies.
+type joinGate struct {
+	l      *Listener
+	remote net.Addr
+}
+
+func (g *joinGate) ValidateJoin(id SessID, cookie Cookie) bool {
+	if adm := g.l.cfg.Admission; adm != nil && !adm.AdmitJoin(g.remote) {
+		g.l.noteSessionTrace(id, "join_rejected")
+		return false
+	}
+	return g.l.ValidateJoin(id, cookie)
 }
 
 // noteTrace stamps a wrapper-level mark onto the session's trace
@@ -149,8 +226,28 @@ func (s *Session) noteTrace(name string, conn uint32, seq uint64, bytes int) {
 }
 
 // handleConn runs the server handshake on one TCP connection and either
-// creates a session or joins an existing one.
+// creates a session or joins an existing one. The whole handshake runs
+// under Config.HandshakeTimeout and admission control: a stalled or
+// unwelcome client is cut off here, before it can pin resources.
 func (l *Listener) handleConn(nc net.Conn) {
+	if !l.trackHandshake(nc) {
+		nc.Close()
+		return
+	}
+	var release func()
+	if adm := l.cfg.Admission; adm != nil {
+		rel, err := adm.AdmitConn(nc.RemoteAddr())
+		if err != nil {
+			l.untrackHandshake(nc)
+			nc.Close()
+			return
+		}
+		release = rel
+	}
+	hsTimeout := l.cfg.handshakeTimeout()
+	if hsTimeout > 0 {
+		nc.SetDeadline(time.Now().Add(hsTimeout))
+	}
 	var advertise []netip.Addr
 	advertise = append(advertise, l.cfg.AdvertiseAddrs...)
 	hcfg := &handshake.Config{
@@ -159,7 +256,7 @@ func (l *Listener) handleConn(nc net.Conn) {
 		TCPLSServer:    !l.cfg.DisableTCPLS,
 		AdvertiseAddrs: advertise,
 		NumCookies:     l.cfg.NumCookies,
-		Sessions:       l,
+		Sessions:       &joinGate{l: l, remote: nc.RemoteAddr()},
 		DecryptTicket: func(ticket []byte) ([]byte, bool) {
 			if l.sealer == nil {
 				return nil, false
@@ -178,10 +275,14 @@ func (l *Listener) handleConn(nc net.Conn) {
 	}
 	tr := handshake.NewTransport(nc)
 	res, err := handshake.Server(tr, hcfg)
-	if err != nil {
+	if release != nil {
+		release()
+	}
+	if closed := l.untrackHandshake(nc); err != nil || closed {
 		nc.Close()
 		return
 	}
+	nc.SetDeadline(time.Time{})
 
 	if res.JoinAccepted {
 		l.mu.Lock()
@@ -192,15 +293,37 @@ func (l *Listener) handleConn(nc net.Conn) {
 			return
 		}
 		// The initial handshake may still be finishing on its own
-		// connection; wait for the session object.
+		// connection; wait for the session object — bounded by the
+		// handshake deadline, and unblocked by listener close.
+		wait := hsTimeout
+		if wait <= 0 {
+			wait = defaultHandshakeTimeout
+		}
 		select {
 		case <-ss.ready:
-		case <-time.After(10 * time.Second):
+		case <-time.After(wait):
+			nc.Close()
+			return
+		case <-l.done:
 			nc.Close()
 			return
 		}
 		ss.sess.adoptJoinedConn(res.JoinConnID, nc, tr.Leftover())
 		return
+	}
+
+	if adm := l.cfg.Admission; adm != nil {
+		if err := adm.AdmitSession(nc.RemoteAddr()); err != nil {
+			// Shed: drop the cookie state minted during the handshake so
+			// the rejected client cannot join its way back in.
+			if res.TCPLSEnabled {
+				l.mu.Lock()
+				delete(l.sessions, res.SessID)
+				l.mu.Unlock()
+			}
+			nc.Close()
+			return
+		}
 	}
 
 	sess := newSession(false, l.cfg, res, nc, tr.Leftover())
@@ -229,6 +352,14 @@ func (l *Listener) handleConn(nc net.Conn) {
 				ss.cookies[c] = true
 			}
 		}
+	}
+	// Prefer delivery: a session whose handshake beat the listener's
+	// close should reach Accept, not be torn down. Only when the accept
+	// buffer is full does the close win.
+	select {
+	case l.acceptCh <- acceptResult{sess, nil}:
+		return
+	default:
 	}
 	select {
 	case l.acceptCh <- acceptResult{sess, nil}:

@@ -40,6 +40,7 @@ type Session struct {
 
 	closed             bool
 	closeErr           error
+	doneCh             chan struct{} // closed when the session closes
 	onNewServerCookies func([]Cookie)
 
 	// Recovery supervisor state (reconnect.go): remembered redial
@@ -152,6 +153,7 @@ func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, 
 		echoCh:     make(map[uint64]chan struct{}),
 		nextConnID: 1,
 		timerStop:  make(chan struct{}),
+		doneCh:     make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.suite = res.Secrets.Suite
@@ -683,6 +685,7 @@ func (s *Session) failSessionLocked(err error) {
 	if !s.closed {
 		s.closed = true
 		s.closeErr = err
+		close(s.doneCh)
 		// Postmortem: a session dying with an error (SessionDeadError,
 		// protocol failure) dumps its flight recorder automatically when
 		// a destination is configured. Off the lock path — the ring has
@@ -709,6 +712,7 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.doneCh)
 	s.closeTelemetryLocked()
 	for id := range s.conns {
 		s.engine.CloseConnection(id)
@@ -743,4 +747,49 @@ func (s *Session) Stats() core.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.engine.Stats()
+}
+
+// Done returns a channel closed once the session has closed — by
+// Close, by the peer's orderly goodbye, or by a terminal failure. Err
+// reports which, after Done is closed. The server runtime's drain
+// sequence waits on this.
+func (s *Session) Done() <-chan struct{} { return s.doneCh }
+
+// Err returns the session's terminal error: nil while the session is
+// live or after an orderly close, or the failure (e.g. a
+// *SessionDeadError) that killed it.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeErr
+}
+
+// RemoteAddr returns the peer address of the session's lowest-numbered
+// connection, or nil when none remains — the address admission control
+// and the server registry key per-IP state on.
+func (s *Session) RemoteAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *pathConn
+	for _, pc := range s.conns {
+		if best == nil || pc.id < best.id {
+			best = pc
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.nc.RemoteAddr()
+}
+
+// MemoryFootprint reports the session's current buffered memory in
+// bytes: the reorder heap, retransmit buffers, stream receive buffers,
+// and unsent pending data. The caps of PR 5 (Config.MaxReorderBytes,
+// MaxRecvBufferBytes, MaxRetransmitBytes) bound it per session; the
+// server runtime (internal/server) rolls it up across the registry
+// into the process-wide memory budget.
+func (s *Session) MemoryFootprint() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.BufferedBytes()
 }
