@@ -150,9 +150,12 @@ func TestChaosTransferSurvivesCascadeAndTotalLoss(t *testing.T) {
 	}
 
 	// Writer: 4 MiB in paced chunks so the transfer spans every fault
-	// phase; hash computed on the way out.
+	// phase; hash computed on the way out. started closes once the first
+	// chunk is accepted — the condition the fault schedule waits on
+	// instead of a wall-clock sleep.
 	wantHash := make(chan [32]byte, 1)
 	writeErr := make(chan error, 1)
+	started := make(chan struct{})
 	go func() {
 		h := sha256.New()
 		chunk := make([]byte, 128<<10)
@@ -165,6 +168,9 @@ func TestChaosTransferSurvivesCascadeAndTotalLoss(t *testing.T) {
 			if _, err := st.Write(chunk); err != nil {
 				writeErr <- fmt.Errorf("write at %d bytes: %w", total, err)
 				return
+			}
+			if i == 0 {
+				close(started)
 			}
 			total += len(chunk)
 			time.Sleep(5 * time.Millisecond)
@@ -186,20 +192,32 @@ func TestChaosTransferSurvivesCascadeAndTotalLoss(t *testing.T) {
 		}
 		return cid
 	}
+	// waitConnChange blocks on session lifecycle events (conn_down,
+	// failover, ...) and rechecks the stream's home after each — no
+	// polling loop, no sleep calibration: every path that moves a stream
+	// also emits an event, so a wake-up always follows the move.
 	waitConnChange := func(from uint32) uint32 {
-		deadline := time.Now().Add(8 * time.Second)
-		for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		for {
 			if cid := streamConn(); cid != from {
 				return cid
 			}
-			time.Sleep(10 * time.Millisecond)
+			if _, err := sess.WaitEvent(ctx); err != nil {
+				t.Fatalf("stream never left conn %d: %v", from, err)
+			}
 		}
-		t.Fatalf("stream never left conn %d", from)
-		return 0
 	}
 
-	// Phase A — RST the path the stream is on; failover must move it.
-	time.Sleep(200 * time.Millisecond)
+	// Phase A — RST the path the stream is on once the transfer is
+	// actually in flight; failover must move it.
+	select {
+	case <-started:
+	case err := <-writeErr:
+		t.Fatalf("writer died before first chunk: %v", err)
+	case <-time.After(15 * time.Second):
+		t.Fatal("writer never produced its first chunk")
+	}
 	connA := streamConn()
 	relays[connRelay[connA]].Blackhole() // refuse re-dials too
 	relays[connRelay[connA]].RST()

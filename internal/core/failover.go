@@ -14,12 +14,23 @@ import (
 // while it still has active streams is declared failed — the encrypted
 // TCP User Timeout option's break-before-make trigger. It returns the
 // IDs of connections that failed during this call.
+//
+// Connections are examined in ascending ID order so that the failure
+// events, traces, and any failover reaction they trigger replay
+// identically run after run — the deterministic-replay contract the
+// fleet harness (internal/fleet) builds its seed reproducibility on.
 func (s *Session) Advance(now time.Time) []uint32 {
 	if s.cfg.UserTimeout <= 0 {
 		return nil
 	}
+	ids := make([]uint32, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var failed []uint32
-	for id, c := range s.conns {
+	for _, id := range ids {
+		c := s.conns[id]
 		if c.failed || c.closed {
 			continue
 		}
@@ -157,46 +168,103 @@ func (s *Session) FailoverTo(failedID, targetID uint32) error {
 	if target.failed || target.closed || targetID == failedID {
 		return ErrConnFailed
 	}
-	failedConn.failed = true
-	failedConn.failedOver = true
+	return s.failoverInto([]*conn{failedConn}, target)
+}
+
+// FailoverAllTo drains every failed connection that still owns streams
+// onto targetID in ONE merged replay, and returns how many connections
+// it drained. This is the correct resynchronization primitive when more
+// than one connection died before a replacement joined (a rack outage,
+// an RST storm): re-homing the conns one FailoverTo at a time replays
+// each conn's retransmit buffer back to back, but coupled records'
+// aggregation sequences interleave across the conns — so the receiver's
+// reorder heap must park roughly half of the first conn's replay until
+// the second conn's replay arrives, an O(transfer) spike the reorder cap
+// cannot shed (with a single live conn there is no other conn to declare
+// suspect). Merging the replays in aggregation-sequence order keeps the
+// receiver's heap flat. The fleet harness (internal/fleet) caught this
+// under correlated faults; see its bounded-memory invariant.
+func (s *Session) FailoverAllTo(targetID uint32) (int, error) {
+	if !s.cfg.EnableFailover {
+		return 0, fmt.Errorf("core: failover not enabled in config")
+	}
+	target, err := s.getConn(targetID)
+	if err != nil {
+		return 0, err
+	}
+	if target.failed || target.closed {
+		return 0, ErrConnFailed
+	}
+	var failed []*conn
+	for _, id := range s.FailedConnsWithStreams() {
+		if id == targetID {
+			continue
+		}
+		if fc := s.conns[id]; !fc.failedOver {
+			failed = append(failed, fc)
+		}
+	}
+	if len(failed) == 0 {
+		return 0, nil
+	}
+	return len(failed), s.failoverInto(failed, target)
+}
+
+// failoverInto re-homes the streams of all failed conns onto target:
+// per conn a FAILOVER notice, per stream ATTACH + SYNC, then one merged
+// replay of every unacknowledged record (replayMerged orders coupled
+// records globally by aggregation sequence).
+func (s *Session) failoverInto(failed []*conn, target *conn) error {
 	if s.tracer != nil {
 		s.lastNow = s.now() // sync/retransmit traces happen now
 	}
-	s.trace("failover_started", failedID, 0, 0, 0)
-	if s.tel != nil {
-		s.tel.Failovers.Inc()
-	}
-	s.telSyncGauges()
-
-	if err := s.sendCtl(target, appendFailover(nil, failedID)); err != nil {
-		return err
-	}
-	for _, id := range s.sortedStreamIDs() {
-		st := s.streams[id]
-		if st.conn != failedID {
-			continue
+	var moves []streamReplay
+	for _, fc := range failed {
+		fc.failed = true
+		fc.failedOver = true
+		s.trace("failover_started", fc.id, 0, 0, 0)
+		if s.tel != nil {
+			s.tel.Failovers.Inc()
 		}
-		// Move our receive context to the target's demux so the peer's
-		// records for this stream (it fails over too) authenticate here.
-		failedConn.demux.Detach(st.id)
-		if target.demux.Context(st.id) == nil {
-			target.demux.Attach(st.recvCtx)
-		}
-		// Re-home and replay the send side.
-		if err := s.failoverStreamSend(st, failedID, target); err != nil {
+		if err := s.sendCtl(target, appendFailover(nil, fc.id)); err != nil {
 			return err
 		}
+		for _, id := range s.sortedStreamIDs() {
+			st := s.streams[id]
+			if st.conn != fc.id {
+				continue
+			}
+			// Move our receive context to the target's demux so the peer's
+			// records for this stream (it fails over too) authenticate here.
+			fc.demux.Detach(st.id)
+			if target.demux.Context(st.id) == nil {
+				target.demux.Attach(st.recvCtx)
+			}
+			if err := s.failoverStreamPrep(st, target); err != nil {
+				return err
+			}
+			moves = append(moves, streamReplay{st: st, from: fc.id})
+		}
 	}
-	s.emit(Event{Kind: EventFailoverDone, Conn: targetID})
+	s.telSyncGauges()
+	if err := s.replayMerged(moves, target); err != nil {
+		return err
+	}
+	s.emit(Event{Kind: EventFailoverDone, Conn: target.id})
 	return nil
 }
 
-// failoverStreamSend moves one stream's send side from fromID onto
-// target: re-attach, SYNC with the resume sequence, replay every
-// unacknowledged record, and re-announce a possibly-lost FIN. Shared by
-// FailoverTo (we detected the failure) and handleStreamAttach (the peer
-// failed over first and our send side follows).
-func (s *Session) failoverStreamSend(st *stream, fromID uint32, target *conn) error {
+// streamReplay pairs a stream being re-homed with the connection it is
+// leaving, for loss accounting during replay.
+type streamReplay struct {
+	st   *stream
+	from uint32
+}
+
+// failoverStreamPrep moves one stream's send side onto target and tells
+// the peer: re-attach, then SYNC with the resume sequence. The record
+// replay itself is replayMerged's job.
+func (s *Session) failoverStreamPrep(st *stream, target *conn) error {
 	st.conn = target.id
 	target.attached[st.id] = true
 	if err := s.sendCtl(target, appendStreamAttach(nil, st.id)); err != nil {
@@ -210,55 +278,97 @@ func (s *Session) failoverStreamSend(st *stream, fromID uint32, target *conn) er
 		return err
 	}
 	s.trace("sync_sent", target.id, st.id, resume, 0)
-	// Replay unacknowledged records in order.
-	for ri := range st.retransmit {
-		r := &st.retransmit[ri]
-		var trailer [9]byte
-		var tlen int
-		if r.typ == typeStreamDataCoupled {
-			wire.PutUint64(trailer[:8], r.aggSeq)
-			trailer[8] = byte(typeStreamDataCoupled)
-			tlen = 9
-		} else {
-			trailer[0] = byte(typeStreamData)
-			tlen = 1
-		}
-		out, err := st.sendCtx.SealSeqV(target.out, r.seq, record.ContentTypeApplicationData, s.cfg.PadRecordsTo, r.payload, trailer[:tlen])
-		if err != nil {
-			return err
-		}
-		target.out = out
-		s.stats.Retransmits++
-		s.stats.RecordsSent++
-		s.trace("retransmit", target.id, st.id, r.seq, len(r.payload))
-		if s.tel != nil {
-			target.tel.Retransmits.Inc()
-			target.tel.RecordsSent.Inc()
-		}
-		// Path metrics: the bytes were lost on the failed path and
-		// are in flight again on the target; the replayed copy is
-		// barred from RTT sampling (Karn).
-		r.retxCount++
-		if s.stampWrites {
-			// The replay travels on the target's next drained chunk; its
-			// write stamp overwrites the failed original's.
-			target.unwritten = append(target.unwritten, spanKey{stream: st.id, seq: r.seq})
-		}
-		if s.metrics != nil {
-			s.metrics.OnLost(fromID, len(r.payload))
-			s.metrics.OnSent(target.id, len(r.payload))
-		}
-		if s.pathSched != nil {
-			s.pathSched.OnLost(fromID, len(r.payload))
-			s.pathSched.OnSent(target.id, len(r.payload))
+	return nil
+}
+
+// replayMerged replays every unacknowledged record of the given streams
+// onto target in one globally ordered pass: coupled records merge across
+// streams in aggregation-sequence order (each stream's own sequence
+// order is preserved, since aggSeq is monotonic within a stream), plain
+// records keep per-stream order. Ordering the wire replay by aggSeq is
+// what keeps the receiver's reorder heap flat when several streams —
+// possibly stranded on several failed conns — resynchronize onto one
+// target. Closes by re-announcing possibly-lost FINs.
+func (s *Session) replayMerged(moves []streamReplay, target *conn) error {
+	type ref struct{ mi, ri int }
+	var refs []ref
+	for mi := range moves {
+		for ri := range moves[mi].st.retransmit {
+			refs = append(refs, ref{mi, ri})
 		}
 	}
-	// Re-send a FIN marker if it may have been lost with the
-	// connection.
-	if st.finSent {
-		if err := s.sendCtl(target, appendStreamFin(nil, st.id, st.sendCtx.Seq())); err != nil {
+	sort.SliceStable(refs, func(a, b int) bool {
+		ra := &moves[refs[a].mi].st.retransmit[refs[a].ri]
+		rb := &moves[refs[b].mi].st.retransmit[refs[b].ri]
+		ca := ra.typ == typeStreamDataCoupled
+		cb := rb.typ == typeStreamDataCoupled
+		if ca != cb {
+			return !ca // plain records first, in their stable stream order
+		}
+		if ca {
+			return ra.aggSeq < rb.aggSeq
+		}
+		return false
+	})
+	for _, rf := range refs {
+		mv := &moves[rf.mi]
+		if err := s.replayRecord(mv.st, &mv.st.retransmit[rf.ri], mv.from, target); err != nil {
 			return err
 		}
+	}
+	// Re-send FIN markers that may have been lost with the connections.
+	for _, mv := range moves {
+		if mv.st.finSent {
+			if err := s.sendCtl(target, appendStreamFin(nil, mv.st.id, mv.st.sendCtx.Seq())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// replayRecord re-seals one buffered record onto target — byte-identical
+// ciphertext, since per-stream contexts make sequence numbers
+// deterministic — and books the loss/resend against path metrics.
+func (s *Session) replayRecord(st *stream, r *sentRecord, fromID uint32, target *conn) error {
+	var trailer [9]byte
+	var tlen int
+	if r.typ == typeStreamDataCoupled {
+		wire.PutUint64(trailer[:8], r.aggSeq)
+		trailer[8] = byte(typeStreamDataCoupled)
+		tlen = 9
+	} else {
+		trailer[0] = byte(typeStreamData)
+		tlen = 1
+	}
+	out, err := st.sendCtx.SealSeqV(target.out, r.seq, record.ContentTypeApplicationData, s.cfg.PadRecordsTo, r.payload, trailer[:tlen])
+	if err != nil {
+		return err
+	}
+	target.out = out
+	s.stats.Retransmits++
+	s.stats.RecordsSent++
+	s.trace("retransmit", target.id, st.id, r.seq, len(r.payload))
+	if s.tel != nil {
+		target.tel.Retransmits.Inc()
+		target.tel.RecordsSent.Inc()
+	}
+	// Path metrics: the bytes were lost on the failed path and are in
+	// flight again on the target; the replayed copy is barred from RTT
+	// sampling (Karn).
+	r.retxCount++
+	if s.stampWrites {
+		// The replay travels on the target's next drained chunk; its
+		// write stamp overwrites the failed original's.
+		target.unwritten = append(target.unwritten, spanKey{stream: st.id, seq: r.seq})
+	}
+	if s.metrics != nil {
+		s.metrics.OnLost(fromID, len(r.payload))
+		s.metrics.OnSent(target.id, len(r.payload))
+	}
+	if s.pathSched != nil {
+		s.pathSched.OnLost(fromID, len(r.payload))
+		s.pathSched.OnSent(target.id, len(r.payload))
 	}
 	return nil
 }
@@ -274,15 +384,25 @@ func (s *Session) handleSync(c *conn, f *frame) error {
 	}
 	// The stream should already be attached here by the preceding
 	// STREAM_ATTACH; tolerate reordering of control frames by attaching
-	// now if needed.
-	if c.demux.Context(f.id) == nil {
-		if old, ok := s.conns[st.conn]; ok {
+	// now if needed. As in handleStreamAttach, only detach from a dead
+	// old conn — a live one may still carry records for this stream.
+	if ctx := c.demux.Context(f.id); ctx == nil {
+		if old, ok := s.conns[st.conn]; ok && (old.failed || old.closed) {
 			old.demux.Detach(f.id)
 		}
-		c.demux.Attach(st.recvCtx)
+		// Clone, as in handleStreamAttach: a live old conn keeps its own
+		// counter for late in-flight records; only this connection's
+		// context resumes at the SYNC point.
+		nc := st.recvCtx.Clone(f.seq)
+		c.demux.Attach(nc)
+		st.recvCtx = nc
 		st.conn = c.id
+	} else {
+		// Normal ATTACH-then-SYNC order: the clone for this connection is
+		// already attached — resynchronize it directly (it is not
+		// necessarily st.recvCtx if yet another re-home crossed this one).
+		ctx.SetSeq(f.seq)
 	}
-	st.recvCtx.SetSeq(f.seq)
 	s.trace("sync_received", c.id, f.id, f.seq, 0)
 	return nil
 }

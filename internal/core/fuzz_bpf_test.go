@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzBPFChunkReassembly drives the BPF_CC reassembly state machine
+// with attacker-chosen chunk sequences — the PR-5 forgery-validation
+// work showed this is where hostile input lands once it clears the
+// AEAD. Two frames per input exercise the cross-chunk state (restarts
+// on mismatched headers, duplicate indices, completion). Invariants:
+// never panic, rejects are ErrBadFrame, buffered reassembly bytes never
+// exceed the claimed program length nor the global cap, and a completed
+// program is exactly progLen bytes.
+func FuzzBPFChunkReassembly(f *testing.F) {
+	f.Add([]byte("prog"), uint16(0), uint16(2), uint32(8), []byte("ram!"), uint16(1))
+	f.Add([]byte{0xb7, 0, 0, 0, 0, 0, 0, 0}, uint16(0), uint16(1), uint32(8), []byte{}, uint16(0))
+	f.Add([]byte{}, uint16(0), uint16(4096), uint32(1<<20), []byte{1}, uint16(4095))
+	f.Add([]byte{1, 2}, uint16(9), uint16(3), uint32(4), []byte{3}, uint16(0))   // idx out of range
+	f.Add([]byte{1, 2, 3}, uint16(0), uint16(2), uint32(2), []byte{4}, uint16(1)) // overclaims progLen
+
+	sec := testSecrets(f)
+
+	f.Fuzz(func(t *testing.T, chunkA []byte, idxA, count uint16, progLen uint32,
+		chunkB []byte, idxB uint16) {
+		s := NewSession(RoleServer, sec, Config{})
+		if err := s.AddConnection(0, time.Unix(1000, 0)); err != nil {
+			t.Fatal(err)
+		}
+		c := s.conns[0]
+
+		check := func(err error) {
+			if err != nil && !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("reassembly error not ErrBadFrame: %v", err)
+			}
+			if s.bpfBytes > maxBPFProgLen {
+				t.Fatalf("buffered %d bytes past the %d cap", s.bpfBytes, maxBPFProgLen)
+			}
+			if s.bpfChunks != nil {
+				if s.bpfBytes > int(s.bpfProgLen) {
+					t.Fatalf("buffered %d bytes past claimed progLen %d", s.bpfBytes, s.bpfProgLen)
+				}
+				total := 0
+				for _, ch := range s.bpfChunks {
+					total += len(ch)
+				}
+				if total != s.bpfBytes {
+					t.Fatalf("bpfBytes accounting drift: counted %d, held %d", s.bpfBytes, total)
+				}
+			}
+		}
+
+		for _, raw := range [][]byte{
+			appendBPFCC(nil, chunkA, idxA, count, progLen),
+			appendBPFCC(nil, chunkB, idxB, count, progLen),
+		} {
+			fr, err := parseFrame(raw)
+			if err != nil {
+				// The builder emits well-formed frames; a parse reject
+				// here would mean builder/parser disagreement.
+				t.Fatalf("parseFrame rejected builder output: %v", err)
+			}
+			check(s.handleBPFChunk(c, fr))
+		}
+		for _, ev := range s.Events() {
+			if ev.Kind == EventBPFCC && len(ev.Data) != int(progLen) {
+				t.Fatalf("completed program is %d bytes, claimed %d", len(ev.Data), progLen)
+			}
+		}
+	})
+}

@@ -23,15 +23,35 @@ func (s *Session) Receive(connID uint32, data []byte, now time.Time) error {
 	for {
 		rec, ok, err := c.deframer.Next()
 		if err != nil {
+			s.pendingReplay = nil
 			return err
 		}
 		if !ok {
-			return nil
+			// Peer-initiated failover: replay our send side for every
+			// stream the peer re-homed in this batch, merged (see
+			// handleStreamAttach). Batching matters — the peer's ATTACHes
+			// for all its failed conns' streams usually land in one read,
+			// and replaying them stream by stream would interleave coupled
+			// aggregation sequences on the wire.
+			return s.flushPendingReplay(c)
 		}
 		if err := s.handleRecord(c, rec); err != nil {
+			s.pendingReplay = nil
 			return err
 		}
 	}
+}
+
+// flushPendingReplay runs the merged send-side replay for streams the
+// peer just re-homed onto c (collected by handleStreamAttach during the
+// current Receive batch).
+func (s *Session) flushPendingReplay(c *conn) error {
+	if len(s.pendingReplay) == 0 {
+		return nil
+	}
+	moves := s.pendingReplay
+	s.pendingReplay = nil
+	return s.replayMerged(moves, c)
 }
 
 // handleRecord demultiplexes and dispatches one full TLS record.
@@ -80,7 +100,16 @@ func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
 		return err
 	}
 	// The record's sequence number is the one the context just consumed.
-	seq := st.recvCtx.Seq() - 1
+	// Ask the arrival connection's demux for it: after a re-home the old
+	// and new connections carry independent context clones (the old one
+	// keeps decrypting late in-flight records at its own sequence), so
+	// st.recvCtx — the newest clone — is not necessarily the context
+	// that opened this record.
+	ctx := c.demux.Context(streamID)
+	if ctx == nil {
+		ctx = st.recvCtx
+	}
+	seq := ctx.Seq() - 1
 	s.stats.BytesReceived += uint64(len(f.payload))
 	if s.tel != nil {
 		c.tel.BytesReceived.Add(uint64(len(f.payload)))
@@ -95,7 +124,14 @@ func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
 			c.tel.DupRecords.Inc()
 		}
 		s.trace("dup_dropped", c.id, streamID, seq, len(f.payload))
-		s.maybeAck(c, st)
+		// A duplicate proves the peer's ack state is stale: it replayed a
+		// record we already delivered because the ack never reached it
+		// (lost with a failed connection). Ack unconditionally — the
+		// AckPeriod pacing in maybeAck counts only fresh records, so an
+		// all-duplicate replay would otherwise never trigger an ack and
+		// the peer would replay the same records on every failover until
+		// its user timeout gave up.
+		s.sendAck(c, st)
 		return nil
 	}
 	st.nextDeliverSeq = seq + 1
@@ -253,10 +289,14 @@ func (s *Session) maybeAck(c *conn, st *stream) {
 }
 
 func (s *Session) sendAck(c *conn, st *stream) {
-	if err := s.sendCtl(c, appendAck(nil, st.id, st.recvCtx.Seq())); err != nil {
+	// Ack the cumulative delivery high-water, not the receive context's
+	// counter: after a SYNC rollback the context replays below
+	// nextDeliverSeq, and acking the rolled-back counter would tell the
+	// peer less than we actually hold.
+	if err := s.sendCtl(c, appendAck(nil, st.id, st.nextDeliverSeq)); err != nil {
 		return
 	}
-	s.trace("ack_sent", c.id, st.id, st.recvCtx.Seq(), 0)
+	s.trace("ack_sent", c.id, st.id, st.nextDeliverSeq, 0)
 	s.stats.AcksSent++
 	if s.tel != nil {
 		c.tel.AcksSent.Inc()
@@ -395,22 +435,42 @@ func (s *Session) handleAck(f *frame) error {
 // existing stream's receive context onto this connection (failover).
 func (s *Session) handleStreamAttach(c *conn, f *frame) error {
 	if st, ok := s.streams[f.id]; ok {
-		// Existing stream moving here (failover path). Detach the recv
-		// context from its old conn's demux and attach it here.
+		// Existing stream moving here (failover path). Attach the recv
+		// context to this conn's demux; detach from the old conn only if
+		// that conn is dead. A live old conn can still have records for
+		// this stream in flight (both sides failing over concurrently can
+		// momentarily disagree on the target), and detaching under them
+		// turns each one into a failed decrypt. Trial decryption is
+		// per-conn, so a context attached to two live conns is harmless.
 		old, hadOld := s.conns[st.conn]
-		if hadOld && old != c {
+		if hadOld && old != c && (old.failed || old.closed) {
 			old.demux.Detach(f.id)
 		}
 		if c.demux.Context(f.id) == nil {
-			c.demux.Attach(st.recvCtx)
+			// Attach an independent clone rather than the shared context:
+			// the old connection (when live) keeps its own sequence
+			// counter for late in-flight records, while the upcoming SYNC
+			// resets only this connection's clone to the replay's resume
+			// point. A single shared counter would make one side's
+			// arrivals unauthenticatable.
+			nc := st.recvCtx.Clone(st.recvCtx.Seq())
+			c.demux.Attach(nc)
+			st.recvCtx = nc
 		}
 		if hadOld && old != c && old.failed {
 			// The peer moved this stream off a dead connection before we
 			// acted on the failure ourselves (the FAILOVER notice in the
 			// same batch marked it failed). Our send side must follow
 			// with the same SYNC + replay, or our unacknowledged records
-			// die with the old connection.
-			return s.failoverStreamSend(st, old.id, c)
+			// die with the old connection. ATTACH + SYNC go out now; the
+			// record replay is deferred to the end of the Receive batch so
+			// replays for sibling streams merge in aggregation-sequence
+			// order (Receive flushes via flushPendingReplay).
+			if err := s.failoverStreamPrep(st, c); err != nil {
+				return err
+			}
+			s.pendingReplay = append(s.pendingReplay, streamReplay{st: st, from: old.id})
+			return nil
 		}
 		st.conn = c.id
 		return nil

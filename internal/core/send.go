@@ -156,6 +156,14 @@ func (s *Session) flushStream(st *stream) error {
 	if len(st.pending) == 0 {
 		st.pending = nil
 	}
+	// A coupled stream's unsealed bytes live in the shared
+	// coupled.pendingData, not st.pending: its FIN must wait for the
+	// whole group to drain. Sending it earlier marks the stream finSent,
+	// which removes it from coupledStreams() and strands the group's
+	// remaining bytes with no stream left to seal them onto.
+	if st.coupled && len(s.coupled.pendingData) > 0 {
+		return nil
+	}
 	if st.finQueued && !st.finSent {
 		c, err := s.getConn(st.conn)
 		if err != nil {

@@ -260,6 +260,12 @@ type Session struct {
 	clock     func() time.Time
 	coupled   coupledState
 
+	// pendingReplay collects streams the peer re-homed onto a new conn
+	// during the current Receive batch; the send-side replay runs merged
+	// at the end of the batch (flushPendingReplay) so coupled records
+	// from sibling streams keep aggregation-sequence order on the wire.
+	pendingReplay []streamReplay
+
 	// bpf reassembly state (one program in flight at a time, §4.4).
 	// bpfBytes counts stored chunk bytes so a forged chunk stream can
 	// never outgrow the advertised program length.

@@ -1,0 +1,71 @@
+package ebpfvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeedProgs returns small real programs as wire bytes for the seed
+// corpus — the CC programs are the shapes actual traffic carries.
+func fuzzSeedProgs() [][]byte {
+	return [][]byte{
+		Encode(nil),
+		Encode([]Instruction{{Op: OpExit}}),
+		Encode([]Instruction{{Op: OpMovImm, Dst: R0, Imm: 42}, {Op: OpExit}}),
+		Encode([]Instruction{
+			{Op: OpLdxDW, Dst: R2, Src: R1, Off: 0},
+			{Op: OpAddImm, Dst: R2, Imm: 1},
+			{Op: OpStxDW, Dst: R1, Src: R2, Off: 0},
+			{Op: OpMovReg, Dst: R0, Src: R2},
+			{Op: OpExit},
+		}),
+		Encode([]Instruction{
+			{Op: OpMovImm, Dst: R1, Imm: 27},
+			{Op: OpCall, Imm: HelperCbrt},
+			{Op: OpExit},
+		}),
+	}
+}
+
+// FuzzDecode drives the wire-format program decoder — the parser
+// sitting directly behind BPF_CC chunk reassembly, i.e. the first code
+// that touches peer-controlled program bytes after the AEAD. Contract
+// (PR-6 fuzzer pattern): never panic; rejects are the typed
+// ErrBadProgram; every accepted program re-encodes byte-exactly through
+// Encode; and the verifier plus a bounded Run must terminate without
+// panicking whatever the decoded instructions say.
+func FuzzDecode(f *testing.F) {
+	for _, p := range fuzzSeedProgs() {
+		f.Add(p)
+	}
+	f.Add([]byte{1, 2, 3})                      // not a multiple of 8
+	f.Add(bytes.Repeat([]byte{0xff}, 64))       // garbage opcodes
+	f.Add(bytes.Repeat([]byte{0x00}, 32))       // zero opcodes
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := Decode(data)
+		if err != nil {
+			if prog != nil {
+				t.Fatalf("Decode returned program AND error %v", err)
+			}
+			if !errors.Is(err, ErrBadProgram) {
+				t.Fatalf("Decode error not ErrBadProgram: %v", err)
+			}
+			return
+		}
+		re := Encode(prog)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round-trip mismatch:\n in:  %x\n out: %x", data, re)
+		}
+		// Verify must classify without panicking; a program it accepts
+		// must run to a clean termination (exit, trap, or budget) — the
+		// attachment path executes exactly this sequence.
+		vm, err := New(prog)
+		if err != nil {
+			return
+		}
+		ctx := make([]byte, 64)
+		_, _ = vm.Run(ctx)
+	})
+}

@@ -118,10 +118,16 @@ func Encode(prog []Instruction) []byte {
 	return out
 }
 
+// ErrBadProgram is the typed reject for malformed wire-format programs
+// (test with errors.Is). Hostile input reaches Decode straight off the
+// BPF_CC reassembly path, so rejects must be classifiable, never a
+// panic.
+var ErrBadProgram = errors.New("ebpfvm: bad program encoding")
+
 // Decode parses an encoded program.
 func Decode(b []byte) ([]Instruction, error) {
 	if len(b)%InstructionSize != 0 {
-		return nil, fmt.Errorf("ebpfvm: program length %d not a multiple of %d", len(b), InstructionSize)
+		return nil, fmt.Errorf("%w: length %d not a multiple of %d", ErrBadProgram, len(b), InstructionSize)
 	}
 	prog := make([]Instruction, 0, len(b)/InstructionSize)
 	for i := 0; i < len(b); i += InstructionSize {

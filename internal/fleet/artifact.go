@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"io"
+
+	"tcpls/internal/core"
+	"tcpls/internal/qlog"
+	"tcpls/internal/telemetry"
+)
+
+// RunTraced re-runs sc with full protocol tracing armed on one
+// session's writer engine and streams the capture to w as a qlog NDJSON
+// trace — the artifact a failing campaign leaves behind for
+// `tcpls-trace -check`. Campaigns are deterministic, so the re-run
+// reproduces the original failure exactly; tracing only the implicated
+// session keeps the artifact one-vantage (a single conn-ID namespace)
+// and small.
+func RunTraced(sc Scenario, session int, w io.Writer) (*Result, error) {
+	sc = sc.WithDefaults()
+	if session < 0 || session >= sc.Sessions {
+		session = 0
+	}
+	res, raw := run(sc, session)
+	events := make([]qlog.Event, 0, len(raw))
+	for i := range raw {
+		events = append(events, toQlogEvent(&raw[i]))
+	}
+	if err := qlog.WriteTrace(w, events); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// toQlogEvent converts one engine trace event to the qlog schema the
+// telemetry sink writes: virtual time (anchored at the Unix epoch)
+// becomes time_us, the event name maps to its sink category.
+func toQlogEvent(ev *core.TraceEvent) qlog.Event {
+	out := qlog.Event{
+		TimeUS:   ev.Time.UnixMicro(),
+		Category: telemetry.Category(ev.Name),
+		Type:     ev.Name,
+		Conn:     ev.Conn,
+		Stream:   ev.Stream,
+		Seq:      ev.Seq,
+		Bytes:    ev.Bytes,
+	}
+	if ev.Name == "record_span" {
+		out.EnqUS = ev.EnqueuedAt.UnixMicro()
+		out.SealedUS = ev.SealedAt.UnixMicro()
+		out.WrittenUS = ev.WrittenAt.UnixMicro()
+		out.AckedUS = ev.AckedAt.UnixMicro()
+		out.OrigConn = ev.OrigConn
+		out.Retx = ev.Retx
+	}
+	return out
+}

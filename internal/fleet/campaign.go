@@ -1,0 +1,805 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"tcpls/internal/core"
+	"tcpls/internal/sim"
+	"tcpls/internal/simtcp"
+	"tcpls/internal/simtcpls"
+)
+
+// epoch anchors virtual time onto the wall-clock type the engine uses
+// (the same anchor simtcpls uses internally).
+var epoch = time.Unix(0, 0)
+
+// Violation is one invariant breach found at campaign snapshot time.
+type Violation struct {
+	Session int // -1 for campaign-wide violations
+	Kind    string
+	Detail  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("session %d: %s: %s", v.Session, v.Kind, v.Detail)
+}
+
+// Violation kinds.
+const (
+	VByteExact  = "byte-exact"
+	VStuck      = "stuck"
+	VMemReorder = "memory-reorder"
+	VMemRetx    = "memory-retransmit"
+	VGoroutine  = "goroutine-leak"
+	VClosure    = "count-closure"
+	VWriteError = "write-error"
+)
+
+// flowCount is one connection's record counters at one endpoint,
+// reconstructed from the engine's trace stream (not its Stats): the
+// count-closure invariant deliberately uses the observability channel a
+// production operator would, and cross-checks it against Stats.
+type flowCount struct {
+	Sent uint64 // record_sent + ctl_sent + retransmit
+	Recv uint64 // record_received + dup_dropped + ctl_received
+}
+
+// SessionResult is one session's deterministic outcome metrics.
+type SessionResult struct {
+	Index        int
+	Coupled      bool
+	Up           bool // true: client writes, server reads
+	Total        int  // bytes the writer must move
+	Written      int
+	Got          int
+	MismatchAt   int64 // first wrong delivered byte offset, -1 if none
+	Quiesced     bool
+	DoneAtUS     int64 // virtual µs when the last byte was delivered
+	ConnFailures int   // client-observed EventConnFailed count
+	ReorderPeak  [2]int
+	RetxPeak     [2]int
+	Flows        [2]map[uint32]flowCount // per-conn counters: [client, server]
+	WriteErr     string
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Scenario   Scenario // Schedule materialized
+	Sessions   []SessionResult
+	Violations []Violation
+	Quiesced   bool     // the whole fleet drained before the hard cap
+	EndVirtual sim.Time // virtual time at snapshot
+	Goroutines [2]int   // before / after
+}
+
+// Failed reports whether any invariant broke.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// ReproLine is the one-line reproduction command for this campaign.
+func (r *Result) ReproLine() string {
+	return fmt.Sprintf("go test -run TestFleetCampaign -fleet.seed=%d -fleet.sessions=%d ./internal/fleet",
+		r.Scenario.Seed, r.Scenario.Sessions)
+}
+
+// Fingerprint hashes the fault schedule and every deterministic
+// per-session metric. Two runs of the same Scenario must produce equal
+// fingerprints; the seed-reproducibility test enforces exactly that.
+// Wall-clock-dependent values (goroutine counts) are excluded.
+func (r *Result) Fingerprint() string {
+	h := sha256.New()
+	w := func(format string, args ...interface{}) { fmt.Fprintf(h, format, args...) }
+	w("seed=%d sessions=%d quiesced=%v end=%d\n", r.Scenario.Seed, r.Scenario.Sessions, r.Quiesced, r.EndVirtual)
+	for _, ev := range r.Scenario.Schedule {
+		w("fault %d %d %d %d %d %d %d\n", ev.At, ev.Kind, ev.Session, ev.Path, ev.Rack, ev.Stride, ev.Dur)
+	}
+	for i := range r.Sessions {
+		sr := &r.Sessions[i]
+		w("s%d c=%v u=%v tot=%d wr=%d got=%d mm=%d q=%v done=%d cf=%d rp=%d,%d xp=%d,%d we=%q\n",
+			sr.Index, sr.Coupled, sr.Up, sr.Total, sr.Written, sr.Got, sr.MismatchAt,
+			sr.Quiesced, sr.DoneAtUS, sr.ConnFailures,
+			sr.ReorderPeak[0], sr.ReorderPeak[1], sr.RetxPeak[0], sr.RetxPeak[1], sr.WriteErr)
+		for side := 0; side < 2; side++ {
+			ids := make([]uint32, 0, len(sr.Flows[side]))
+			for id := range sr.Flows[side] {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			for _, id := range ids {
+				fl := sr.Flows[side][id]
+				w("  f%d/%d sent=%d recv=%d\n", side, id, fl.Sent, fl.Recv)
+			}
+		}
+	}
+	for _, v := range r.Violations {
+		w("v %d %s %s\n", v.Session, v.Kind, v.Detail)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// slot tracks one path's connection lifecycle within a session.
+type slot struct {
+	path     *sim.Path
+	pathIdx  int
+	connID   uint32
+	live     bool
+	pending  bool // TryPath in flight
+	attempts int
+}
+
+// fleetSession is one TCPLS session under campaign control: a
+// client/server endpoint pair, its paths, the path keeper that rejoins
+// after failures, the paced writer, and the inline delivery verifier.
+type fleetSession struct {
+	idx     int
+	c       *campaign
+	coupled bool
+	up      bool
+
+	cl, sv *simtcpls.Endpoint
+	paths  []*sim.Path
+	slots  []*slot
+
+	nextConn uint32
+	streams  []uint32 // writer-created data streams (same IDs both sides)
+
+	total      int
+	written    int
+	got        int
+	mismatchAt int64
+	salt       uint32
+	pumpGap    sim.Time
+	pumping    bool
+	finished   bool // writer sent its FINs
+	quiesced   bool
+	doneAt     sim.Time
+
+	connFailures int
+	writeErr     string
+
+	counts [2]map[uint32]*flowCount
+}
+
+func (fs *fleetSession) writerEP() *simtcpls.Endpoint {
+	if fs.up {
+		return fs.cl
+	}
+	return fs.sv
+}
+
+func (fs *fleetSession) readerEP() *simtcpls.Endpoint {
+	if fs.up {
+		return fs.sv
+	}
+	return fs.cl
+}
+
+// patternByte is the deterministic payload at absolute offset off: the
+// verifier recomputes it on delivery, so byte-exactness needs no
+// reference copy of the transfer in memory.
+func (fs *fleetSession) patternByte(off int) byte {
+	return byte((uint32(off)*2654435761)>>24) ^ byte(fs.salt)
+}
+
+// campaign is one Run in progress.
+type campaign struct {
+	sc       Scenario
+	s        *sim.Sim
+	topo     *sim.Topology
+	sessions []*fleetSession
+	schedule []FaultEvent
+
+	// traceCount monotonically counts engine trace events fleet-wide;
+	// the quiesce detector polls it for "no protocol activity".
+	traceCount int64
+
+	// traceSession >= 0 arms raw trace capture of that session's writer
+	// engine (for qlog artifact generation).
+	traceSession int
+	traceBuf     []core.TraceEvent
+}
+
+// Run executes one campaign and checks all four invariants.
+func Run(sc Scenario) *Result {
+	res, _ := run(sc, -1)
+	return res
+}
+
+// run executes the campaign; traceSession >= 0 additionally captures
+// that session's writer-engine trace (returned raw for the artifact
+// writer).
+func run(sc Scenario, traceSession int) (*Result, []core.TraceEvent) {
+	sc = sc.WithDefaults()
+	goroutinesStart := runtime.NumGoroutine()
+
+	c := &campaign{
+		sc:           sc,
+		s:            sim.New(),
+		traceSession: traceSession,
+	}
+	c.topo = sim.NewTopology(c.s)
+	c.schedule = GenSchedule(sc)
+	sc.Schedule = c.schedule
+
+	for i := 0; i < sc.Sessions; i++ {
+		c.sessions = append(c.sessions, c.buildSession(i))
+	}
+	for _, ev := range c.schedule {
+		ev := ev
+		c.s.At(ev.At, func() { c.applyFault(ev) })
+	}
+
+	// Drive the fleet until it drains. The endpoint keepalive ticks never
+	// let the event queue empty, so completion is detected, not awaited:
+	// every session quiesced, no trace activity for two consecutive
+	// probes, and no TCP bytes in flight or buffered on live connections
+	// (a restored blackhole can hold a retransmission in RTO backoff well
+	// past the last trace event; snapshotting before it lands would turn
+	// an in-flight record into a phantom closure violation).
+	const step = 100 * time.Millisecond
+	hardCap := sc.Duration + 12*time.Second
+	quiesced := false
+	var lastCount int64 = -1
+	stable := 0
+	for t := step; t <= hardCap; t += step {
+		c.s.RunUntil(t)
+		if !c.allQuiesced() {
+			stable, lastCount = 0, -1
+			continue
+		}
+		if c.traceCount == lastCount && c.netIdle() {
+			stable++
+			if stable >= 2 {
+				quiesced = true
+				break
+			}
+		} else {
+			lastCount, stable = c.traceCount, 0
+		}
+	}
+
+	res := &Result{
+		Scenario:   sc,
+		Quiesced:   quiesced,
+		EndVirtual: c.s.Now(),
+	}
+	c.snapshot(res)
+
+	// Invariant 3: zero goroutine leaks. The whole fleet runs on this
+	// goroutine; anything extant beyond the starting count escaped.
+	end := runtime.NumGoroutine()
+	for i := 0; i < 20 && end > goroutinesStart; i++ {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+		end = runtime.NumGoroutine()
+	}
+	res.Goroutines = [2]int{goroutinesStart, end}
+	if end > goroutinesStart {
+		res.Violations = append(res.Violations, Violation{
+			Session: -1, Kind: VGoroutine,
+			Detail: fmt.Sprintf("%d goroutines before campaign, %d after", goroutinesStart, end),
+		})
+	}
+	return res, c.traceBuf
+}
+
+// buildSession constructs session i: endpoints, paths, keeper, writer.
+func (c *campaign) buildSession(i int) *fleetSession {
+	rng := sessionRand(c.sc.Seed, i)
+	fs := &fleetSession{
+		idx:        i,
+		c:          c,
+		coupled:    i%3 == 0,
+		up:         i%2 == 0,
+		mismatchAt: -1,
+		salt:       uint32(rng.Intn(256)),
+		pumpGap:    pumpEvery - 2*time.Millisecond + sim.Time(rng.Int63n(int64(4*time.Millisecond))),
+		counts:     [2]map[uint32]*flowCount{{}, {}},
+	}
+	fs.total = c.sc.TransferBytes
+	if fs.coupled {
+		fs.total *= coupledMultiplier
+	}
+
+	cfg := core.Config{
+		EnableFailover:     true,
+		AckPeriod:          4,
+		UserTimeout:        userTimeout,
+		MaxRecordPayload:   maxPayload,
+		MaxReorderBytes:    reorderCap,
+		MaxReorderRecords:  reorderRecs,
+		MaxRetransmitBytes: retransmitCap,
+	}
+	if c.sc.InjectReorderBug {
+		cfg.MaxReorderBytes = -1
+		cfg.MaxReorderRecords = -1
+		cfg.MaxRetransmitBytes = -1
+	}
+	fs.cl, fs.sv = simtcpls.Pair(c.s, cfg)
+	clock := func() time.Time { return epoch.Add(c.s.Now()) }
+	fs.cl.Sess.SetClock(clock)
+	fs.sv.Sess.SetClock(clock)
+	// Failover policy: both endpoints resynchronize automatically (the
+	// fig8/fig9 configuration). The server must too — for server-pushed
+	// streams whose very first records died with their connection, the
+	// client never learned the stream exists, so the client-driven ATTACH
+	// the server would otherwise park for never comes (a wedge this
+	// harness found). Both sides pick the lowest live connection, so
+	// their re-homes converge on the same target.
+	fs.cl.AutoFailover = true
+	fs.sv.AutoFailover = true
+	fs.cl.OnEvent = func(ev core.Event) {
+		if ev.Kind == core.EventConnFailed {
+			fs.connFailures++
+			fs.onConnFailed(ev.Conn)
+		}
+	}
+	fs.sv.OnEvent = func(ev core.Event) {
+		switch ev.Kind {
+		case core.EventConnFailed:
+			if fs.sv.Sess.NotifyConnFailed(ev.Conn) == nil {
+				fs.sv.Flush()
+			}
+		case core.EventStreamOpen:
+			if fs.coupled && fs.up {
+				fs.sv.Sess.SetCoupled(ev.Stream, true)
+			}
+		}
+	}
+	if !fs.up {
+		// Down-direction sessions: the client is the reader; fold the
+		// coupled-marking into its handler too.
+		onFailed := fs.cl.OnEvent
+		fs.cl.OnEvent = func(ev core.Event) {
+			onFailed(ev)
+			if ev.Kind == core.EventStreamOpen && fs.coupled {
+				fs.cl.Sess.SetCoupled(ev.Stream, true)
+			}
+		}
+	}
+
+	c.installCounters(fs)
+
+	// Zero-copy delivery with inline verification: invariant 1 holds no
+	// transfer-sized buffers, so invariant 2's memory story extends to
+	// the harness itself.
+	rsess := fs.readerEP().Sess
+	deliver := func(p []byte) { fs.onDeliver(p) }
+	rsess.DeliverData = func(streamID uint32, p []byte) { deliver(p) }
+	rsess.DeliverCoupled = deliver
+
+	for p := 0; p < c.sc.PathsPerSession; p++ {
+		path := sim.NewPath(c.s, linkRateBps, linkDelay)
+		path.AtoB.QueueBytes = linkQueue
+		path.BtoA.QueueBytes = linkQueue
+		c.topo.Attach(i%c.sc.Racks, path)
+		fs.paths = append(fs.paths, path)
+		fs.slots = append(fs.slots, &slot{path: path, pathIdx: p})
+	}
+
+	startAt := sim.Time(rng.Int63n(int64(100 * time.Millisecond)))
+	c.s.At(startAt, func() {
+		for _, sl := range fs.slots {
+			fs.connectSlot(sl)
+		}
+	})
+	return fs
+}
+
+// installCounters taps both engines' trace streams for the closure
+// counters (and the artifact capture when armed).
+func (c *campaign) installCounters(fs *fleetSession) {
+	tap := func(side int, capture bool) func(core.TraceEvent) {
+		return func(ev core.TraceEvent) {
+			c.traceCount++
+			fl := fs.counts[side][ev.Conn]
+			if fl == nil {
+				fl = &flowCount{}
+				fs.counts[side][ev.Conn] = fl
+			}
+			switch ev.Name {
+			case "record_sent", "ctl_sent", "retransmit":
+				fl.Sent++
+			case "record_received", "dup_dropped", "ctl_received":
+				fl.Recv++
+			}
+			if capture {
+				c.traceBuf = append(c.traceBuf, ev)
+			}
+		}
+	}
+	capture := c.traceSession == fs.idx
+	fs.cl.Sess.SetTracer(tap(0, capture && fs.up))
+	fs.sv.Sess.SetTracer(tap(1, capture && !fs.up))
+}
+
+// connectSlot launches a (re)join attempt on the slot's path. The client
+// always initiates — as in production, where only the client holds join
+// cookies.
+func (fs *fleetSession) connectSlot(sl *slot) {
+	if sl.pending || sl.live || fs.quiesced || fs.nextConn > 60 {
+		return
+	}
+	sl.pending = true
+	id := fs.nextConn
+	fs.nextConn++
+	fs.cl.TryPath(sl.path, id, simtcp.Options{}, func() {
+		sl.pending = false
+		sl.live = true
+		sl.connID = id
+		sl.attempts = 0
+		fs.onSlotReady(id)
+	}, func() {
+		sl.pending = false
+		fs.retrySlot(sl)
+	})
+}
+
+// retrySlot backs off and tries the slot's path again.
+func (fs *fleetSession) retrySlot(sl *slot) {
+	backoff := sim.Time(100*time.Millisecond) << uint(sl.attempts)
+	if backoff > 800*time.Millisecond {
+		backoff = 800 * time.Millisecond
+	}
+	sl.attempts++
+	fs.c.s.After(backoff, func() { fs.connectSlot(sl) })
+}
+
+// onConnFailed marks the failed connection's slot dead and schedules the
+// rejoin — the path keeper loop.
+func (fs *fleetSession) onConnFailed(connID uint32) {
+	for _, sl := range fs.slots {
+		if sl.live && sl.connID == connID {
+			sl.live = false
+			fs.retrySlot(sl)
+			return
+		}
+	}
+}
+
+// onSlotReady starts the writer on the first usable connection and
+// widens coupled sessions to a second stream once a second connection
+// is up.
+func (fs *fleetSession) onSlotReady(connID uint32) {
+	w := fs.writerEP()
+	if len(fs.streams) == 0 {
+		id, err := w.Sess.CreateStream(connID)
+		if err != nil {
+			return // conn died in the activation window; keeper retries
+		}
+		fs.streams = append(fs.streams, id)
+		if fs.coupled {
+			w.Sess.SetCoupled(id, true)
+		}
+		w.Flush()
+		if !fs.pumping {
+			fs.pumping = true
+			fs.c.s.After(fs.pumpGap, fs.pump)
+		}
+		return
+	}
+	if fs.coupled && len(fs.streams) == 1 {
+		if cur, err := w.Sess.StreamConn(fs.streams[0]); err == nil && cur != connID {
+			if id, err := w.Sess.CreateStream(connID); err == nil {
+				w.Sess.SetCoupled(id, true)
+				fs.streams = append(fs.streams, id)
+				w.Flush()
+			}
+		}
+	}
+}
+
+// pump writes one paced chunk; a failed write is retried next tick
+// rather than skipped, so the byte stream never gaps.
+func (fs *fleetSession) pump() {
+	if fs.quiesced || fs.written >= fs.total {
+		return
+	}
+	n := chunkBytes
+	if rem := fs.total - fs.written; n > rem {
+		n = rem
+	}
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = fs.patternByte(fs.written + i)
+	}
+	var err error
+	if fs.coupled {
+		err = fs.writerEP().WriteCoupled(buf)
+	} else {
+		err = fs.writerEP().Write(fs.streams[0], buf)
+	}
+	if err == nil {
+		fs.written += n
+	} else if !errors.Is(err, core.ErrRetransmitBudget) {
+		// ErrRetransmitBudget is designed backpressure — the budget parks
+		// the writer until ACKs trim the buffer — so it is retried, not
+		// recorded. Anything else is a genuine writer failure.
+		fs.writeErr = err.Error()
+	}
+	if fs.written < fs.total {
+		fs.c.s.After(fs.pumpGap, fs.pump)
+		return
+	}
+	// Transfer fully queued: half-close our side so the FIN rides the
+	// tail of the data.
+	fs.finishWriter()
+}
+
+func (fs *fleetSession) finishWriter() {
+	if fs.finished {
+		return
+	}
+	fs.finished = true
+	w := fs.writerEP()
+	for _, id := range fs.streams {
+		_ = w.Sess.FinishStream(id)
+	}
+	w.Flush()
+}
+
+// onDeliver verifies delivered bytes against the pattern in O(1) memory.
+func (fs *fleetSession) onDeliver(p []byte) {
+	for _, b := range p {
+		if fs.mismatchAt < 0 && b != fs.patternByte(fs.got) {
+			fs.mismatchAt = int64(fs.got)
+		}
+		fs.got++
+	}
+	if fs.got >= fs.total && !fs.quiesced {
+		fs.doneAt = fs.c.s.Now()
+		// Quiesce outside the engine's receive path.
+		fs.c.s.After(0, fs.quiesce)
+	}
+}
+
+// quiesce winds the session down after the last byte lands: both sides
+// half-close and flush acknowledgments, then flush again after the FINs
+// have crossed so no retransmit buffer is left waiting on an ack — a
+// session left "active" here would trip spurious user timeouts and
+// never let the fleet drain.
+func (fs *fleetSession) quiesce() {
+	if fs.quiesced {
+		return
+	}
+	fs.quiesced = true
+	fs.finishWriter()
+	r := fs.readerEP()
+	for _, id := range fs.streams {
+		_ = r.Sess.FinishStream(id)
+	}
+	r.Flush()
+	r.Sess.FlushAcks()
+	r.Flush()
+	both := func() {
+		fs.cl.Sess.FlushAcks()
+		fs.cl.Flush()
+		fs.sv.Sess.FlushAcks()
+		fs.sv.Flush()
+	}
+	fs.c.s.After(20*time.Millisecond, both)
+	fs.c.s.After(120*time.Millisecond, both)
+}
+
+func (c *campaign) allQuiesced() bool {
+	for _, fs := range c.sessions {
+		if !fs.quiesced {
+			return false
+		}
+	}
+	return true
+}
+
+// netIdle reports no unacknowledged or unsent TCP bytes on any healthy
+// connection fleet-wide. A connection counts as healthy only when BOTH
+// TCP endpoints are alive and NEITHER engine declared it failed: a lost
+// RST leaves one TCP side retransmitting into the void forever, and
+// waiting on those bytes would mean never going quiet (they are
+// attributable conn-failed drops, not pending deliveries).
+func (c *campaign) netIdle() bool {
+	for _, fs := range c.sessions {
+		for _, ep := range []*simtcpls.Endpoint{fs.cl, fs.sv} {
+			for _, id := range ep.Sess.Connections() {
+				clTc, svTc := fs.cl.Conn(id), fs.sv.Conn(id)
+				if clTc == nil || svTc == nil || clTc.Failed() || svTc.Failed() {
+					continue
+				}
+				if fs.cl.Sess.ConnFailed(id) || fs.sv.Sess.ConnFailed(id) {
+					continue
+				}
+				tc := ep.Conn(id)
+				if tc.InFlight() > 0 || tc.Buffered() > 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// applyFault executes one scheduled fault against the live fleet.
+func (c *campaign) applyFault(ev FaultEvent) {
+	n := len(c.sessions)
+	if n == 0 {
+		return
+	}
+	fs := c.sessions[ev.Session%n]
+	switch ev.Kind {
+	case FaultRST:
+		c.resetLowestLive(fs)
+	case FaultBlackhole:
+		p := fs.paths[ev.Path%len(fs.paths)]
+		p.SetDown(true)
+		c.s.At(ev.At+ev.Dur, func() { p.SetDown(false) })
+	case FaultStall:
+		p := fs.paths[ev.Path%len(fs.paths)]
+		// Kill only the data-carrying direction: ACKs keep flowing, so
+		// nothing below the user timeout can notice.
+		p.SetDownDir(fs.up, true)
+		c.s.At(ev.At+ev.Dur, func() { p.SetDownDir(fs.up, false) })
+	case FaultDegrade:
+		p := fs.paths[ev.Path%len(fs.paths)]
+		l := p.BtoA
+		if fs.up {
+			l = p.AtoB
+		}
+		l.SetRateBps(linkRateBps / 8)
+		c.s.At(ev.At+ev.Dur, func() { l.SetRateBps(linkRateBps) })
+	case FaultRSTStorm:
+		stride := ev.Stride
+		if stride < 1 {
+			stride = 1
+		}
+		for i := ev.Session % n; i < n; i += stride {
+			c.resetLowestLive(c.sessions[i])
+		}
+	case FaultRackOutage:
+		rack := ev.Rack % c.sc.Racks
+		c.topo.SetRackDown(rack, true)
+		c.s.At(ev.At+ev.Dur, func() { c.topo.SetRackDown(rack, false) })
+	}
+}
+
+// resetLowestLive injects a RST on the session's lowest-numbered live
+// connection (deterministic victim selection).
+func (c *campaign) resetLowestLive(fs *fleetSession) {
+	var victim *slot
+	for _, sl := range fs.slots {
+		if sl.live && (victim == nil || sl.connID < victim.connID) {
+			victim = sl
+		}
+	}
+	if victim == nil {
+		return
+	}
+	if tc := fs.cl.Conn(victim.connID); tc != nil && !tc.Failed() {
+		tc.Reset()
+	}
+}
+
+// snapshot freezes per-session metrics and checks invariants 1, 2 and 4.
+func (c *campaign) snapshot(res *Result) {
+	for _, fs := range c.sessions {
+		sr := SessionResult{
+			Index:        fs.idx,
+			Coupled:      fs.coupled,
+			Up:           fs.up,
+			Total:        fs.total,
+			Written:      fs.written,
+			Got:          fs.got,
+			MismatchAt:   fs.mismatchAt,
+			Quiesced:     fs.quiesced,
+			ConnFailures: fs.connFailures,
+			WriteErr:     fs.writeErr,
+			ReorderPeak:  [2]int{fs.cl.Sess.ReorderPeakBytes(), fs.sv.Sess.ReorderPeakBytes()},
+			RetxPeak:     [2]int{fs.cl.Sess.RetransmitPeakBytes(), fs.sv.Sess.RetransmitPeakBytes()},
+			Flows:        [2]map[uint32]flowCount{{}, {}},
+		}
+		if fs.quiesced {
+			sr.DoneAtUS = int64(fs.doneAt / time.Microsecond)
+		}
+		for side := 0; side < 2; side++ {
+			for id, fl := range fs.counts[side] {
+				sr.Flows[side][id] = *fl
+			}
+		}
+		res.Sessions = append(res.Sessions, sr)
+
+		add := func(kind, format string, args ...interface{}) {
+			res.Violations = append(res.Violations, Violation{
+				Session: fs.idx, Kind: kind, Detail: fmt.Sprintf(format, args...),
+			})
+		}
+
+		// Invariant 1: byte-exactness.
+		if !fs.quiesced {
+			add(VStuck, "transfer incomplete at hard cap: wrote %d/%d, delivered %d", fs.written, fs.total, fs.got)
+		} else if fs.got != fs.total {
+			add(VByteExact, "delivered %d bytes, wanted %d", fs.got, fs.total)
+		}
+		if fs.mismatchAt >= 0 {
+			add(VByteExact, "first corrupt byte at offset %d", fs.mismatchAt)
+		}
+		if fs.writeErr != "" {
+			add(VWriteError, "writer error: %s", fs.writeErr)
+		}
+
+		// Invariant 2: bounded memory.
+		for side, sess := range []*core.Session{fs.cl.Sess, fs.sv.Sess} {
+			if p := sess.ReorderPeakBytes(); p > reorderBudget {
+				add(VMemReorder, "side %d reorder heap peaked at %d bytes (budget %d)", side, p, reorderBudget)
+			}
+			if p := sess.RetransmitPeakBytes(); p > retransmitBudget {
+				add(VMemRetx, "side %d retransmit buffers peaked at %d bytes (budget %d)", side, p, retransmitBudget)
+			}
+		}
+
+		// Invariant 4: telemetry count-closure. Only meaningful once the
+		// fleet drained: with records still in flight "sent but not yet
+		// received" is not loss.
+		if res.Quiesced {
+			c.checkClosure(fs, add)
+		}
+	}
+}
+
+// checkClosure verifies records sent == records delivered + records
+// attributably dropped, per connection and direction, from the trace
+// counters; and that the trace counters agree with the engine's own
+// Stats (the telemetry channel tells the truth).
+func (c *campaign) checkClosure(fs *fleetSession, add func(kind, format string, args ...interface{})) {
+	sides := [2]*core.Session{fs.cl.Sess, fs.sv.Sess}
+	for side := 0; side < 2; side++ {
+		var traceSent uint64
+		for _, fl := range fs.counts[side] {
+			traceSent += fl.Sent
+		}
+		if got := sides[side].Stats().RecordsSent; traceSent != got {
+			add(VClosure, "side %d trace counted %d records sent, engine stats say %d", side, traceSent, got)
+		}
+		if fd := sides[side].Stats().FailedDecrypts; fd != 0 {
+			add(VClosure, "side %d saw %d failed decrypts (late bytes leaked past a failed conn?)", side, fd)
+		}
+	}
+	// Directional closure: sender side s, receiver side 1-s.
+	for s := 0; s < 2; s++ {
+		r := 1 - s
+		ids := map[uint32]bool{}
+		for id := range fs.counts[s] {
+			ids[id] = true
+		}
+		for id := range fs.counts[r] {
+			ids[id] = true
+		}
+		sorted := make([]uint32, 0, len(ids))
+		for id := range ids {
+			sorted = append(sorted, id)
+		}
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		for _, id := range sorted {
+			var sent, recv uint64
+			if fl := fs.counts[s][id]; fl != nil {
+				sent = fl.Sent
+			}
+			if fl := fs.counts[r][id]; fl != nil {
+				recv = fl.Recv
+			}
+			failed := fs.cl.Sess.ConnFailed(id) || fs.sv.Sess.ConnFailed(id)
+			switch {
+			case recv > sent:
+				add(VClosure, "conn %d dir %d->%d: received %d records but only %d were sent", id, s, r, recv, sent)
+			case recv < sent && !failed:
+				add(VClosure, "conn %d dir %d->%d: %d records sent, %d delivered, and the conn never failed — %d records lost without attribution",
+					id, s, r, sent, recv, sent-recv)
+			}
+			// recv < sent on a failed conn is the attributable drop:
+			// sent == delivered + dropped(conn_failed) holds by
+			// construction.
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package qlog
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Header is the qlog NDJSON header line (mirrors telemetry.QlogHeader;
+// duplicated so the parser package stays dependency-free).
+const Header = `{"qlog_version":"0.3","qlog_format":"NDJSON","title":"tcpls"}`
+
+// encEvent serializes an Event back into the qlog-framed wire schema
+// the Sink writes: category/type at the top level, identifiers under
+// data. Span legs are omitempty, matching the writer.
+type encEvent struct {
+	TimeUS   int64   `json:"time_us"`
+	Category string  `json:"category"`
+	Type     string  `json:"type"`
+	Data     encData `json:"data"`
+}
+
+type encData struct {
+	Conn      uint32 `json:"conn"`
+	Stream    uint32 `json:"stream"`
+	Seq       uint64 `json:"seq"`
+	Bytes     int    `json:"bytes"`
+	EnqUS     int64  `json:"enq_us,omitempty"`
+	SealedUS  int64  `json:"sealed_us,omitempty"`
+	WrittenUS int64  `json:"written_us,omitempty"`
+	AckedUS   int64  `json:"acked_us,omitempty"`
+	OrigConn  uint32 `json:"orig_conn,omitempty"`
+	Retx      int    `json:"retx,omitempty"`
+}
+
+// AppendEvent appends ev as one qlog-framed NDJSON line (with trailing
+// newline) to dst. The encoding round-trips through Parse: every field
+// except Line survives exactly — the oracle FuzzParse leans on, and the
+// writer the fleet harness uses for failing-seed artifacts.
+func AppendEvent(dst []byte, ev *Event) []byte {
+	b, err := json.Marshal(&encEvent{
+		TimeUS:   ev.TimeUS,
+		Category: ev.Category,
+		Type:     ev.Type,
+		Data: encData{
+			Conn:      ev.Conn,
+			Stream:    ev.Stream,
+			Seq:       ev.Seq,
+			Bytes:     ev.Bytes,
+			EnqUS:     ev.EnqUS,
+			SealedUS:  ev.SealedUS,
+			WrittenUS: ev.WrittenUS,
+			AckedUS:   ev.AckedUS,
+			OrigConn:  ev.OrigConn,
+			Retx:      ev.Retx,
+		},
+	})
+	if err != nil {
+		// Only unmarshalable types reach json errors; encEvent has none.
+		panic("qlog: marshal event: " + err.Error())
+	}
+	dst = append(dst, b...)
+	return append(dst, '\n')
+}
+
+// WriteTrace writes a complete parseable trace: header line, then one
+// line per event.
+func WriteTrace(w io.Writer, events []Event) error {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, Header...)
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for i := range events {
+		buf = AppendEvent(buf[:0], &events[i])
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

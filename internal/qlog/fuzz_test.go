@@ -1,0 +1,68 @@
+package qlog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the trace parser with arbitrary bytes — the qlog
+// files it reads come from disk and CI artifacts, so hostile or
+// truncated input is expected, not exceptional. The contract mirrors
+// the PR-6 frame-parser fuzzer: never panic, every reject is a typed
+// *ParseError, and every accepted trace round-trips — re-encoding the
+// parsed events with AppendEvent and reparsing yields the identical
+// normalized event list (the oracle that catches silent field loss in
+// either the parser or the encoder).
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(Header + "\n"))
+	f.Add([]byte(Header + "\n" +
+		`{"time_us":12,"category":"transport","type":"record_sent","data":{"conn":0,"stream":2,"seq":41,"bytes":16368}}` + "\n"))
+	f.Add([]byte(`{"time_us":99,"name":"record_received","conn":3,"stream":2,"seq":7,"bytes":512}` + "\n")) // flat schema
+	f.Add([]byte(`{"time_us":5,"category":"span","type":"record_span","data":{"conn":1,"enq_us":1,"sealed_us":2,"written_us":3,"acked_us":4,"orig_conn":2,"retx":1}}`))
+	f.Add([]byte(`{"time_us":1,"type":"conn_failed","data":{"conn":2}}` + "\n" +
+		`{"time_us":2,"type":"retransmit","data":{"conn":0,"stream":1,"seq":9,"bytes":4096}}`))
+	f.Add([]byte("{not json}\n"))
+	f.Add([]byte(`{"time_us":1}`))                      // neither type nor name
+	f.Add([]byte(`{"type":"x","data":{"conn":-1}}`))    // field out of range
+	f.Add([]byte(`{"type":"x","data":{"bytes":1.5}}`))  // non-integer
+	f.Add([]byte("\n\n" + Header + "\n\n"))             // blanks everywhere
+	f.Add([]byte(`{"qlog_version":""}` + "\n"))         // header-ish but empty version
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse error is not a *ParseError: %T %v", err, err)
+			}
+			if pe.Line <= 0 {
+				t.Fatalf("ParseError without a line number: %+v", pe)
+			}
+			return
+		}
+		// Accepted trace: re-encode and reparse. The second parse must
+		// accept, and normalization must be idempotent.
+		var buf bytes.Buffer
+		if werr := WriteTrace(&buf, events); werr != nil {
+			t.Fatalf("WriteTrace of parsed events: %v", werr)
+		}
+		again, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("reparse of encoded trace: %v\ntrace:\n%s", err, buf.String())
+		}
+		if len(again) != len(events) {
+			t.Fatalf("reparse event count %d, want %d", len(again), len(events))
+		}
+		for i := range events {
+			a, b := events[i], again[i]
+			a.Line, b.Line = 0, 0
+			if a != b {
+				t.Fatalf("event %d changed across encode/parse:\n first: %+v\n again: %+v", i, events[i], again[i])
+			}
+		}
+	})
+}

@@ -164,7 +164,9 @@ func Parse(r io.Reader) ([]Event, error) {
 		})
 	}
 	if err := sc.Err(); err != nil {
-		return events, err
+		// Scanner-level failures (a line past the 16 MiB cap, a reader
+		// error) are rejects like any other: typed, with the position.
+		return events, &ParseError{Line: lineNo + 1, Err: err}
 	}
 	return events, nil
 }

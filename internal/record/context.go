@@ -89,6 +89,19 @@ func (c *StreamContext) Seq() uint64 { return c.seq }
 // the new connection carries.
 func (c *StreamContext) SetSeq(seq uint64) { c.seq = seq }
 
+// Clone returns an independent context sharing the AEAD and stream IV
+// but carrying its own sequence counter, started at seq. Failover
+// re-homing attaches a clone to the new connection: records still in
+// flight on the old connection keep authenticating against the old
+// counter while the replay on the new connection proceeds from the
+// SYNC's resume point. (cipher.AEAD is stateless, so sharing it across
+// clones is safe.)
+func (c *StreamContext) Clone(seq uint64) *StreamContext {
+	cp := *c
+	cp.seq = seq
+	return &cp
+}
+
 // nonce computes the per-record nonce: the right-most 64 bits of the
 // stream IV XORed with the record sequence number (Fig. 2).
 func (c *StreamContext) nonce(seq uint64) [12]byte {

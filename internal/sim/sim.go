@@ -11,6 +11,7 @@ package sim
 
 import (
 	"container/heap"
+	"sort"
 	"time"
 )
 
@@ -190,6 +191,25 @@ func (l *Link) Send(pkt Packet) bool {
 	return true
 }
 
+// SetRateBps changes the line rate mid-run — the netem "tc change"
+// equivalent used for asymmetric-path degradation faults. The current
+// serialization backlog is carried over: bytes already queued finish
+// transmitting at the new rate, so a rate cut visibly stretches the
+// queue instead of silently teleporting it.
+func (l *Link) SetRateBps(bps int64) {
+	if bps <= 0 || bps == l.RateBps {
+		if bps > 0 {
+			l.RateBps = bps
+		}
+		return
+	}
+	backlog := int64(l.backlogBytes())
+	l.RateBps = bps
+	if backlog > 0 {
+		l.busyUntil = l.Sim.now + Time(backlog*8*int64(time.Second)/bps)
+	}
+}
+
 // Path is a duplex link pair between two endpoints.
 type Path struct {
 	AtoB *Link
@@ -210,5 +230,65 @@ func (p *Path) SetDown(down bool) {
 	p.BtoA.Down = down
 }
 
+// SetDownDir blackholes or restores one direction only — the stall
+// model: the forward direction keeps flowing while returning data and
+// ACKs vanish (or vice versa), which only an application-layer timeout
+// can detect.
+func (p *Path) SetDownDir(aToB bool, down bool) {
+	if aToB {
+		p.AtoB.Down = down
+	} else {
+		p.BtoA.Down = down
+	}
+}
+
+// SetRateBps degrades or restores both directions' line rate.
+func (p *Path) SetRateBps(bps int64) {
+	p.AtoB.SetRateBps(bps)
+	p.BtoA.SetRateBps(bps)
+}
+
 // RTT returns the path's base round-trip time.
 func (p *Path) RTT() Time { return p.AtoB.Delay + p.BtoA.Delay }
+
+// Topology groups paths into failure domains ("racks") for correlated
+// fault injection: a campaign that kills every path through one rack
+// models the top-of-rack switch dying, the fleet-scale failure mode a
+// single-session test can never exercise. Paths may belong to at most
+// one rack; rack IDs are small dense integers chosen by the caller.
+type Topology struct {
+	s     *Sim
+	racks map[int][]*Path
+}
+
+// NewTopology returns an empty topology on s.
+func NewTopology(s *Sim) *Topology {
+	return &Topology{s: s, racks: map[int][]*Path{}}
+}
+
+// Attach places a path in a rack.
+func (t *Topology) Attach(rack int, p *Path) {
+	t.racks[rack] = append(t.racks[rack], p)
+}
+
+// Rack returns the paths attached to rack (shared slice; do not mutate).
+func (t *Topology) Rack(rack int) []*Path { return t.racks[rack] }
+
+// Racks returns the rack IDs in ascending order.
+func (t *Topology) Racks() []int {
+	out := make([]int, 0, len(t.racks))
+	for r := range t.racks {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SetRackDown blackholes or restores every path in rack — the
+// correlated multi-session outage. Paths are walked in attach order, so
+// the fault is deterministic.
+func (t *Topology) SetRackDown(rack int, down bool) {
+	for _, p := range t.racks[rack] {
+		p.SetDown(down)
+	}
+}

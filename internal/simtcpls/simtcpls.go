@@ -7,6 +7,7 @@
 package simtcpls
 
 import (
+	"sort"
 	"time"
 
 	"tcpls/internal/core"
@@ -161,27 +162,35 @@ func (e *Endpoint) AddPathOn(toServer, toClient *sim.Link, connID uint32, opts s
 // retryFailover resynchronizes streams stranded on failed connections
 // onto a freshly joined connection. A connection can fail before any
 // replacement exists (the Fig. 8 blackhole); the join that arrives later
-// must pick those streams up.
+// must pick those streams up. FailedConnsWithStreams returns IDs sorted,
+// so the resume order is deterministic and rejoined connections with
+// IDs beyond the first few (fleet campaigns churn through dozens per
+// session) are covered.
 func (e *Endpoint) retryFailover(target uint32) {
 	if !e.AutoFailover {
 		return
 	}
-	for id := uint32(0); id < 64; id++ {
-		if !e.Sess.ConnFailed(id) || id == target {
-			continue
-		}
-		if len(e.Sess.StreamsOnConn(id)) == 0 {
-			continue
-		}
-		if err := e.Sess.FailoverTo(id, target); err == nil {
-			e.flush()
-		}
+	// One merged call, not FailoverTo per conn: when several conns died
+	// before this join, per-conn replays would interleave coupled
+	// aggregation sequences on the wire and balloon the peer's reorder
+	// heap (see core.FailoverAllTo).
+	if n, err := e.Sess.FailoverAllTo(target); err == nil && n > 0 {
+		e.flush()
 	}
 }
 
 // wire connects a simtcp connection's receive path into an engine.
 func (e *Endpoint) wire(c *simtcp.Conn, connID uint32, owner *Endpoint) {
 	c.OnRecv = func(p []byte) {
+		if owner.Sess.ConnFailed(connID) {
+			// The real I/O wrapper parks its readLoop once the engine
+			// declares a connection failed; late bytes (a stall lifting
+			// after the user timeout fired) die at the socket. Mirroring
+			// that here keeps count-closure exact: records lost with a
+			// failed connection are attributable, records on live
+			// connections always arrive.
+			return
+		}
 		if err := owner.Sess.Receive(connID, p, simNow(owner.S)); err != nil {
 			panic("simtcpls: engine receive: " + err.Error())
 		}
@@ -198,12 +207,20 @@ func (e *Endpoint) wire(c *simtcp.Conn, connID uint32, owner *Endpoint) {
 	}
 }
 
-// flush frames engine output onto the TCP connections.
+// flush frames engine output onto the TCP connections, in ascending
+// conn-ID order: map-order iteration here would reshuffle the packet
+// schedule between runs and break seed-reproducible fleet campaigns.
 func (e *Endpoint) flush() {
 	if err := e.Sess.Flush(); err != nil && err != core.ErrNotCoupled {
 		panic("simtcpls: flush: " + err.Error())
 	}
-	for id, c := range e.conns {
+	ids := make([]uint32, 0, len(e.conns))
+	for id := range e.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := e.conns[id]
 		out, err := e.Sess.Outgoing(id)
 		if err != nil || len(out) == 0 {
 			continue
@@ -227,7 +244,10 @@ func (e *Endpoint) pumpEvents() {
 	}
 }
 
-// failover moves streams of failedID to the lowest live connection.
+// failover moves the streams of every failed connection (the one that
+// just failed, plus any that failed with it — correlated faults kill
+// several in one Advance) to the lowest live connection in one merged
+// replay.
 func (e *Endpoint) failover(failedID uint32) {
 	live := e.Sess.Connections()
 	if len(live) == 0 {
@@ -239,7 +259,7 @@ func (e *Endpoint) failover(failedID uint32) {
 			target = id
 		}
 	}
-	if err := e.Sess.FailoverTo(failedID, target); err == nil {
+	if n, err := e.Sess.FailoverAllTo(target); err == nil && n > 0 {
 		e.flush()
 	}
 }

@@ -34,6 +34,14 @@ type ReconnectConfig struct {
 	MaxDelay time.Duration
 	// Deadline bounds the whole recovery, redialing or not (default 15s).
 	Deadline time.Duration
+	// Jitter, when non-nil, supplies the randomness for backoff jitter
+	// instead of the process-global math/rand source, so reconnect
+	// timing replays exactly under a fixed seed (the fleet/DES harness
+	// derives one from its scenario seed). The source is used only from
+	// the session's single recovery-supervisor goroutine; sharing one
+	// *rand.Rand across sessions requires external locking and forfeits
+	// per-session reproducibility.
+	Jitter *rand.Rand
 }
 
 // Recovery defaults.
@@ -83,6 +91,9 @@ func reconnectDelay(rc ReconnectConfig, attempt int) time.Duration {
 		d = rc.MaxDelay
 	}
 	half := d / 2
+	if rc.Jitter != nil {
+		return half + time.Duration(rc.Jitter.Int63n(int64(half)+1))
+	}
 	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 

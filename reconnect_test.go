@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"runtime"
 	"testing"
@@ -54,6 +55,59 @@ func TestReconnectDelayBounds(t *testing.T) {
 			if d < want/2 || d > want {
 				t.Fatalf("attempt %d delay = %v, want in [%v, %v]", attempt, d, want/2, want)
 			}
+		}
+	}
+}
+
+// TestReconnectDelaySeedReproducible: with a seeded Jitter source the
+// whole backoff sequence replays exactly — the determinism hook the
+// fleet harness threads its scenario seed through — while distinct
+// seeds actually diverge (the jitter is real, not a constant).
+func TestReconnectDelaySeedReproducible(t *testing.T) {
+	mk := func(seed int64) ReconnectConfig {
+		return ReconnectConfig{
+			BaseDelay: 40 * time.Millisecond,
+			MaxDelay:  200 * time.Millisecond,
+			Jitter:    rand.New(rand.NewSource(seed)),
+		}.withDefaults()
+	}
+	seq := func(rc ReconnectConfig) []time.Duration {
+		var out []time.Duration
+		for attempt := 1; attempt <= 10; attempt++ {
+			out = append(out, reconnectDelay(rc, attempt))
+		}
+		return out
+	}
+	a, b := seq(mk(7)), seq(mk(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	c := seq(mk(8))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+	// The seeded path honors the same [d/2, d] bounds as the global one.
+	rc := mk(7)
+	for attempt := 2; attempt <= 10; attempt++ {
+		want := rc.BaseDelay
+		for i := 2; i < attempt; i++ {
+			want *= 2
+			if want >= rc.MaxDelay {
+				want = rc.MaxDelay
+				break
+			}
+		}
+		if d := reconnectDelay(rc, attempt); d < want/2 || d > want {
+			t.Fatalf("seeded attempt %d delay = %v, want in [%v, %v]", attempt, d, want/2, want)
 		}
 	}
 }
