@@ -36,10 +36,29 @@ var (
 	plainFlag   = flag.Bool("plain-tls", false, "disable TCPLS (plain TLS baseline)")
 	nameFlag    = flag.String("name", "perf.tcpls", "server certificate name")
 	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address")
+
+	resumeFlag = flag.Bool("resume", false, "benchmark session establishment: full vs resumed vs 0-RTT, join vs fast join")
+	itersFlag  = flag.Int("iters", 25, "with -resume: loopback iterations per flow")
+	outFlag    = flag.String("out", "BENCH_resume.json", "with -resume: result file")
+
+	smokeFlag  = flag.Bool("resume-smoke", false, "resume smoke probe: save a ticket on first run, resume with 0-RTT on the next (see -ticket-file)")
+	ticketFile = flag.String("ticket-file", "ticket.json", "with -resume-smoke: where the resumption ticket is stored")
 )
 
 func main() {
 	flag.Parse()
+	if *resumeFlag {
+		runResume(*itersFlag, *outFlag)
+		return
+	}
+	if *smokeFlag {
+		if *connectFlag == "" {
+			fmt.Fprintln(os.Stderr, "-resume-smoke needs -connect")
+			os.Exit(2)
+		}
+		runResumeSmoke(*connectFlag, *nameFlag, *ticketFile)
+		return
+	}
 	cfg := &tcpls.Config{
 		EnableFailover:   *failoverF,
 		MaxRecordPayload: *recordFlag,

@@ -1,0 +1,641 @@
+// The -resume mode benchmarks session establishment rather than bulk
+// throughput: full handshake vs ticket resumption vs 0-RTT early data,
+// and two-flight joins vs single-flight fast joins. Two measurements
+// per flow:
+//
+//   - An exact round-trip count from a deterministic replay of each
+//     handshake over an instrumented in-memory duplex that counts wire
+//     direction switches (half round trips), plus one RTT for the TCP
+//     connect. This is load-independent: it is the protocol's shape.
+//   - Wall-clock time-to-first-echoed-byte over real loopback TCP,
+//     reported as p10/p50/p90 over -iters runs.
+//
+// Results land in -out (default BENCH_resume.json). The tool exits
+// nonzero if 0-RTT does not beat the full handshake by at least one
+// round trip, or the fast join does not beat the two-flight join by at
+// least one round trip — the regression gate for the resumption path.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"tcpls"
+	"tcpls/internal/handshake"
+)
+
+// ---------------------------------------------------------------------
+// Deterministic flight counting.
+
+// meter counts wire direction switches across an in-memory duplex: one
+// switch is half a round trip. Writes within one flight (same side)
+// do not advance it.
+type meter struct {
+	mu    sync.Mutex
+	trips int
+	last  int
+}
+
+func (m *meter) note(side int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.last != side {
+		m.trips++
+		m.last = side
+	}
+	return m.trips
+}
+
+// byteQueue is one direction of the duplex: an unbounded buffered pipe,
+// so optimistic first flights (0-RTT, fast joins) never deadlock the
+// way net.Pipe's rendezvous semantics would.
+type byteQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newByteQueue() *byteQueue {
+	q := &byteQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *byteQueue) Write(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, io.ErrClosedPipe
+	}
+	q.buf = append(q.buf, p...)
+	q.cond.Broadcast()
+	return len(p), nil
+}
+
+func (q *byteQueue) Read(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, q.buf)
+	q.buf = q.buf[n:]
+	return n, nil
+}
+
+// meteredConn is one side of the duplex. writeTrips records the trip
+// count observed at each Write, so a flow can pinpoint which flight
+// carried its request bytes.
+type meteredConn struct {
+	side       int
+	m          *meter
+	in, out    *byteQueue
+	writeTrips []int
+}
+
+func (c *meteredConn) Read(p []byte) (int, error) { return c.in.Read(p) }
+
+func (c *meteredConn) Write(p []byte) (int, error) {
+	c.writeTrips = append(c.writeTrips, c.m.note(c.side))
+	return c.out.Write(p)
+}
+
+func duplexPair() (cli, srv *meteredConn) {
+	m := &meter{}
+	c2s, s2c := newByteQueue(), newByteQueue()
+	cli = &meteredConn{side: 1, m: m, in: s2c, out: c2s}
+	srv = &meteredConn{side: 2, m: m, in: c2s, out: s2c}
+	return cli, srv
+}
+
+// tcpConnectTrips is the SYN / SYN-ACK cost in half round trips that
+// every flow pays before its first TLS byte (the final ACK of the
+// three-way handshake rides with the ClientHello).
+const tcpConnectTrips = 2
+
+// staticValidator accepts exactly one (session, cookie) pair — the
+// replayed join flows' stand-in for the listener's cookie table.
+type staticValidator struct {
+	id     handshake.SessID
+	cookie handshake.Cookie
+}
+
+func (v *staticValidator) ValidateJoin(id handshake.SessID, c handshake.Cookie) bool {
+	return id == v.id && c == v.cookie
+}
+
+// flightResult is one flow's deterministic replay outcome.
+type flightResult struct {
+	// RTTs to the server first holding the request bytes, including
+	// the TCP connect.
+	RTT float64 `json:"rtt_to_first_server_byte"`
+}
+
+// runFlight replays one handshake flow over a fresh duplex. client runs
+// on the caller's goroutine and returns the trip count of the write
+// that carried the request; server runs concurrently.
+func runFlight(server func(srv *meteredConn) error, client func(cli *meteredConn) (int, error)) (flightResult, error) {
+	cli, srv := duplexPair()
+	srvErr := make(chan error, 1)
+	go func() { srvErr <- server(srv) }()
+	reqTrips, err := client(cli)
+	if err != nil {
+		return flightResult{}, err
+	}
+	if err := <-srvErr; err != nil {
+		return flightResult{}, err
+	}
+	return flightResult{RTT: float64(reqTrips+tcpConnectTrips) / 2}, nil
+}
+
+// measureFlights replays every establishment flow and returns the exact
+// round-trip counts.
+func measureFlights() (map[string]flightResult, error) {
+	cert, err := handshake.NewCertificate("perf.tcpls")
+	if err != nil {
+		return nil, err
+	}
+	req := []byte("GET /early HTTP/1.0\r\n\r\n")
+	psk := make([]byte, 32)
+	for i := range psk {
+		psk[i] = byte(i)
+	}
+	ticket := []byte("perf-resumption-ticket")
+	decrypt := func(t []byte) ([]byte, bool) { return psk, string(t) == string(ticket) }
+
+	out := map[string]flightResult{}
+
+	// Full handshake: request rides the flight after the client's
+	// Finished (2.5 RTT with the TCP connect).
+	out["full"], err = runFlight(
+		func(srv *meteredConn) error {
+			_, err := handshake.Server(handshake.NewTransport(srv),
+				&handshake.Config{Certificate: cert, TCPLSServer: true})
+			return err
+		},
+		func(cli *meteredConn) (int, error) {
+			if _, err := handshake.Client(handshake.NewTransport(cli),
+				&handshake.Config{ServerName: "perf.tcpls", EnableTCPLS: true}); err != nil {
+				return 0, err
+			}
+			cli.Write(req)
+			return cli.writeTrips[len(cli.writeTrips)-1], nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("full: %w", err)
+	}
+
+	// Ticket resumption without early data: same shape, lighter flights
+	// (no certificate exchange) — the savings are bytes and CPU, not
+	// round trips.
+	out["resumed"], err = runFlight(
+		func(srv *meteredConn) error {
+			_, err := handshake.Server(handshake.NewTransport(srv),
+				&handshake.Config{Certificate: cert, TCPLSServer: true, DecryptTicket: decrypt})
+			return err
+		},
+		func(cli *meteredConn) (int, error) {
+			res, err := handshake.Client(handshake.NewTransport(cli),
+				&handshake.Config{ServerName: "perf.tcpls", EnableTCPLS: true, PSK: psk, PSKTicket: ticket})
+			if err != nil {
+				return 0, err
+			}
+			if !res.Resumed {
+				return 0, fmt.Errorf("ticket not accepted")
+			}
+			cli.Write(req)
+			return cli.writeTrips[len(cli.writeTrips)-1], nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("resumed: %w", err)
+	}
+
+	// 0-RTT: the request rides the ClientHello flight. The trip index of
+	// the first early-data record (the client's second write) is the
+	// measured arrival flight.
+	out["zero_rtt"], err = runFlight(
+		func(srv *meteredConn) error {
+			res, err := handshake.Server(handshake.NewTransport(srv),
+				&handshake.Config{Certificate: cert, TCPLSServer: true, DecryptTicket: decrypt})
+			if err != nil {
+				return err
+			}
+			if !res.EarlyDataAccepted || string(res.EarlyData) != string(req) {
+				return fmt.Errorf("early data not delivered in-handshake")
+			}
+			return nil
+		},
+		func(cli *meteredConn) (int, error) {
+			res, err := handshake.Client(handshake.NewTransport(cli),
+				&handshake.Config{ServerName: "perf.tcpls", EnableTCPLS: true,
+					PSK: psk, PSKTicket: ticket, EarlyData: req})
+			if err != nil {
+				return 0, err
+			}
+			if !res.EarlyDataAccepted {
+				return 0, fmt.Errorf("0-RTT rejected")
+			}
+			if len(cli.writeTrips) < 2 {
+				return 0, fmt.Errorf("no early flight written")
+			}
+			return cli.writeTrips[1], nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("zero_rtt: %w", err)
+	}
+
+	var sessID handshake.SessID
+	var cookie handshake.Cookie
+	for i := range sessID {
+		sessID[i] = byte(0xa0 + i)
+	}
+	for i := range cookie {
+		cookie[i] = byte(0x50 + i)
+	}
+	sessions := &staticValidator{id: sessID, cookie: cookie}
+	join := &handshake.JoinTicket{SessID: sessID, Cookie: cookie, ConnID: 7}
+
+	// Two-flight join: full handshake shape with the join extension; the
+	// first stream record follows the client Finished.
+	out["join"], err = runFlight(
+		func(srv *meteredConn) error {
+			_, err := handshake.Server(handshake.NewTransport(srv),
+				&handshake.Config{Certificate: cert, TCPLSServer: true, Sessions: sessions})
+			return err
+		},
+		func(cli *meteredConn) (int, error) {
+			res, err := handshake.Client(handshake.NewTransport(cli),
+				&handshake.Config{ServerName: "perf.tcpls", Join: join})
+			if err != nil {
+				return 0, err
+			}
+			if !res.JoinAccepted {
+				return 0, fmt.Errorf("join rejected")
+			}
+			cli.Write(req)
+			return cli.writeTrips[len(cli.writeTrips)-1], nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("join: %w", err)
+	}
+
+	// Fast join: cookie, STREAM_ATTACH, and data all ride the first
+	// flight (the engine's records follow the ClientHello directly).
+	out["join_fast"], err = runFlight(
+		func(srv *meteredConn) error {
+			res, err := handshake.Server(handshake.NewTransport(srv),
+				&handshake.Config{Certificate: cert, TCPLSServer: true, Sessions: sessions})
+			if err != nil {
+				return err
+			}
+			if !res.FastJoin {
+				return fmt.Errorf("server did not take the fast path")
+			}
+			return nil
+		},
+		func(cli *meteredConn) (int, error) {
+			tr := handshake.NewTransport(cli)
+			if err := handshake.StartFastJoin(tr, &handshake.Config{Join: join}); err != nil {
+				return 0, err
+			}
+			cli.Write(req) // the piggybacked engine records
+			reqTrip := cli.writeTrips[len(cli.writeTrips)-1]
+			if err := handshake.FinishFastJoin(tr); err != nil {
+				return 0, err
+			}
+			return reqTrip, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("join_fast: %w", err)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Wall-clock loopback benchmark.
+
+type quantiles struct {
+	P10US int64 `json:"p10_us"`
+	P50US int64 `json:"p50_us"`
+	P90US int64 `json:"p90_us"`
+}
+
+func summarize(ds []time.Duration) quantiles {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	at := func(p int) int64 {
+		idx := len(ds) * p / 100
+		if idx >= len(ds) {
+			idx = len(ds) - 1
+		}
+		return ds[idx].Microseconds()
+	}
+	return quantiles{P10US: at(10), P50US: at(50), P90US: at(90)}
+}
+
+// benchResume is the whole -resume run: flight counts plus loopback
+// timings, serialized to -out.
+type benchResume struct {
+	GeneratedBy string                  `json:"generated_by"`
+	Iters       int                     `json:"iters"`
+	Note        string                  `json:"note"`
+	Flights     map[string]flightResult `json:"flights"`
+	LoopbackUS  map[string]quantiles    `json:"loopback_time_to_first_byte"`
+}
+
+func perfTicket(addr string, cfg *tcpls.Config) (*tcpls.ClientTicket, error) {
+	sess, err := tcpls.Dial("tcp", addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if tk := sess.ResumptionTicket(); tk != nil {
+			return tk, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("no resumption ticket within 5s")
+}
+
+func echoServe(ln *tcpls.Listener) {
+	for {
+		sess, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer sess.Close()
+			for {
+				st, err := sess.AcceptStream(context.Background())
+				if err != nil {
+					return
+				}
+				go io.Copy(st, st)
+			}
+		}()
+	}
+}
+
+func runResume(iters int, outPath string) {
+	flights, err := measureFlights()
+	if err != nil {
+		log.Fatalf("flight replay: %v", err)
+	}
+
+	cert, err := tcpls.NewCertificate("perf.tcpls")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Plain server for establishment flows; failover server for join
+	// flows (the fast join needs failover's replay to stay lossless, and
+	// the two-flight baseline should pay the same ack overhead).
+	plainLn, err := tcpls.Listen("tcp", "127.0.0.1:0", &tcpls.Config{Certificate: cert})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plainLn.Close()
+	go echoServe(plainLn)
+	foLn, err := tcpls.Listen("tcp", "127.0.0.1:0", &tcpls.Config{Certificate: cert, EnableFailover: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer foLn.Close()
+	go echoServe(foLn)
+
+	req := []byte("GET /early HTTP/1.0\r\n\r\n")
+	buf := make([]byte, len(req))
+	ccfg := func() *tcpls.Config { return &tcpls.Config{ServerName: "perf.tcpls"} }
+	loop := map[string][]time.Duration{}
+	record := func(name string, d time.Duration) { loop[name] = append(loop[name], d) }
+
+	for i := 0; i < iters; i++ {
+		// Full handshake, time to first echoed byte.
+		start := time.Now()
+		sess, err := tcpls.Dial("tcp", plainLn.Addr().String(), ccfg())
+		if err != nil {
+			log.Fatalf("full dial: %v", err)
+		}
+		st, err := sess.OpenStream()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.Write(req)
+		if _, err := io.ReadFull(st, buf); err != nil {
+			log.Fatalf("full echo: %v", err)
+		}
+		record("full", time.Since(start))
+		tk := sess.ResumptionTicket() // may be nil; fetch separately below
+		sess.Close()
+
+		if tk == nil {
+			if tk, err = perfTicket(plainLn.Addr().String(), ccfg()); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// Ticket resumption (1-RTT).
+		cfg := ccfg()
+		cfg.Ticket = tk
+		start = time.Now()
+		sess, err = tcpls.Dial("tcp", plainLn.Addr().String(), cfg)
+		if err != nil {
+			log.Fatalf("resumed dial: %v", err)
+		}
+		st, err = sess.OpenStream()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.Write(req)
+		if _, err := io.ReadFull(st, buf); err != nil {
+			log.Fatalf("resumed echo: %v", err)
+		}
+		record("resumed", time.Since(start))
+		sess.Close()
+
+		// 0-RTT: a fresh ticket per iteration (the anti-replay register
+		// admits each ticket nonce once).
+		if tk, err = perfTicket(plainLn.Addr().String(), ccfg()); err != nil {
+			log.Fatal(err)
+		}
+		cfg = ccfg()
+		cfg.Ticket = tk
+		cfg.EarlyData = req
+		start = time.Now()
+		sess, err = tcpls.Dial("tcp", plainLn.Addr().String(), cfg)
+		if err != nil {
+			log.Fatalf("0-RTT dial: %v", err)
+		}
+		if !sess.EarlyDataAccepted() {
+			log.Fatal("0-RTT rejected on a fresh ticket")
+		}
+		est, ok := sess.EarlyStream()
+		if !ok {
+			log.Fatal("no early stream")
+		}
+		if _, err := io.ReadFull(est, buf); err != nil {
+			log.Fatalf("0-RTT echo: %v", err)
+		}
+		record("zero_rtt", time.Since(start))
+		sess.Close()
+
+		// Joins, against the failover server: establish untimed, then
+		// time join-to-first-echoed-byte.
+		jcfg := ccfg()
+		jcfg.EnableFailover = true
+		sess, err = tcpls.Dial("tcp", foLn.Addr().String(), jcfg)
+		if err != nil {
+			log.Fatalf("join base dial: %v", err)
+		}
+		start = time.Now()
+		connID, err := sess.JoinPath("tcp", foLn.Addr().String())
+		if err != nil {
+			log.Fatalf("join: %v", err)
+		}
+		st, err = sess.OpenStreamOn(connID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.Write(req)
+		if _, err := io.ReadFull(st, buf); err != nil {
+			log.Fatalf("join echo: %v", err)
+		}
+		record("join", time.Since(start))
+		sess.Close()
+
+		sess, err = tcpls.Dial("tcp", foLn.Addr().String(), jcfg)
+		if err != nil {
+			log.Fatalf("fastjoin base dial: %v", err)
+		}
+		start = time.Now()
+		_, st, err = sess.JoinPathFast("tcp", foLn.Addr().String(), req)
+		if err != nil {
+			log.Fatalf("fast join: %v", err)
+		}
+		if _, err := io.ReadFull(st, buf); err != nil {
+			log.Fatalf("fast join echo: %v", err)
+		}
+		record("join_fast", time.Since(start))
+		sess.Close()
+	}
+
+	res := benchResume{
+		GeneratedBy: "tcpls-perf -resume",
+		Iters:       iters,
+		Note: "flights: exact RTT counts to the server first holding the request bytes, " +
+			"from direction-switch counting over an in-memory duplex, +1 RTT for the TCP connect. " +
+			"loopback: wall-clock time to the first echoed byte over 127.0.0.1 TCP.",
+		Flights:    flights,
+		LoopbackUS: map[string]quantiles{},
+	}
+	for name, ds := range loop {
+		res.LoopbackUS[name] = summarize(ds)
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Fatal(err)
+	}
+	out.Close()
+
+	for _, name := range []string{"full", "resumed", "zero_rtt", "join", "join_fast"} {
+		fmt.Printf("%-9s %.1f RTT to first server byte; loopback first echoed byte p50 %dus (p10 %d, p90 %d)\n",
+			name, flights[name].RTT, res.LoopbackUS[name].P50US,
+			res.LoopbackUS[name].P10US, res.LoopbackUS[name].P90US)
+	}
+
+	// Regression gate: the whole point of the resumption subsystem.
+	if flights["zero_rtt"].RTT > flights["full"].RTT-1 {
+		log.Fatalf("0-RTT saves less than one round trip: %.1f vs %.1f",
+			flights["zero_rtt"].RTT, flights["full"].RTT)
+	}
+	if flights["join_fast"].RTT > flights["join"].RTT-1 {
+		log.Fatalf("fast join saves less than one round trip: %.1f vs %.1f",
+			flights["join_fast"].RTT, flights["join"].RTT)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+// ---------------------------------------------------------------------
+// -resume-smoke: the CI restart probe.
+
+// runResumeSmoke is one leg of the CI resume smoke test against a live
+// tcpls-server. Without a saved ticket it performs a full handshake,
+// waits for the server to issue one, and stores it at ticketPath. With
+// a saved ticket it resumes — sending early data in the first flight —
+// and exits nonzero unless the server accepted the ticket AND the
+// 0-RTT flight, and echoed the early bytes back intact. Run it once,
+// restart the server (same -ticket-key-file), run it again: success
+// proves tickets survive real process restarts.
+func runResumeSmoke(addr, serverName, ticketPath string) {
+	early := []byte("resume-smoke: 0-rtt across a restart\n")
+	cfg := &tcpls.Config{ServerName: serverName}
+	raw, err := os.ReadFile(ticketPath)
+	resuming := err == nil
+	if resuming {
+		var t tcpls.ClientTicket
+		if err := json.Unmarshal(raw, &t); err != nil {
+			log.Fatalf("resume-smoke: corrupt ticket file %s: %v", ticketPath, err)
+		}
+		cfg.Ticket = &t
+		cfg.EarlyData = early
+	}
+	sess, err := tcpls.Dial("tcp", addr, cfg)
+	if err != nil {
+		log.Fatalf("resume-smoke: dial %s: %v", addr, err)
+	}
+	defer sess.Close()
+
+	if resuming {
+		if !sess.EarlyDataAccepted() {
+			log.Fatal("resume-smoke: 0-RTT rejected on a first-use ticket — resumption did not survive the restart")
+		}
+		st, ok := sess.EarlyStream()
+		if !ok {
+			log.Fatal("resume-smoke: 0-RTT accepted but no early stream")
+		}
+		got := make([]byte, len(early))
+		if _, err := io.ReadFull(st, got); err != nil {
+			log.Fatalf("resume-smoke: early echo read: %v", err)
+		}
+		if string(got) != string(early) {
+			log.Fatalf("resume-smoke: early echo corrupted: %q", got)
+		}
+		fmt.Println("resume-smoke: resumed with 0-RTT, early echo byte-exact")
+		return
+	}
+
+	var ticket *tcpls.ClientTicket
+	deadline := time.Now().Add(5 * time.Second)
+	for ticket == nil && time.Now().Before(deadline) {
+		ticket = sess.ResumptionTicket()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ticket == nil {
+		log.Fatal("resume-smoke: server issued no resumption ticket")
+	}
+	out, err := json.Marshal(ticket)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(ticketPath, out, 0o600); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resume-smoke: full handshake, ticket saved to %s\n", ticketPath)
+}

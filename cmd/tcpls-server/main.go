@@ -19,6 +19,19 @@
 //	-memory-budget 268435456    shed when buffered memory nears 256 MiB
 //	-max-handshakes-per-ip 32   concurrent handshakes from one IP
 //	-join-rate-per-ip 10        cookie/join attempts per second per IP
+//
+// Resumption across restarts:
+//
+//	tcpls-server -ticket-key-file /var/lib/tcpls/ticket.keys \
+//	             -ticket-key-pass "$TCPLS_TICKET_PASSPHRASE" \
+//	             -ticket-rotate 1h
+//
+// The key file is created on first start and encrypted under the
+// passphrase (flag, or the TCPLS_TICKET_PASSPHRASE environment
+// variable). Tickets issued before a restart resume — with 0-RTT —
+// against the restarted process. -ticket-rotate rolls the sealing key
+// periodically: the previous generation stays accepted and its
+// tickets are reissued on use, so rotation is invisible to clients.
 package main
 
 import (
@@ -43,6 +56,11 @@ var (
 
 	failoverF = flag.Bool("failover", false, "enable failover (record acks)")
 	hsTimeout = flag.Duration("handshake-timeout", 0, "per-connection handshake deadline (0 = 10s default, negative disables)")
+
+	ticketKeyFile = flag.String("ticket-key-file", "", "persistent ticket-key file: resumption tickets survive restarts")
+	ticketKeyPass = flag.String("ticket-key-pass", "", "passphrase for -ticket-key-file (default: $TCPLS_TICKET_PASSPHRASE)")
+	ticketRotate  = flag.Duration("ticket-rotate", 0, "rotate the ticket key on this period (0 = never)")
+	maxEarlyData  = flag.Int("max-early-data", 0, "0-RTT early-data budget in bytes (0 = 16 KiB default, negative refuses)")
 
 	maxSessions  = flag.Int("max-sessions", 0, "cap concurrent sessions (0 = unlimited)")
 	acceptRate   = flag.Float64("accept-rate", 0, "handshake admissions per second (0 = unlimited)")
@@ -74,6 +92,14 @@ func main() {
 		Certificate:      cert,
 		EnableFailover:   *failoverF,
 		HandshakeTimeout: *hsTimeout,
+		MaxEarlyData:     *maxEarlyData,
+	}
+	pass := *ticketKeyPass
+	if pass == "" {
+		pass = os.Getenv("TCPLS_TICKET_PASSPHRASE")
+	}
+	if *ticketKeyFile != "" && pass == "" {
+		log.Fatal("-ticket-key-file requires -ticket-key-pass or $TCPLS_TICKET_PASSPHRASE")
 	}
 	if *metricsAddr != "" {
 		closer, err := tcpls.ServeTelemetry(*metricsAddr)
@@ -94,8 +120,11 @@ func main() {
 			JoinRatePerIP:      *perIPJoins,
 			MaxSessions:        *maxSessions,
 		},
-		MemoryBudget: *memoryBudget,
-		Handler:      handler,
+		MemoryBudget:        *memoryBudget,
+		Handler:             handler,
+		TicketKeyFile:       *ticketKeyFile,
+		TicketKeyPassphrase: []byte(pass),
+		TicketRotate:        *ticketRotate,
 	})
 
 	sigs := make(chan os.Signal, 1)

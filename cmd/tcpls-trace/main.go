@@ -119,6 +119,39 @@ func printSummary(name string, rep *qlog.Report) {
 		}
 	}
 
+	r := rep.Resumption
+	if r.TicketsIssued+r.TicketsReceived+r.ResumeAccepted+r.ResumeRejected+
+		r.EarlyAccepted+r.EarlyRejected+r.JoinFastpath+len(r.JoinGaps) > 0 {
+		fmt.Println("\nresumption:")
+		if r.TicketsIssued+r.TicketsReceived+r.TicketsReissued > 0 {
+			fmt.Printf("  tickets: issued %d  received %d  reissued %d\n",
+				r.TicketsIssued, r.TicketsReceived, r.TicketsReissued)
+		}
+		if r.ResumeAccepted+r.ResumeRejected > 0 {
+			fmt.Printf("  resume: accepted %d  rejected %d  (rate %.0f%%)\n",
+				r.ResumeAccepted, r.ResumeRejected, r.ResumptionRate*100)
+		}
+		if r.EarlyAccepted+r.EarlyRejected > 0 {
+			fmt.Printf("  0-rtt: accepted %d (%d bytes)  rejected %d\n",
+				r.EarlyAccepted, r.EarlyBytes, r.EarlyRejected)
+		}
+		if len(r.JoinGaps) > 0 {
+			fmt.Printf("  join gaps (%d fastpath):\n", r.JoinFastpath)
+			for _, g := range r.JoinGaps {
+				kind := "two-flight"
+				if g.Fastpath {
+					kind = "fastpath"
+				}
+				if g.Closed {
+					fmt.Printf("    conn %d (%s): %v to first record\n",
+						g.Conn, kind, us(g.DurationUS).Round(time.Microsecond))
+				} else {
+					fmt.Printf("    conn %d (%s): no record after join\n", g.Conn, kind)
+				}
+			}
+		}
+	}
+
 	if rep.Spans.Count > 0 {
 		fmt.Printf("\nrecord spans: %d (%d retransmitted)\n", rep.Spans.Count, rep.Spans.RetxSpans)
 		fmt.Printf("  queue  (enq->seal):  p50 %-10v p99 %v\n", us(rep.Spans.QueueP50US), us(rep.Spans.QueueP99US))

@@ -159,6 +159,25 @@ type Config struct {
 	Ticket *ClientTicket
 	// DisableTickets stops the server from issuing resumption tickets.
 	DisableTickets bool
+
+	// TicketKeys is the server's resumption ticket key store. A store
+	// opened from a key file (OpenTicketKeyStore) makes tickets survive
+	// server restarts; nil falls back to a fresh in-memory key, matching
+	// the pre-keystore behaviour (tickets die with the process).
+	TicketKeys *TicketKeyStore
+
+	// EarlyData, sent alongside Ticket, rides the client's first flight
+	// as 0-RTT application records (§4.5): the server reads it before its
+	// own first byte crosses the wire. Replayable by design — put only
+	// idempotent data here. On acceptance it surfaces as the first bytes
+	// of the session's first client stream (Session.EarlyStream); on
+	// rejection Dial/Client transparently resend it at 1-RTT, so the
+	// application sees identical bytes either way.
+	EarlyData []byte
+	// MaxEarlyData budgets a client's 0-RTT flight in plaintext bytes
+	// (server side). Zero means the default (16 KiB); negative refuses
+	// all early data while still completing the resumption handshake.
+	MaxEarlyData int
 }
 
 // AdmissionControl gates the server accept edge. Implementations must

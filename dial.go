@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"tcpls/internal/core"
 	"tcpls/internal/handshake"
 )
 
@@ -71,9 +72,17 @@ func Client(nc net.Conn, cfg *Config) (*Session, error) {
 		RootKeys:    cfg.RootKeys,
 		EnableTCPLS: !cfg.DisableTCPLS,
 	}
+	offerEarly := false
 	if cfg.Ticket != nil {
 		hcfg.PSK = cfg.Ticket.PSK
 		hcfg.PSKTicket = cfg.Ticket.Ticket
+		if len(cfg.EarlyData) > 0 && !cfg.DisableTCPLS {
+			// 0-RTT: the flight rides behind the ClientHello. On rejection
+			// the same bytes are resent at 1-RTT below — the application
+			// sees an identical stream either way.
+			hcfg.EarlyData = cfg.EarlyData
+			offerEarly = true
+		}
 	}
 	tr := handshake.NewTransport(nc)
 	res, err := handshake.Client(tr, hcfg)
@@ -86,7 +95,28 @@ func Client(nc net.Conn, cfg *Config) (*Session, error) {
 		// session still works, without TCPLS transport services.
 		cfg.DisableTCPLS = true
 	}
-	return newSession(true, cfg, res, nc, tr.Leftover()), nil
+	sess := newSession(true, cfg, res, nc, tr.Leftover())
+	if offerEarly {
+		// The first client stream gets the same ID (2) the server's
+		// injection used, so on acceptance the bytes are already home and
+		// only the STREAM_ATTACH goes out; on rejection this stream
+		// carries the lossless 1-RTT resend.
+		st, serr := sess.OpenStream()
+		if serr == nil {
+			sess.mu.Lock()
+			sess.earlyStreamID = st.id
+			sess.hasEarlyStream = true
+			sess.mu.Unlock()
+			if !res.EarlyDataAccepted {
+				sess.noteTrace("early_data_rejected", 0, 0, len(cfg.EarlyData))
+				if _, werr := st.Write(cfg.EarlyData); werr != nil {
+					sess.Close()
+					return nil, werr
+				}
+			}
+		}
+	}
+	return sess, nil
 }
 
 // JoinPath opens an additional TCP connection to addr and joins it to
@@ -159,6 +189,175 @@ func (s *Session) JoinPath(network, addr string) (uint32, error) {
 	s.mu.Unlock()
 	s.writeAll(pending)
 	return connID, nil
+}
+
+// JoinPathFast opens an additional TCP connection and joins it to the
+// session in a single flight: the join ClientHello, a STREAM_ATTACH for
+// a fresh stream, and early (the stream's first bytes) all ride the
+// client's first flight, protected by the session's established keys.
+// The connection is productive one round trip sooner than JoinPath — the
+// server can deliver early to the application before its own first byte
+// reaches the client.
+//
+// The optimistic flight is a bet on the cookie being accepted. With
+// EnableFailover a rejection is lossless: the stream's records replay
+// onto a surviving connection. Without failover, a non-empty early falls
+// back internally to the ordinary two-flight join so no bytes can be
+// lost. The returned stream is nil when early is empty.
+func (s *Session) JoinPathFast(network, addr string, early []byte) (uint32, *Stream, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, nil, ErrSessionClosed
+	}
+	if s.cfg.DisableTCPLS {
+		s.mu.Unlock()
+		return 0, nil, ErrNotTCPLS
+	}
+	if len(s.cookies) == 0 {
+		s.mu.Unlock()
+		return 0, nil, ErrNoCookies
+	}
+	if len(early) > 0 && !s.cfg.EnableFailover {
+		s.mu.Unlock()
+		connID, err := s.JoinPath(network, addr)
+		if err != nil {
+			return 0, nil, err
+		}
+		st, err := s.OpenStreamOn(connID)
+		if err != nil {
+			return connID, nil, err
+		}
+		if _, err := st.Write(early); err != nil {
+			return connID, st, err
+		}
+		return connID, st, nil
+	}
+	cookie := s.cookies[0]
+	s.cookies = s.cookies[1:]
+	connID := s.nextConnID
+	s.nextConnID++
+	sessID := s.sessID
+	suites := s.cfg.Suites
+	s.engine.Note("cookie_consumed", connID, 0, 0, len(s.cookies))
+	s.mu.Unlock()
+
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return 0, nil, fmt.Errorf("tcpls: join dial: %w", err)
+	}
+	tr := handshake.NewTransport(nc)
+	hcfg := &handshake.Config{
+		Suites: suites,
+		Join:   &handshake.JoinTicket{SessID: sessID, Cookie: cookie, ConnID: connID},
+	}
+	if err := handshake.StartFastJoin(tr, hcfg); err != nil {
+		nc.Close()
+		return 0, nil, fmt.Errorf("tcpls: fast join: %w", err)
+	}
+
+	// Build the optimistic flight. The connection is registered with the
+	// engine but not yet with the session (no reader/writer loops, not in
+	// s.conns), so concurrent flushes cannot race us for its outgoing
+	// queue and nothing consumes the server's plaintext ack early.
+	var st *Stream
+	var flight []byte
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return 0, nil, ErrSessionClosed
+	}
+	if err := s.engine.AddConnection(connID, time.Now()); err != nil {
+		s.mu.Unlock()
+		nc.Close()
+		return 0, nil, err
+	}
+	s.engine.Note("join_fastpath", connID, 0, 0, len(early))
+	if len(early) > 0 {
+		sid, serr := s.engine.CreateStream(connID)
+		if serr == nil {
+			st = &Stream{sess: s, id: sid}
+			s.streams[sid] = st
+			_, serr = s.engine.Write(sid, early)
+		}
+		if serr == nil {
+			if ferr := s.engine.Flush(); ferr != nil && ferr != core.ErrNotCoupled {
+				serr = ferr
+			}
+		}
+		if serr == nil {
+			flight, serr = s.engine.Outgoing(connID)
+		}
+		if serr != nil {
+			s.mu.Unlock()
+			nc.Close()
+			return 0, st, serr
+		}
+	}
+	s.mu.Unlock()
+
+	if len(flight) > 0 {
+		_, werr := nc.Write(flight)
+		now := time.Now()
+		s.mu.Lock()
+		if werr == nil {
+			s.engine.NoteWritten(connID, now)
+		} else {
+			s.engine.NoteWriteDropped(connID)
+		}
+		s.engine.RecycleOutgoing(flight)
+		s.mu.Unlock()
+		if werr != nil {
+			nc.Close()
+			s.reportFastJoinFailed(connID)
+			return 0, st, fmt.Errorf("tcpls: fast join write: %w", werr)
+		}
+	}
+
+	if err := handshake.FinishFastJoin(tr); err != nil {
+		// Cookie spent for nothing. Declare the embryonic connection
+		// failed so failover replays the optimistic records onto a
+		// surviving path — the stream's bytes are not lost.
+		nc.Close()
+		s.reportFastJoinFailed(connID)
+		return 0, st, fmt.Errorf("tcpls: fast join: %w", err)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return 0, st, ErrSessionClosed
+	}
+	s.addConnLocked(connID, nc)
+	s.engine.Note("join_accepted", connID, 0, 0, 0)
+	if s.dialNetwork == "" {
+		s.dialNetwork = network
+	}
+	s.rememberAddrLocked(addr)
+	var pending []outChunk
+	if leftover := tr.Leftover(); len(leftover) > 0 {
+		s.engine.Receive(connID, leftover, time.Now())
+		s.processEventsLocked()
+		pending = s.collectOutgoingLocked()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.writeAll(pending)
+	return connID, st, nil
+}
+
+// reportFastJoinFailed marks an embryonic fast-join connection failed so
+// its optimistic records replay through the normal failover machinery.
+func (s *Session) reportFastJoinFailed(connID uint32) {
+	s.mu.Lock()
+	s.engine.ReportConnFailed(connID)
+	s.processEventsLocked()
+	out := s.collectOutgoingLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.writeAll(out)
 }
 
 // JoinConn joins an already-established TCP connection (dialed by the

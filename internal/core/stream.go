@@ -116,6 +116,31 @@ func (s *Session) CreateStream(connID uint32) (uint32, error) {
 	return id, nil
 }
 
+// InjectEarlyData delivers a 0-RTT payload the handshake layer accepted
+// (server side): the client's early flight becomes the first readable
+// bytes of the client's first stream, before any engine record arrives.
+// The stream is installed with fresh application-secret contexts at
+// sequence zero, exactly where the client's post-handshake records for
+// the same stream will start; the client's later STREAM_ATTACH finds
+// the stream already present and re-homes it harmlessly.
+func (s *Session) InjectEarlyData(data []byte) (uint32, error) {
+	if s.role != RoleServer {
+		return 0, fmt.Errorf("core: early data injection is server-side only")
+	}
+	id := firstClientStream
+	st, err := s.installStream(id, 0)
+	if err != nil {
+		return 0, err
+	}
+	st.recvData = append(st.recvData, data...)
+	s.trace("early_data_accepted", 0, id, 0, len(data))
+	s.emit(Event{Kind: EventStreamOpen, Stream: id, Conn: 0})
+	if len(data) > 0 {
+		s.emit(Event{Kind: EventStreamData, Stream: id, Conn: 0})
+	}
+	return id, nil
+}
+
 // installStream builds both directions' contexts for stream id and
 // registers the receive side with connID's demux.
 func (s *Session) installStream(id, connID uint32) (*stream, error) {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"tcpls/internal/core"
+	"tcpls/internal/resume"
 	"tcpls/internal/sim"
 	"tcpls/internal/simtcp"
 	"tcpls/internal/simtcpls"
@@ -39,6 +41,8 @@ const (
 	VGoroutine  = "goroutine-leak"
 	VClosure    = "count-closure"
 	VWriteError = "write-error"
+	VResume     = "resume"
+	VMemReplay  = "memory-replay"
 )
 
 // flowCount is one connection's record counters at one endpoint,
@@ -68,11 +72,25 @@ type SessionResult struct {
 	WriteErr     string
 }
 
+// ResumeStats are the campaign-wide resumption outcomes of FaultRestart
+// events. Every field is deterministic: accept/reissue/age-out depends
+// only on generation arithmetic against the rotation schedule, and the
+// strike register runs on the virtual clock.
+type ResumeStats struct {
+	Accepted   int // tickets opened successfully on restart
+	Reissued   int // of those, resealed because an old generation opened them
+	AgedOut    int // tickets past the accept window: clean full-handshake fallback
+	ZeroRTT    int // first-use tickets the strike register admitted for 0-RTT
+	Replayed   int // repeat-use tickets the register refused (1-RTT fallback)
+	ReplayPeak int // max strike-register entries observed (bounded-memory invariant)
+}
+
 // Result is a completed campaign.
 type Result struct {
 	Scenario   Scenario // Schedule materialized
 	Sessions   []SessionResult
 	Violations []Violation
+	Resume     ResumeStats
 	Quiesced   bool     // the whole fleet drained before the hard cap
 	EndVirtual sim.Time // virtual time at snapshot
 	Goroutines [2]int   // before / after
@@ -98,6 +116,9 @@ func (r *Result) Fingerprint() string {
 	for _, ev := range r.Scenario.Schedule {
 		w("fault %d %d %d %d %d %d %d\n", ev.At, ev.Kind, ev.Session, ev.Path, ev.Rack, ev.Stride, ev.Dur)
 	}
+	w("resume acc=%d re=%d aged=%d 0rtt=%d replay=%d peak=%d\n",
+		r.Resume.Accepted, r.Resume.Reissued, r.Resume.AgedOut,
+		r.Resume.ZeroRTT, r.Resume.Replayed, r.Resume.ReplayPeak)
 	for i := range r.Sessions {
 		sr := &r.Sessions[i]
 		w("s%d c=%v u=%v tot=%d wr=%d got=%d mm=%d q=%v done=%d cf=%d rp=%d,%d xp=%d,%d we=%q\n",
@@ -162,6 +183,13 @@ type fleetSession struct {
 	connFailures int
 	writeErr     string
 
+	// Resumption state for FaultRestart: the session's PSK, its current
+	// sealed ticket, and the key generation the ticket was sealed under
+	// (the oracle for expected open/age-out outcomes).
+	psk       []byte
+	ticket    []byte
+	ticketGen uint32
+
 	counts [2]map[uint32]*flowCount
 }
 
@@ -194,6 +222,15 @@ type campaign struct {
 	sessions []*fleetSession
 	schedule []FaultEvent
 
+	// Resumption exercise (FaultRestart): the shared ticket-key store a
+	// restarted process would recover from its key file, the 0-RTT
+	// strike register, and the deterministic outcome counters. keys is
+	// nil when the schedule has no restarts and no rotations are asked.
+	keys       *resume.KeyStore
+	replay     *resume.Replay
+	resume     ResumeStats
+	resumeVios []Violation
+
 	// traceCount monotonically counts engine trace events fleet-wide;
 	// the quiesce detector polls it for "no protocol activity".
 	traceCount int64
@@ -225,6 +262,38 @@ func run(sc Scenario, traceSession int) (*Result, []core.TraceEvent) {
 	c.topo = sim.NewTopology(c.s)
 	c.schedule = GenSchedule(sc)
 	sc.Schedule = c.schedule
+
+	// Resumption exercise: stand up the shared key store and strike
+	// register when the campaign restarts anything (or rotates keys),
+	// and schedule the mid-campaign rotations before any fault fires.
+	wantResume := sc.KeyRotations > 0
+	for _, ev := range c.schedule {
+		if ev.Kind == FaultRestart {
+			wantResume = true
+			break
+		}
+	}
+	if wantResume {
+		ks, err := resume.NewMemory()
+		if err != nil {
+			c.resumeVios = append(c.resumeVios, Violation{
+				Session: -1, Kind: VResume, Detail: fmt.Sprintf("key store init: %v", err),
+			})
+		} else {
+			c.keys = ks
+			c.replay = resume.NewReplay(0, 0)
+			for k := 1; k <= sc.KeyRotations; k++ {
+				at := sc.Duration * sim.Time(k) / sim.Time(sc.KeyRotations+1)
+				c.s.At(at, func() {
+					if err := c.keys.Rotate(); err != nil {
+						c.resumeVios = append(c.resumeVios, Violation{
+							Session: -1, Kind: VResume, Detail: fmt.Sprintf("rotate: %v", err),
+						})
+					}
+				})
+			}
+		}
+	}
 
 	for i := 0; i < sc.Sessions; i++ {
 		c.sessions = append(c.sessions, c.buildSession(i))
@@ -380,6 +449,14 @@ func (c *campaign) buildSession(i int) *fleetSession {
 		c.topo.Attach(i%c.sc.Racks, path)
 		fs.paths = append(fs.paths, path)
 		fs.slots = append(fs.slots, &slot{path: path, pathIdx: p})
+	}
+
+	if c.keys != nil {
+		// Session i's resumption identity. Derived outside the session
+		// rng so enabling the resume exercise never perturbs workload
+		// shapes or timings.
+		fs.psk = sessionPSK(c.sc.Seed, i)
+		fs.sealTicket()
 	}
 
 	startAt := sim.Time(rng.Int63n(int64(100 * time.Millisecond)))
@@ -662,6 +739,110 @@ func (c *campaign) applyFault(ev FaultEvent) {
 		rack := ev.Rack % c.sc.Racks
 		c.topo.SetRackDown(rack, true)
 		c.s.At(ev.At+ev.Dur, func() { c.topo.SetRackDown(rack, false) })
+	case FaultRestart:
+		c.restartSession(fs)
+	}
+}
+
+// sessionPSK derives session i's deterministic resumption PSK (splitmix
+// over seed and index — independent of the session workload rng).
+func sessionPSK(seed int64, i int) []byte {
+	psk := make([]byte, 32)
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i+1)*0xBF58476D1CE4E5B9
+	for j := range psk {
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		psk[j] = byte(z >> 56)
+	}
+	return psk
+}
+
+// sealTicket (re)seals the session's PSK under the key store's current
+// generation — ticket issuance at session start, reissue-on-rotation and
+// full-handshake fallback thereafter.
+func (fs *fleetSession) sealTicket() {
+	t, err := fs.c.keys.Seal(fs.psk)
+	if err != nil {
+		fs.c.resumeVios = append(fs.c.resumeVios, Violation{
+			Session: fs.idx, Kind: VResume, Detail: fmt.Sprintf("seal: %v", err),
+		})
+		return
+	}
+	fs.ticket, fs.ticketGen = t, fs.c.keys.Generation()
+}
+
+// restartSession is FaultRestart: the server process under the session
+// dies and comes back holding only its persisted key file. The ticket
+// resumption runs first (the reconnect's first flight), then every live
+// connection dies at once; the path keeper rejoins and invariant #1
+// proves the transfer survived byte-exact.
+func (c *campaign) restartSession(fs *fleetSession) {
+	if c.keys != nil && fs.ticket != nil {
+		c.resumeTicket(fs)
+	}
+	for _, sl := range fs.slots {
+		if !sl.live {
+			continue
+		}
+		if tc := fs.cl.Conn(sl.connID); tc != nil && !tc.Failed() {
+			tc.Reset()
+		}
+	}
+}
+
+// resumeTicket opens the session's ticket against the shared key store
+// and checks every outcome against the generation-arithmetic oracle:
+// tickets inside the accept window MUST open to the byte-exact PSK
+// (reissuing under old-but-accepted generations), tickets past it MUST
+// fail cleanly, and the 0-RTT strike register admits each ticket's
+// nonce exactly once.
+func (c *campaign) resumeTicket(fs *fleetSession) {
+	vio := func(format string, args ...interface{}) {
+		c.resumeVios = append(c.resumeVios, Violation{
+			Session: fs.idx, Kind: VResume, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	gen := c.keys.Generation()
+	expectOK := gen-fs.ticketGen < uint32(resume.DefaultAcceptWindow)
+	psk, reissue, err := c.keys.OpenTicket(fs.ticket)
+	if err != nil {
+		if expectOK {
+			vio("ticket sealed at gen %d failed to open at gen %d: %v", fs.ticketGen, gen, err)
+		}
+		// Aged out: the clean fallback is a full handshake that mints a
+		// fresh ticket under the current key.
+		c.resume.AgedOut++
+		fs.sealTicket()
+		return
+	}
+	if !expectOK {
+		vio("ticket sealed at gen %d opened at gen %d — past the accept window", fs.ticketGen, gen)
+	}
+	if !bytes.Equal(psk, fs.psk) {
+		vio("recovered PSK differs from the sealed one (gen %d -> %d)", fs.ticketGen, gen)
+	}
+	c.resume.Accepted++
+	if reissue != (gen != fs.ticketGen) {
+		vio("reissue=%v for gen %d ticket at gen %d", reissue, fs.ticketGen, gen)
+	}
+	if nonce, ok := resume.TicketNonce(fs.ticket); ok {
+		if c.replay.Observe(nonce, epoch.Add(c.s.Now())) {
+			c.resume.ZeroRTT++
+		} else {
+			// Same ticket seen before (restarted twice between reissues):
+			// the register refuses 0-RTT and the flight falls back to
+			// 1-RTT — correct, counted, not a violation.
+			c.resume.Replayed++
+		}
+		if e := c.replay.Entries(); e > c.resume.ReplayPeak {
+			c.resume.ReplayPeak = e
+		}
+	} else {
+		vio("sealed ticket too short for a nonce (%d bytes)", len(fs.ticket))
+	}
+	if reissue {
+		c.resume.Reissued++
+		fs.sealTicket()
 	}
 }
 
@@ -746,6 +927,24 @@ func (c *campaign) snapshot(res *Result) {
 			c.checkClosure(fs, add)
 		}
 	}
+
+	// Resumption outcomes and oracle violations (FaultRestart), plus the
+	// bounded-anti-replay leg of invariant 2: the strike register may
+	// never hold more than its two windows' capacity, no matter how many
+	// restarts the campaign threw at it.
+	if c.replay != nil {
+		if e := c.replay.Entries(); e > c.resume.ReplayPeak {
+			c.resume.ReplayPeak = e
+		}
+		if bound := 2 * resume.DefaultReplayCap; c.resume.ReplayPeak > bound {
+			c.resumeVios = append(c.resumeVios, Violation{
+				Session: -1, Kind: VMemReplay,
+				Detail: fmt.Sprintf("strike register peaked at %d entries (bound %d)", c.resume.ReplayPeak, bound),
+			})
+		}
+	}
+	res.Resume = c.resume
+	res.Violations = append(res.Violations, c.resumeVios...)
 }
 
 // checkClosure verifies records sent == records delivered + records

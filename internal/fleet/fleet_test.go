@@ -189,6 +189,58 @@ func TestFleetCatchesInjectedReorderBug(t *testing.T) {
 	}
 }
 
+// TestFleetRestartResume drives a restart-heavy campaign with two
+// mid-campaign ticket-key rotations: every FaultRestart resumes the
+// session's ticket against the shared key store before killing all its
+// connections at once. The campaign's built-in oracle demands byte-exact
+// PSK recovery inside the accept window, reissue under old generations,
+// clean age-out past the window, single-use 0-RTT admission, and a
+// bounded strike register — plus the usual four invariants across the
+// mass restarts.
+func TestFleetRestartResume(t *testing.T) {
+	sc := Scenario{
+		Seed:         77,
+		Sessions:     96,
+		Faults:       96,
+		FaultMix:     FaultMix{RST: 1, Restart: 6},
+		KeyRotations: 2,
+	}
+	res := Run(sc)
+	t.Logf("resume outcomes: %+v (fingerprint %s)", res.Resume, res.Fingerprint())
+	if res.Failed() {
+		for i, v := range res.Violations {
+			if i >= 20 {
+				t.Errorf("... and %d more violations", len(res.Violations)-i)
+				break
+			}
+			t.Errorf("%s", v)
+		}
+		t.Fatalf("restart/resume campaign failed; repro: %s", res.ReproLine())
+	}
+	r := res.Resume
+	if r.Accepted == 0 {
+		t.Fatal("no ticket resumed across any restart")
+	}
+	if r.Reissued == 0 {
+		t.Fatal("no restart landed after a rotation — reissue path unexercised")
+	}
+	if r.ZeroRTT == 0 {
+		t.Fatal("strike register admitted no first-use ticket")
+	}
+	if r.Replayed == 0 {
+		t.Fatal("no session restarted twice on one ticket — replay refusal unexercised")
+	}
+	if r.ReplayPeak == 0 || r.ReplayPeak > r.ZeroRTT {
+		t.Fatalf("strike register peak %d outside (0, %d]", r.ReplayPeak, r.ZeroRTT)
+	}
+
+	// The resume outcomes are part of the determinism contract.
+	if again := Run(sc); again.Fingerprint() != res.Fingerprint() {
+		t.Fatalf("same restart scenario, different campaigns: %s vs %s",
+			res.Fingerprint(), again.Fingerprint())
+	}
+}
+
 // TestFleetArtifactAnalyzable checks the failure-artifact path end to
 // end: RunTraced produces a qlog NDJSON trace that internal/qlog (the
 // engine behind tcpls-trace -check) parses and analyzes cleanly.

@@ -55,6 +55,14 @@ const (
 	// FaultRackOutage blackholes every path attached to Rack for Dur —
 	// the top-of-rack switch dying under a whole group of sessions.
 	FaultRackOutage
+	// FaultRestart is a server-process restart under the target session:
+	// every live connection dies at once, and the session's resumption
+	// ticket is opened against the campaign's shared key store first —
+	// the store the "restarted process" recovered from its key file. The
+	// campaign verifies the recovered PSK byte-exact, honors
+	// reissue-on-rotation, runs the 0-RTT strike register, and treats an
+	// aged-out ticket as a clean full-handshake fallback.
+	FaultRestart
 )
 
 func (k FaultKind) String() string {
@@ -71,6 +79,8 @@ func (k FaultKind) String() string {
 		return "rst_storm"
 	case FaultRackOutage:
 		return "rack_outage"
+	case FaultRestart:
+		return "restart"
 	default:
 		return "fault(?)"
 	}
@@ -93,7 +103,7 @@ type FaultEvent struct {
 // FaultMix weights the fault kinds in a generated schedule. Zero-value
 // mixes get DefaultFaultMix.
 type FaultMix struct {
-	RST, Blackhole, Stall, Degrade, RSTStorm, RackOutage int
+	RST, Blackhole, Stall, Degrade, RSTStorm, RackOutage, Restart int
 }
 
 // DefaultFaultMix skews toward the single-session faults the paper's
@@ -101,7 +111,7 @@ type FaultMix struct {
 var DefaultFaultMix = FaultMix{RST: 4, Blackhole: 3, Stall: 3, Degrade: 2, RSTStorm: 1, RackOutage: 1}
 
 func (m FaultMix) total() int {
-	return m.RST + m.Blackhole + m.Stall + m.Degrade + m.RSTStorm + m.RackOutage
+	return m.RST + m.Blackhole + m.Stall + m.Degrade + m.RSTStorm + m.RackOutage + m.Restart
 }
 
 // Scenario specifies one campaign. The zero value of every field except
@@ -134,6 +144,12 @@ type Scenario struct {
 	// catch via its memory invariant (the self-test of the acceptance
 	// criteria).
 	InjectReorderBug bool
+	// KeyRotations schedules this many evenly spaced ticket-key
+	// rotations inside Duration, so FaultRestart resumptions land
+	// against current, previous, and aged-out key generations. Zero
+	// rotates never; the key store is still created (and tickets
+	// sealed) whenever the schedule contains a restart fault.
+	KeyRotations int
 	// Schedule, when non-nil, overrides generation entirely (the
 	// shrinker replays subsets through this). The workload side still
 	// derives from Seed.
@@ -143,8 +159,8 @@ type Scenario struct {
 // Campaign-wide protocol constants. Deliberately fixed rather than
 // knobs: the invariant budgets below are calibrated against them.
 const (
-	linkRateBps  = 16_000_000 // 2 MB/s per path direction
-	linkDelay    = time.Millisecond
+	linkRateBps = 16_000_000 // 2 MB/s per path direction
+	linkDelay   = time.Millisecond
 	// linkQueue bounds each link's drop-tail queue. Kept small on
 	// purpose: the queue is exactly how many bytes a restored path can
 	// dump into the reorder heap before the gap-filling replay lands, so
@@ -159,9 +175,9 @@ const (
 	// while the legitimate peak is bounded by the caps regardless of how
 	// long a connection takes to die.
 	userTimeout = time.Second
-	pumpEvery    = 10 * time.Millisecond // writer cadence: 4 KiB / 10 ms = 400 KB/s
-	chunkBytes   = 4096
-	maxPayload   = 4096 // one record per chunk
+	pumpEvery   = 10 * time.Millisecond // writer cadence: 4 KiB / 10 ms = 400 KB/s
+	chunkBytes  = 4096
+	maxPayload  = 4096 // one record per chunk
 	reorderCap  = 16 << 10
 	reorderRecs = 64
 	// retransmitCap is the per-stream retransmit budget, and it is what
@@ -270,6 +286,8 @@ func GenSchedule(sc Scenario) []FaultEvent {
 		case pick < mix.RST+mix.Blackhole+mix.Stall+mix.Degrade+mix.RSTStorm:
 			ev.Kind = FaultRSTStorm
 			ev.Stride = 2 + rng.Intn(6)
+		case pick < mix.RST+mix.Blackhole+mix.Stall+mix.Degrade+mix.RSTStorm+mix.Restart:
+			ev.Kind = FaultRestart
 		default:
 			ev.Kind = FaultRackOutage
 			ev.Dur = 150*time.Millisecond + sim.Time(rng.Int63n(int64(250*time.Millisecond)))

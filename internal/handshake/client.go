@@ -41,9 +41,28 @@ func Client(rw MessageRW, cfg *Config) (*Result, error) {
 	if len(cfg.PSK) > 0 && len(cfg.PSKTicket) > 0 {
 		ch.pskTicket = cfg.PSKTicket
 	}
+	// 0-RTT: offer early data only when resuming and the transport can
+	// seal early records. The flight goes out right behind the CH —
+	// before the server has said anything — so the offer is a bet that
+	// the server still holds the ticket key.
+	edRW, edOK := rw.(earlyDataRW)
+	offerEarly := len(cfg.EarlyData) > 0 && len(ch.pskTicket) > 0 && edOK
+	ch.earlyData = offerEarly
 	chBytes := ch.marshal()
 	if err := rw.WriteMessage(chBytes); err != nil {
 		return nil, err
+	}
+	if offerEarly {
+		// The early suite is pinned to the client's first offer: the
+		// server derives the same key before suite negotiation completes.
+		earlySuite, err := record.SuiteByID(cfg.suites()[0])
+		if err != nil {
+			return nil, err
+		}
+		earlySecret := earlyTrafficSecret(earlySuite, cfg.PSK, chBytes)
+		if err := edRW.WriteEarlyData(earlySuite, earlySecret, cfg.EarlyData); err != nil {
+			return nil, err
+		}
 	}
 
 	shBytes, err := rw.ReadMessage()
@@ -125,6 +144,10 @@ func Client(rw MessageRW, cfg *Config) (*Result, error) {
 	}
 
 	res.Resumed = resumed
+	// Early data survives only if the server echoed acceptance AND the
+	// PSK actually seeded the key schedule; any other combination means
+	// the flight was discarded and the caller must resend at 1-RTT.
+	res.EarlyDataAccepted = offerEarly && resumed && ee.earlyAccepted
 
 	// Certificate + CertificateVerify, skipped on joins (possession of
 	// the single-use encrypted cookie authenticates the session binding)
@@ -224,4 +247,56 @@ func Client(rw MessageRW, cfg *Config) (*Result, error) {
 	ks.addTranscript(cfinBytes)
 	res.Secrets.Resumption = ks.trafficSecret("res master")
 	return res, nil
+}
+
+// StartFastJoin writes a single-flight join ClientHello: the caller may
+// immediately follow it with engine records protected by the session's
+// existing application secrets, making the joining connection productive
+// one round trip sooner than Client with cfg.Join. No key exchange
+// happens — possession of the single-use cookie authenticates the
+// binding, and record protection comes from the already-established
+// session keys, so there is nothing for a handshake to derive.
+func StartFastJoin(rw MessageRW, cfg *Config) error {
+	if cfg.Join == nil {
+		return ErrJoinRejected
+	}
+	ch := &clientHello{
+		suites:     cfg.suites(),
+		tcplsHello: true,
+		joinFast:   true,
+		join: &joinRequest{
+			SessID: cfg.Join.SessID,
+			Cookie: cfg.Join.Cookie,
+			ConnID: cfg.Join.ConnID,
+		},
+	}
+	if _, err := io.ReadFull(cfg.rand(), ch.random[:]); err != nil {
+		return err
+	}
+	return rw.WriteMessage(ch.marshal())
+}
+
+// FinishFastJoin reads the server's plaintext join ack. Call after the
+// optimistic first flight is on the wire; a rejection means the cookie
+// was spent for nothing and the piggybacked records were dropped.
+func FinishFastJoin(rw MessageRW) error {
+	msg, err := rw.ReadMessage()
+	if err != nil {
+		return err
+	}
+	typ, body, err := splitMessage(msg)
+	if err != nil {
+		return err
+	}
+	if typ != typeTCPLSJoinAck {
+		return ErrUnexpectedMessage
+	}
+	ack, err := parseJoinAck(body)
+	if err != nil {
+		return err
+	}
+	if !ack.accepted {
+		return ErrJoinRejected
+	}
+	return nil
 }

@@ -1,0 +1,237 @@
+package handshake
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+)
+
+// tcpPair returns two ends of a real loopback TCP connection. 0-RTT
+// tests need kernel socket buffers: the client writes its whole first
+// flight before the server says anything, which deadlocks on the
+// unbuffered net.Pipe.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ac := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ac <- accepted{c, err}
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ac
+	if a.err != nil {
+		cc.Close()
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() { cc.Close(); a.c.Close() })
+	return cc, a.c
+}
+
+// runTCP executes a client/server handshake pair over loopback TCP.
+func runTCP(t *testing.T, ccfg, scfg *Config) (cres, sres *Result, cerr, serr error) {
+	t.Helper()
+	cconn, sconn := tcpPair(t)
+	type out struct {
+		res *Result
+		err error
+	}
+	sc := make(chan out, 1)
+	go func() {
+		res, err := Server(NewTransport(sconn), scfg)
+		sc <- out{res, err}
+	}()
+	cres, cerr = Client(NewTransport(cconn), ccfg)
+	s := <-sc
+	return cres, s.res, cerr, s.err
+}
+
+func resumptionConfigs(t *testing.T, psk []byte) (ccfg, scfg *Config) {
+	t.Helper()
+	cert := testCert(t)
+	ticket := []byte("opaque-ticket")
+	ccfg = &Config{
+		EnableTCPLS: true,
+		PSK:         psk,
+		PSKTicket:   ticket,
+	}
+	scfg = &Config{
+		Certificate: cert,
+		TCPLSServer: true,
+		DecryptTicket: func(tk []byte) ([]byte, bool) {
+			if bytes.Equal(tk, ticket) {
+				return psk, true
+			}
+			return nil, false
+		},
+	}
+	return ccfg, scfg
+}
+
+func TestEarlyDataAccepted(t *testing.T) {
+	psk := bytes.Repeat([]byte{0x42}, 32)
+	ccfg, scfg := resumptionConfigs(t, psk)
+	early := []byte("GET /index.html\r\n\r\n")
+	ccfg.EarlyData = early
+
+	cres, sres, cerr, serr := runTCP(t, ccfg, scfg)
+	if cerr != nil || serr != nil {
+		t.Fatalf("client=%v server=%v", cerr, serr)
+	}
+	if !cres.Resumed || !sres.Resumed {
+		t.Fatal("handshake did not resume")
+	}
+	if !cres.EarlyDataAccepted {
+		t.Fatal("client: early data not accepted")
+	}
+	if !sres.EarlyDataAccepted {
+		t.Fatal("server: early data not accepted")
+	}
+	if !bytes.Equal(sres.EarlyData, early) {
+		t.Fatalf("server early data = %q, want %q", sres.EarlyData, early)
+	}
+	if !bytes.Equal(cres.Secrets.ClientApp, sres.Secrets.ClientApp) {
+		t.Fatal("secrets diverged")
+	}
+}
+
+func TestEarlyDataRejectedFallsBackTo1RTT(t *testing.T) {
+	psk := bytes.Repeat([]byte{0x43}, 32)
+	ccfg, scfg := resumptionConfigs(t, psk)
+	ccfg.EarlyData = []byte("replayable request")
+	scfg.AcceptEarlyData = func([]byte) bool { return false } // replay gate says no
+
+	cres, sres, cerr, serr := runTCP(t, ccfg, scfg)
+	if cerr != nil || serr != nil {
+		t.Fatalf("client=%v server=%v", cerr, serr)
+	}
+	if !cres.Resumed || !sres.Resumed {
+		t.Fatal("handshake did not resume")
+	}
+	if cres.EarlyDataAccepted || sres.EarlyDataAccepted {
+		t.Fatal("rejected early data reported as accepted")
+	}
+	if sres.EarlyData != nil {
+		t.Fatal("discarded early data surfaced to the server")
+	}
+	if !bytes.Equal(cres.Secrets.ClientApp, sres.Secrets.ClientApp) {
+		t.Fatal("secrets diverged after early-data rejection")
+	}
+}
+
+func TestEarlyDataSkippedWhenPSKUnknown(t *testing.T) {
+	// The server lost its ticket keys (restart without a key file): it
+	// cannot even decrypt the early flight, and must skip it byte-bounded
+	// while falling back to a full handshake.
+	psk := bytes.Repeat([]byte{0x44}, 32)
+	ccfg, scfg := resumptionConfigs(t, psk)
+	ccfg.EarlyData = []byte("lost to the void")
+	scfg.DecryptTicket = func([]byte) ([]byte, bool) { return nil, false }
+
+	cres, sres, cerr, serr := runTCP(t, ccfg, scfg)
+	if cerr != nil || serr != nil {
+		t.Fatalf("client=%v server=%v", cerr, serr)
+	}
+	if cres.Resumed || sres.Resumed {
+		t.Fatal("resumed without a recovered PSK")
+	}
+	if cres.EarlyDataAccepted || sres.EarlyDataAccepted {
+		t.Fatal("early data accepted without a PSK")
+	}
+	if !bytes.Equal(cres.Secrets.ClientApp, sres.Secrets.ClientApp) {
+		t.Fatal("secrets diverged after trial skip")
+	}
+}
+
+func TestEarlyDataOverflowRejected(t *testing.T) {
+	psk := bytes.Repeat([]byte{0x45}, 32)
+	ccfg, scfg := resumptionConfigs(t, psk)
+	ccfg.EarlyData = bytes.Repeat([]byte{0xee}, 2048)
+	scfg.MaxEarlyData = 1024 // hostile client exceeds the advertised budget
+
+	_, _, _, serr := runTCP(t, ccfg, scfg)
+	if !errors.Is(serr, ErrEarlyDataOverflow) {
+		t.Fatalf("server error = %v, want ErrEarlyDataOverflow", serr)
+	}
+}
+
+func TestFastJoinSingleFlight(t *testing.T) {
+	cconn, sconn := tcpPair(t)
+	var cookie Cookie
+	cookie[0] = 7
+	var sid SessID
+	sid[0] = 9
+	table := &sessionTable{id: sid, cookies: map[Cookie]bool{cookie: true}}
+
+	type out struct {
+		res *Result
+		err error
+	}
+	sc := make(chan out, 1)
+	go func() {
+		res, err := Server(NewTransport(sconn), &Config{TCPLSServer: true, Sessions: table})
+		sc <- out{res, err}
+	}()
+
+	ct := NewTransport(cconn)
+	cfg := &Config{Join: &JoinTicket{SessID: sid, Cookie: cookie, ConnID: 3}}
+	if err := StartFastJoin(ct, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The optimistic payload would ride here, before the ack arrives.
+	if err := FinishFastJoin(ct); err != nil {
+		t.Fatal(err)
+	}
+	s := <-sc
+	if s.err != nil {
+		t.Fatal(s.err)
+	}
+	if !s.res.FastJoin || !s.res.JoinAccepted {
+		t.Fatal("server did not record a fast join")
+	}
+	if s.res.SessID != sid || s.res.JoinConnID != 3 {
+		t.Fatal("fast join carried wrong session/conn identifiers")
+	}
+	// The cookie was consumed atomically.
+	if table.cookies[cookie] {
+		t.Fatal("cookie not consumed")
+	}
+}
+
+func TestFastJoinBadCookieRejected(t *testing.T) {
+	cconn, sconn := tcpPair(t)
+	var sid SessID
+	table := &sessionTable{id: sid, cookies: map[Cookie]bool{}}
+
+	serrc := make(chan error, 1)
+	go func() {
+		_, err := Server(NewTransport(sconn), &Config{TCPLSServer: true, Sessions: table})
+		serrc <- err
+	}()
+
+	ct := NewTransport(cconn)
+	var cookie Cookie
+	cookie[0] = 0xbad % 0x100
+	cfg := &Config{Join: &JoinTicket{SessID: sid, Cookie: cookie, ConnID: 3}}
+	if err := StartFastJoin(ct, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := FinishFastJoin(ct); !errors.Is(err, ErrJoinRejected) {
+		t.Fatalf("client error = %v, want ErrJoinRejected", err)
+	}
+	if err := <-serrc; !errors.Is(err, ErrJoinRejected) {
+		t.Fatalf("server error = %v, want ErrJoinRejected", err)
+	}
+}

@@ -64,6 +64,13 @@ type Config struct {
 	// authenticates continuity, as in TLS 1.3 resumption).
 	PSK       []byte
 	PSKTicket []byte
+	// EarlyData, with a PSK ticket, is sent as 0-RTT application records
+	// in the first flight (§4.5): the server receives it before its own
+	// first byte crosses the wire. One-shot and replayable by design —
+	// callers gate what goes here; the server side gates acceptance
+	// through its anti-replay register. Requires a transport that
+	// supports early records (Transport does; in-memory tests may not).
+	EarlyData []byte
 
 	// --- server side ---
 	Certificate *Certificate
@@ -79,6 +86,15 @@ type Config struct {
 	// DecryptTicket recovers the PSK from a resumption ticket (server
 	// side); returning ok=false falls back to a full handshake.
 	DecryptTicket func(ticket []byte) (psk []byte, ok bool)
+	// AcceptEarlyData gates one 0-RTT offer after the PSK was recovered:
+	// the listener consults its anti-replay strike register with the
+	// ticket bytes. Returning false (or a nil hook with MaxEarlyData < 0)
+	// makes the server decrypt-and-discard the early flight; the client
+	// falls back to 1-RTT. Never called when the PSK was not recovered.
+	AcceptEarlyData func(ticket []byte) bool
+	// MaxEarlyData budgets the 0-RTT flight in plaintext bytes. Zero
+	// means the default (16 KiB); negative refuses all early data.
+	MaxEarlyData int
 	// OnSessionIssued fires on the server as soon as the session ID and
 	// cookies are sent in EncryptedExtensions — before the handshake
 	// finishes — so the session table can accept joins that race the
@@ -113,6 +129,15 @@ type Result struct {
 	JoinConnID uint32
 	// Resumed reports whether the handshake used a PSK ticket.
 	Resumed bool
+	// EarlyDataAccepted reports that the 0-RTT offer was accepted: the
+	// client's early bytes were (server) or will be (client) delivered
+	// without waiting for the handshake to finish.
+	EarlyDataAccepted bool
+	// EarlyData is the received 0-RTT payload (server side only).
+	EarlyData []byte
+	// FastJoin reports a single-flight join: the connection carried
+	// engine records right behind its ClientHello.
+	FastJoin bool
 	// SessID is the server-assigned session identifier (new sessions)
 	// or the joined session's identifier.
 	SessID SessID
@@ -134,7 +159,36 @@ var (
 	ErrNoCommonSuite     = errors.New("handshake: no common cipher suite")
 	ErrJoinRejected      = errors.New("handshake: server rejected session join")
 	ErrUnexpectedMessage = errors.New("handshake: unexpected message")
+	// ErrEarlyDataOverflow: the peer's 0-RTT flight exceeded the
+	// MaxEarlyData budget (hostile or misconfigured client).
+	ErrEarlyDataOverflow = errors.New("handshake: early data exceeds budget")
 )
+
+// defaultMaxEarlyData bounds a 0-RTT flight when Config.MaxEarlyData is
+// zero. Kept modest: the whole flight must fit in flight-one socket
+// buffers on both sides to avoid a handshake deadlock.
+const defaultMaxEarlyData = 16384
+
+func (c *Config) maxEarlyData() int {
+	switch {
+	case c.MaxEarlyData < 0:
+		return 0
+	case c.MaxEarlyData == 0:
+		return defaultMaxEarlyData
+	}
+	return c.MaxEarlyData
+}
+
+// earlyDataRW is the optional transport extension behind 0-RTT: sealing
+// and consuming records under the early traffic key, and skipping
+// records the server cannot decrypt at all (early data whose PSK it did
+// not recover). Transport implements it; in-memory message pipes used in
+// tests need not.
+type earlyDataRW interface {
+	WriteEarlyData(suite *record.Suite, secret, data []byte) error
+	ReadEarlyData(suite *record.Suite, secret []byte, max int, discard bool) ([]byte, error)
+	SkipUndecryptable(budget int)
+}
 
 func (c *Config) rand() io.Reader {
 	if c.Rand != nil {

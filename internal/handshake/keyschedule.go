@@ -63,6 +63,19 @@ func (ks *keySchedule) advance(ikm []byte) {
 	ks.secret = hkdf.Extract(ks.suite.NewHash, ikm, derived)
 }
 
+// earlyTrafficSecret derives the client_early_traffic_secret protecting
+// 0-RTT records (RFC 8446 §7.1): the early secret is HKDF-Extract(PSK)
+// — the top of the cascade, before any ECDHE input exists — and the
+// traffic secret binds it to the ClientHello alone, the only handshake
+// message on the wire when early records are sealed. Both sides can
+// therefore derive it with nothing but the PSK and the CH bytes.
+func earlyTrafficSecret(suite *record.Suite, psk, chBytes []byte) []byte {
+	early := hkdf.Extract(suite.NewHash, psk, nil)
+	h := suite.NewHash()
+	h.Write(chBytes)
+	return hkdf.DeriveSecret(suite.NewHash, early, "c e traffic", h.Sum(nil))
+}
+
 // trafficSecret derives a traffic secret at the current cascade level,
 // bound to the current transcript.
 func (ks *keySchedule) trafficSecret(label string) []byte {

@@ -14,10 +14,16 @@ const (
 	typeClientHello         = 1
 	typeServerHello         = 2
 	typeNewSessionTicket    = 4
+	typeEndOfEarlyData      = 5
 	typeEncryptedExtensions = 8
 	typeCertificate         = 11
 	typeCertificateVerify   = 15
 	typeFinished            = 20
+	// typeTCPLSJoinAck is the private-use single-flight join answer: it
+	// travels in plaintext (like the join request it answers) so the
+	// joining connection needs no key exchange of its own — its record
+	// protection comes from the session's application secrets.
+	typeTCPLSJoinAck = 250
 )
 
 // Extension codepoints. The TCPLS extensions use the private-use range;
@@ -34,6 +40,8 @@ const (
 	extTCPLSCookie       = 0xfa04
 	extTCPLSUserTimeout  = 0xfa05
 	extTCPLSPSK          = 0xfa06
+	extTCPLSEarlyData    = 0xfa07
+	extTCPLSJoinFast     = 0xfa08
 )
 
 // Sizes of TCPLS session identifiers and join cookies.
@@ -153,7 +161,9 @@ type clientHello struct {
 	keyShare   []byte // X25519 public key
 	tcplsHello bool
 	join       *joinRequest
+	joinFast   bool   // single-flight join: data follows this CH immediately
 	pskTicket  []byte // resumption ticket (PSK mode, §4.5)
+	earlyData  bool   // 0-RTT offer: early records follow this CH
 }
 
 func (m *clientHello) marshal() []byte {
@@ -182,8 +192,14 @@ func (m *clientHello) marshal() []byte {
 	if m.join != nil {
 		exts = append(exts, extension{extTCPLSJoin, m.join.marshal()})
 	}
+	if m.joinFast {
+		exts = append(exts, extension{extTCPLSJoinFast, nil})
+	}
 	if len(m.pskTicket) > 0 {
 		exts = append(exts, extension{extTCPLSPSK, m.pskTicket})
+	}
+	if m.earlyData {
+		exts = append(exts, extension{extTCPLSEarlyData, nil})
 	}
 	b = appendExtensions(b, exts)
 	return wrap(typeClientHello, b)
@@ -222,9 +238,11 @@ func parseClientHello(body []byte) (*clientHello, error) {
 			return nil, err
 		}
 	}
+	_, m.joinFast = findExtension(exts, extTCPLSJoinFast)
 	if data, ok := findExtension(exts, extTCPLSPSK); ok {
 		m.pskTicket = data
 	}
+	_, m.earlyData = findExtension(exts, extTCPLSEarlyData)
 	return m, nil
 }
 
@@ -285,18 +303,22 @@ func parseServerHello(body []byte) (*serverHello, error) {
 // encryptedExtensions carries the server's TCPLS announcements, protected
 // under the handshake keys so middleboxes never see them (paper §3.2).
 type encryptedExtensions struct {
-	tcplsHello  bool
-	joinAck     bool
-	sessID      *SessID
-	cookies     []Cookie
-	addrs       []netip.Addr
-	userTimeout uint32 // milliseconds, 0 = absent
+	tcplsHello    bool
+	joinAck       bool
+	earlyAccepted bool // echo of the 0-RTT offer: early data will be read
+	sessID        *SessID
+	cookies       []Cookie
+	addrs         []netip.Addr
+	userTimeout   uint32 // milliseconds, 0 = absent
 }
 
 func (m *encryptedExtensions) marshal() []byte {
 	var exts []extension
 	if m.tcplsHello {
 		exts = append(exts, extension{extTCPLSHello, nil})
+	}
+	if m.earlyAccepted {
+		exts = append(exts, extension{extTCPLSEarlyData, nil})
 	}
 	if m.joinAck {
 		exts = append(exts, extension{extTCPLSJoin, []byte{1}})
@@ -334,6 +356,7 @@ func parseEncryptedExtensions(body []byte) (*encryptedExtensions, error) {
 		return nil, ErrDecode
 	}
 	_, m.tcplsHello = findExtension(exts, extTCPLSHello)
+	_, m.earlyAccepted = findExtension(exts, extTCPLSEarlyData)
 	if data, ok := findExtension(exts, extTCPLSJoin); ok {
 		m.joinAck = len(data) == 1 && data[0] == 1
 	}
@@ -437,6 +460,36 @@ func parseFinished(body []byte) (*finishedMsg, error) {
 		return nil, ErrDecode
 	}
 	return &finishedMsg{verifyData: body}, nil
+}
+
+// endOfEarlyData terminates the client's 0-RTT flight (RFC 8446 §4.5's
+// message, sent here in the first flight itself so the server's early
+// read loop has a deterministic end without waiting a round trip). It is
+// protected under the early traffic key and excluded from the handshake
+// transcript: a server that never recovered the PSK cannot read it, so
+// it cannot be part of the hash both sides must agree on.
+type endOfEarlyData struct{}
+
+func (endOfEarlyData) marshal() []byte { return wrap(typeEndOfEarlyData, nil) }
+
+// joinAckMsg answers a single-flight join request. One byte: accepted.
+type joinAckMsg struct {
+	accepted bool
+}
+
+func (m *joinAckMsg) marshal() []byte {
+	b := []byte{0}
+	if m.accepted {
+		b[0] = 1
+	}
+	return wrap(typeTCPLSJoinAck, b)
+}
+
+func parseJoinAck(body []byte) (*joinAckMsg, error) {
+	if len(body) != 1 || body[0] > 1 {
+		return nil, ErrDecode
+	}
+	return &joinAckMsg{accepted: body[0] == 1}, nil
 }
 
 // newSessionTicket lets the server hand the client a resumption ticket

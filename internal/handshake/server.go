@@ -2,6 +2,8 @@ package handshake
 
 import (
 	"io"
+
+	"tcpls/internal/record"
 )
 
 // Server runs the server side of the TCPLS handshake over rw.
@@ -22,6 +24,30 @@ func Server(rw MessageRW, cfg *Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Single-flight join: validate the cookie and answer with a plaintext
+	// ack — no key exchange, no suite negotiation. The client's engine
+	// records ride directly behind its ClientHello (they surface via
+	// Leftover) and are protected by the session's existing application
+	// secrets, so the connection is productive one round trip sooner.
+	if ch.join != nil && ch.joinFast {
+		accepted := cfg.Sessions != nil && cfg.Sessions.ValidateJoin(ch.join.SessID, ch.join.Cookie)
+		ack := &joinAckMsg{accepted: accepted}
+		if err := rw.WriteMessage(ack.marshal()); err != nil {
+			return nil, err
+		}
+		if !accepted {
+			return nil, ErrJoinRejected
+		}
+		return &Result{
+			TCPLSEnabled: true,
+			JoinAccepted: true,
+			FastJoin:     true,
+			SessID:       ch.join.SessID,
+			JoinConnID:   ch.join.ConnID,
+		}, nil
+	}
+
 	suite, err := pickSuite(ch.suites, cfg.suites())
 	if err != nil {
 		return nil, err
@@ -87,7 +113,25 @@ func Server(rw MessageRW, cfg *Config) (*Result, error) {
 	tcpls := cfg.TCPLSServer && ch.tcplsHello
 	res := &Result{TCPLSEnabled: tcpls, JoinAccepted: isJoin, Resumed: psk != nil}
 
-	ee := &encryptedExtensions{tcplsHello: tcpls}
+	// 0-RTT disposition. The early flight is sealed under the client's
+	// first-offered suite (negotiation has not happened when it is sent),
+	// so we can read it only when we recovered the PSK, support that
+	// suite, and the transport exposes early-record access. Acceptance is
+	// stricter still: a positive budget and a green light from the
+	// anti-replay hook. Readable-but-rejected flights are decrypted and
+	// discarded; unreadable ones are skipped byte-bounded.
+	edRW, edOK := rw.(earlyDataRW)
+	var earlySuite *record.Suite
+	if ch.earlyData && len(ch.suites) > 0 {
+		if s, err := record.SuiteByID(ch.suites[0]); err == nil {
+			earlySuite = s
+		}
+	}
+	canReadEarly := ch.earlyData && psk != nil && edOK && earlySuite != nil
+	acceptEarly := canReadEarly && tcpls && cfg.maxEarlyData() > 0 &&
+		(cfg.AcceptEarlyData == nil || cfg.AcceptEarlyData(ch.pskTicket))
+
+	ee := &encryptedExtensions{tcplsHello: tcpls, earlyAccepted: acceptEarly}
 	switch {
 	case isJoin:
 		ee.joinAck = true
@@ -149,6 +193,34 @@ func Server(rw MessageRW, cfg *Config) (*Result, error) {
 	ks.addTranscript(finBytes)
 
 	res.Secrets = deriveAppSecrets(ks)
+
+	// The client's early flight sits between its ClientHello and its
+	// Finished on the wire; drain it before expecting the Finished.
+	switch {
+	case canReadEarly:
+		budget := cfg.maxEarlyData()
+		if budget == 0 {
+			budget = defaultMaxEarlyData // discard path with MaxEarlyData < 0
+		}
+		earlySecret := earlyTrafficSecret(earlySuite, psk, chBytes)
+		data, err := edRW.ReadEarlyData(earlySuite, earlySecret, budget, !acceptEarly)
+		if err != nil {
+			return nil, err
+		}
+		if acceptEarly {
+			res.EarlyDataAccepted = true
+			res.EarlyData = data
+		}
+	case ch.earlyData && edOK:
+		// PSK not recovered (or suite unsupported): the early records are
+		// noise we cannot decrypt. Skip them within a bounded budget —
+		// sealing overhead rides on top of the plaintext cap.
+		budget := cfg.maxEarlyData()
+		if budget < defaultMaxEarlyData {
+			budget = defaultMaxEarlyData
+		}
+		edRW.SkipUndecryptable(budget + 4096)
+	}
 
 	// Client Finished.
 	cfinBytes, err := rw.ReadMessage()

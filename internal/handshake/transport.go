@@ -23,6 +23,12 @@ type Transport struct {
 
 	send *record.StreamContext // nil until handshake keys installed
 	recv *record.StreamContext
+
+	// skipBudget, when positive, tolerates records that fail decryption
+	// during the encrypted phase: a server that could not recover a
+	// 0-RTT client's PSK drops the undecryptable early flight (bounded)
+	// instead of failing the handshake. Decrements by wire bytes.
+	skipBudget int
 }
 
 // NewTransport wraps a byte stream (usually a TCP connection).
@@ -72,23 +78,33 @@ func (t *Transport) ReadMessage() ([]byte, error) {
 		if msg, ok, err := t.nextFromPending(); err != nil || ok {
 			return msg, err
 		}
+		rec, err := t.nextRecord()
+		if err != nil {
+			return nil, err
+		}
+		if err := t.consumeRecord(rec); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// nextRecord blocks for the next full wire record.
+func (t *Transport) nextRecord() ([]byte, error) {
+	for {
 		rec, ok, err := t.deframer.Next()
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
-			t.deframer.Compact() // about to reuse readBuf
-			n, err := t.rw.Read(t.readBuf)
-			if n > 0 {
-				t.deframer.Feed(t.readBuf[:n])
-				continue
-			}
-			if err != nil {
-				return nil, err
-			}
+		if ok {
+			return rec, nil
+		}
+		t.deframer.Compact() // about to reuse readBuf
+		n, err := t.rw.Read(t.readBuf)
+		if n > 0 {
+			t.deframer.Feed(t.readBuf[:n])
 			continue
 		}
-		if err := t.consumeRecord(rec); err != nil {
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -104,6 +120,14 @@ func (t *Transport) consumeRecord(rec []byte) error {
 	}
 	ct, content, err := t.recv.Open(rec)
 	if err != nil {
+		// Trial skip (0-RTT reject without the PSK): drop records the
+		// handshake keys do not authenticate, within the armed budget. A
+		// failed Open does not advance the receive sequence, so the
+		// client Finished that eventually follows still decrypts.
+		if errors.Is(err, record.ErrDecrypt) && t.skipBudget >= len(rec) {
+			t.skipBudget -= len(rec)
+			return nil
+		}
 		return err
 	}
 	if ct != record.ContentTypeHandshake {
@@ -111,6 +135,92 @@ func (t *Transport) consumeRecord(rec []byte) error {
 	}
 	t.pending = append(t.pending, content...)
 	return nil
+}
+
+// SkipUndecryptable arms the trial-skip budget (wire bytes) for rejected
+// 0-RTT flights the transport cannot decrypt.
+func (t *Transport) SkipUndecryptable(budget int) { t.skipBudget = budget }
+
+// earlyContext builds the stream-0 record context for the 0-RTT key.
+func earlyContext(suite *record.Suite, secret []byte) (*record.StreamContext, error) {
+	key, iv := record.DeriveTrafficKeys(suite, secret)
+	return record.NewStreamContext(suite, key, iv, 0)
+}
+
+// WriteEarlyData seals the client's 0-RTT flight: application records
+// under the early traffic key, terminated by EndOfEarlyData under the
+// same key. Sent immediately after the ClientHello, before any server
+// byte arrives.
+func (t *Transport) WriteEarlyData(suite *record.Suite, secret, data []byte) error {
+	ctx, err := earlyContext(suite, secret)
+	if err != nil {
+		return err
+	}
+	for len(data) > 0 {
+		n := len(data)
+		if n > record.MaxPlaintextLen {
+			n = record.MaxPlaintextLen
+		}
+		rec, err := ctx.Seal(nil, record.ContentTypeApplicationData, data[:n], 0)
+		if err != nil {
+			return err
+		}
+		if _, err := t.rw.Write(rec); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	rec, err := ctx.Seal(nil, record.ContentTypeHandshake, endOfEarlyData{}.marshal(), 0)
+	if err != nil {
+		return err
+	}
+	_, err = t.rw.Write(rec)
+	return err
+}
+
+// ReadEarlyData consumes the client's 0-RTT flight under the early key,
+// up to max plaintext bytes, returning at EndOfEarlyData. With discard
+// the payload is authenticated, counted against the same budget, and
+// dropped — the decrypt-and-discard path of a rejected-but-readable
+// offer. Must run after the ClientHello and before the next ReadMessage.
+func (t *Transport) ReadEarlyData(suite *record.Suite, secret []byte, max int, discard bool) ([]byte, error) {
+	ctx, err := earlyContext(suite, secret)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	budget := max
+	for {
+		rec, err := t.nextRecord()
+		if err != nil {
+			return nil, err
+		}
+		ct, content, err := ctx.Open(rec)
+		if err != nil {
+			return nil, err
+		}
+		switch ct {
+		case record.ContentTypeApplicationData:
+			budget -= len(content)
+			if budget < 0 {
+				return nil, ErrEarlyDataOverflow
+			}
+			if !discard {
+				out = append(out, content...)
+			}
+		case record.ContentTypeHandshake:
+			typ, _, err := splitMessage(content)
+			if err != nil {
+				return nil, err
+			}
+			if typ != typeEndOfEarlyData {
+				return nil, ErrUnexpectedMessage
+			}
+			return out, nil
+		default:
+			return nil, fmt.Errorf("handshake: unexpected inner type %d in early data", ct)
+		}
+	}
 }
 
 // nextFromPending extracts one complete handshake message if buffered.

@@ -12,16 +12,16 @@ import (
 // records, failover retransmits, and control records; Received counts
 // delivered records plus duplicates dropped by failover dedup.
 type PathCounts struct {
-	Conn          uint32 `json:"conn"`
-	RecordsSent   uint64 `json:"records_sent"`
-	RecordsRecv   uint64 `json:"records_received"`
-	DataSent      uint64 `json:"data_sent"`
-	CtlSent       uint64 `json:"ctl_sent"`
-	CtlRecv       uint64 `json:"ctl_received"`
-	Retransmits   uint64 `json:"retransmits"`
-	DupDropped    uint64 `json:"dup_dropped"`
-	AcksSent      uint64 `json:"acks_sent"`
-	AcksReceived  uint64 `json:"acks_received"`
+	Conn         uint32 `json:"conn"`
+	RecordsSent  uint64 `json:"records_sent"`
+	RecordsRecv  uint64 `json:"records_received"`
+	DataSent     uint64 `json:"data_sent"`
+	CtlSent      uint64 `json:"ctl_sent"`
+	CtlRecv      uint64 `json:"ctl_received"`
+	Retransmits  uint64 `json:"retransmits"`
+	DupDropped   uint64 `json:"dup_dropped"`
+	AcksSent     uint64 `json:"acks_sent"`
+	AcksReceived uint64 `json:"acks_received"`
 	// BytesSent/BytesReceived count stream-data payload only, matching
 	// tcpls_bytes_sent_total / tcpls_bytes_received_total.
 	BytesSent     uint64 `json:"bytes_sent"`
@@ -56,15 +56,49 @@ type FailoverGap struct {
 
 // SpanStats aggregates record-lifecycle spans.
 type SpanStats struct {
-	Count       int   `json:"count"`
-	RetxSpans   int   `json:"retx_spans"`
-	QueueP50US  int64 `json:"queue_p50_us"`  // enqueue -> sealed
-	QueueP99US  int64 `json:"queue_p99_us"`
-	WireP50US   int64 `json:"wire_p50_us"`   // written -> acked
-	WireP99US   int64 `json:"wire_p99_us"`
-	TotalP50US  int64 `json:"total_p50_us"`  // enqueue -> acked
-	TotalP99US  int64 `json:"total_p99_us"`
-	TotalMaxUS  int64 `json:"total_max_us"`
+	Count      int   `json:"count"`
+	RetxSpans  int   `json:"retx_spans"`
+	QueueP50US int64 `json:"queue_p50_us"` // enqueue -> sealed
+	QueueP99US int64 `json:"queue_p99_us"`
+	WireP50US  int64 `json:"wire_p50_us"` // written -> acked
+	WireP99US  int64 `json:"wire_p99_us"`
+	TotalP50US int64 `json:"total_p50_us"` // enqueue -> acked
+	TotalP99US int64 `json:"total_p99_us"`
+	TotalMaxUS int64 `json:"total_max_us"`
+}
+
+// JoinGap is the time from a join landing on a session (the
+// join_accepted / join_fastpath mark on its new connection) to the
+// first record flowing on that connection — the user-visible cost of
+// bringing a path up. Fast-path joins should close their gap roughly
+// one RTT sooner than two-flight joins.
+type JoinGap struct {
+	Conn       uint32 `json:"conn"`
+	Fastpath   bool   `json:"fastpath"`
+	StartUS    int64  `json:"start_us"`
+	EndUS      int64  `json:"end_us,omitempty"`
+	DurationUS int64  `json:"duration_us,omitempty"`
+	Closed     bool   `json:"closed"`
+}
+
+// ResumptionStats counts the session-establishment marks on the trace:
+// ticket lifecycle, resume and 0-RTT dispositions, and join fast-path
+// usage. Counts are zero (and the section omitted from summaries) on
+// traces that never touch resumption.
+type ResumptionStats struct {
+	TicketsIssued   int `json:"tickets_issued,omitempty"`
+	TicketsReceived int `json:"tickets_received,omitempty"`
+	TicketsReissued int `json:"tickets_reissued,omitempty"`
+	ResumeAccepted  int `json:"resume_accepted,omitempty"`
+	ResumeRejected  int `json:"resume_rejected,omitempty"`
+	// ResumptionRate is accepted / (accepted + rejected), 0 when no
+	// resumption was attempted.
+	ResumptionRate float64   `json:"resumption_rate,omitempty"`
+	EarlyAccepted  int       `json:"early_data_accepted,omitempty"`
+	EarlyRejected  int       `json:"early_data_rejected,omitempty"`
+	EarlyBytes     int       `json:"early_data_bytes,omitempty"`
+	JoinFastpath   int       `json:"join_fastpath,omitempty"`
+	JoinGaps       []JoinGap `json:"join_gaps,omitempty"`
 }
 
 // ReorderStats summarizes reorder-buffer depth over the trace.
@@ -78,16 +112,17 @@ type ReorderStats struct {
 
 // Report is the full analysis of one trace.
 type Report struct {
-	Events     int            `json:"events"`
-	StartUS    int64          `json:"start_us"`
-	EndUS      int64          `json:"end_us"`
-	Paths      []PathCounts   `json:"paths"`
-	Goodput    []PathSeries   `json:"goodput,omitempty"`
-	RTT        []PathSeries   `json:"rtt,omitempty"`
-	Failovers  []FailoverGap  `json:"failovers,omitempty"`
-	Spans      SpanStats      `json:"spans"`
-	Reorder    ReorderStats   `json:"reorder"`
-	Violations []string       `json:"violations,omitempty"`
+	Events     int             `json:"events"`
+	StartUS    int64           `json:"start_us"`
+	EndUS      int64           `json:"end_us"`
+	Paths      []PathCounts    `json:"paths"`
+	Goodput    []PathSeries    `json:"goodput,omitempty"`
+	RTT        []PathSeries    `json:"rtt,omitempty"`
+	Failovers  []FailoverGap   `json:"failovers,omitempty"`
+	Resumption ResumptionStats `json:"resumption"`
+	Spans      SpanStats       `json:"spans"`
+	Reorder    ReorderStats    `json:"reorder"`
+	Violations []string        `json:"violations,omitempty"`
 }
 
 // Options tunes Analyze.
@@ -126,6 +161,36 @@ func Analyze(events []Event, opts Options) *Report {
 	var gaps []FailoverGap
 	open := -1 // index into gaps of the unclosed one, or -1
 
+	// Join gaps: conn -> index into rep.Resumption.JoinGaps of the gap
+	// still waiting for its first record.
+	openJoins := map[uint32]int{}
+	markJoin := func(ev *Event, fastpath bool) {
+		if ev.Conn == 0 {
+			// Listener-level marks (noteSessionTrace) carry conn 0; the
+			// client-side mark on the actual connection opens the gap.
+			return
+		}
+		if _, dup := openJoins[ev.Conn]; dup {
+			// A fastpath join notes join_fastpath then join_accepted on
+			// the same conn — keep the earliest mark.
+			return
+		}
+		rep.Resumption.JoinGaps = append(rep.Resumption.JoinGaps,
+			JoinGap{Conn: ev.Conn, Fastpath: fastpath, StartUS: ev.TimeUS})
+		openJoins[ev.Conn] = len(rep.Resumption.JoinGaps) - 1
+	}
+	closeJoin := func(ev *Event) {
+		idx, ok := openJoins[ev.Conn]
+		if !ok {
+			return
+		}
+		g := &rep.Resumption.JoinGaps[idx]
+		g.EndUS = ev.TimeUS
+		g.DurationUS = ev.TimeUS - g.StartUS
+		g.Closed = true
+		delete(openJoins, ev.Conn)
+	}
+
 	for i := range events {
 		ev := &events[i]
 		if ev.TimeUS != 0 {
@@ -144,14 +209,17 @@ func Analyze(events []Event, opts Options) *Report {
 			pc.BytesSent += uint64(ev.Bytes)
 			bump(goodput, ev.Conn, ev.TimeUS, ivUS, float64(ev.Bytes))
 			closeGap(gaps, &open, ev, rep)
+			closeJoin(ev)
 		case "ctl_sent":
 			pc := path(ev.Conn)
 			pc.RecordsSent++
 			pc.CtlSent++
+			closeJoin(ev)
 		case "ctl_received":
 			pc := path(ev.Conn)
 			pc.RecordsRecv++
 			pc.CtlRecv++
+			closeJoin(ev)
 		case "retransmit":
 			pc := path(ev.Conn)
 			pc.RecordsSent++
@@ -160,15 +228,38 @@ func Analyze(events []Event, opts Options) *Report {
 				gaps[open].Retransmits++
 			}
 			closeGap(gaps, &open, ev, rep)
+			closeJoin(ev)
 		case "record_received":
 			pc := path(ev.Conn)
 			pc.RecordsRecv++
 			pc.BytesReceived += uint64(ev.Bytes)
+			closeJoin(ev)
 		case "dup_dropped":
 			pc := path(ev.Conn)
 			pc.RecordsRecv++
 			pc.DupDropped++
 			pc.BytesReceived += uint64(ev.Bytes)
+			closeJoin(ev)
+		case "ticket_issued":
+			rep.Resumption.TicketsIssued++
+		case "ticket_received":
+			rep.Resumption.TicketsReceived++
+		case "ticket_reissued":
+			rep.Resumption.TicketsReissued++
+		case "resume_accepted":
+			rep.Resumption.ResumeAccepted++
+		case "resume_rejected":
+			rep.Resumption.ResumeRejected++
+		case "early_data_accepted":
+			rep.Resumption.EarlyAccepted++
+			rep.Resumption.EarlyBytes += ev.Bytes
+		case "early_data_rejected":
+			rep.Resumption.EarlyRejected++
+		case "join_fastpath":
+			rep.Resumption.JoinFastpath++
+			markJoin(ev, true)
+		case "join_accepted":
+			markJoin(ev, false)
 		case "ack_sent":
 			path(ev.Conn).AcksSent++
 		case "ack_received":
@@ -233,6 +324,10 @@ func Analyze(events []Event, opts Options) *Report {
 				"failover gap on conn %d lasted %v, budget %v", g.FailedConn,
 				time.Duration(g.DurationUS)*time.Microsecond, opts.MaxGap))
 		}
+	}
+
+	if att := rep.Resumption.ResumeAccepted + rep.Resumption.ResumeRejected; att > 0 {
+		rep.Resumption.ResumptionRate = float64(rep.Resumption.ResumeAccepted) / float64(att)
 	}
 
 	rep.Spans.QueueP50US = pctInt64(queueDs, 50)

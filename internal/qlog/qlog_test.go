@@ -201,3 +201,55 @@ func TestAnalyzeGoodputSeries(t *testing.T) {
 		t.Fatalf("goodput values: %+v", b)
 	}
 }
+
+const resumeSample = `{"qlog_version":"0.3","qlog_format":"NDJSON","title":"tcpls"}
+{"time_us":1000,"category":"transport","type":"ticket_issued","data":{"conn":0,"bytes":64}}
+{"time_us":1100,"category":"transport","type":"resume_accepted","data":{"conn":0}}
+{"time_us":1200,"category":"transport","type":"ticket_reissued","data":{"conn":0}}
+{"time_us":1300,"category":"transport","type":"resume_rejected","data":{"conn":0}}
+{"time_us":1400,"category":"transport","type":"early_data_accepted","data":{"conn":0,"stream":2,"bytes":512}}
+{"time_us":1500,"category":"transport","type":"early_data_rejected","data":{"conn":0}}
+{"time_us":2000,"category":"transport","type":"join_fastpath","data":{"conn":3,"bytes":100}}
+{"time_us":2250,"category":"transport","type":"record_sent","data":{"conn":3,"stream":2,"seq":0,"bytes":100}}
+{"time_us":3000,"category":"transport","type":"join_accepted","data":{"conn":5}}
+{"time_us":3600,"category":"transport","type":"record_sent","data":{"conn":5,"stream":4,"seq":0,"bytes":80}}
+{"time_us":4000,"category":"transport","type":"join_fastpath","data":{"conn":0}}
+`
+
+func TestAnalyzeResumption(t *testing.T) {
+	events, err := Parse(strings.NewReader(resumeSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(events, Options{})
+	r := rep.Resumption
+	if r.TicketsIssued != 1 || r.TicketsReissued != 1 {
+		t.Fatalf("ticket counts: %+v", r)
+	}
+	if r.ResumeAccepted != 1 || r.ResumeRejected != 1 || r.ResumptionRate != 0.5 {
+		t.Fatalf("resume counts: %+v", r)
+	}
+	if r.EarlyAccepted != 1 || r.EarlyRejected != 1 || r.EarlyBytes != 512 {
+		t.Fatalf("early-data counts: %+v", r)
+	}
+	// Two join fastpath marks: one on a real conn, one listener-level
+	// (conn 0) that must not open a gap.
+	if r.JoinFastpath != 2 {
+		t.Fatalf("join_fastpath = %d, want 2", r.JoinFastpath)
+	}
+	if len(r.JoinGaps) != 2 {
+		t.Fatalf("join gaps = %d, want 2", len(r.JoinGaps))
+	}
+	fast, slow := r.JoinGaps[0], r.JoinGaps[1]
+	if !fast.Fastpath || !fast.Closed || fast.DurationUS != 250 {
+		t.Fatalf("fastpath gap: %+v", fast)
+	}
+	if slow.Fastpath || !slow.Closed || slow.DurationUS != 600 {
+		t.Fatalf("two-flight gap: %+v", slow)
+	}
+	// Resumption marks are informational: -check must stay exact, so no
+	// violations from this trace.
+	if len(rep.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", rep.Violations)
+	}
+}

@@ -1,0 +1,62 @@
+package resume
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzTicket feeds hostile bytes to both parsers that accept
+// attacker-controlled input: OpenTicket (tickets arrive in plaintext
+// ClientHellos) and the key-file decoder (an operator may point the
+// server at a tampered file). Rejects must be the typed errors — never a
+// panic, and never an allocation sized by claimed lengths.
+func FuzzTicket(f *testing.F) {
+	ks, err := NewMemory()
+	if err != nil {
+		f.Fatal(err)
+	}
+	genuine, err := ks.Seal(bytes.Repeat([]byte{0x42}, 32))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(genuine)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add(append([]byte(nil), fileMagic...))
+
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed-keys")
+	if _, err := Open(path, nil); err != nil {
+		f.Fatal(err)
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		f.Add(raw)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Ticket path: any outcome but a genuine open must be ErrBadTicket.
+		if psk, _, err := ks.OpenTicket(data); err != nil {
+			if !errors.Is(err, ErrBadTicket) {
+				t.Fatalf("untyped ticket reject: %v", err)
+			}
+			if psk != nil {
+				t.Fatal("reject returned a psk")
+			}
+		}
+
+		// Key-file path: decode through a fresh store so state never
+		// leaks between inputs. Only ErrBadKeyFile may reject.
+		tmp := &KeyStore{window: DefaultAcceptWindow}
+		if err := tmp.decodeLocked(data); err != nil {
+			if !errors.Is(err, ErrBadKeyFile) {
+				t.Fatalf("untyped key-file reject: %v", err)
+			}
+		} else if len(tmp.keys) == 0 || len(tmp.keys) > maxKeyFileEntries {
+			t.Fatalf("accepted key file with %d keys", len(tmp.keys))
+		}
+	})
+}

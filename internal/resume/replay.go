@@ -1,0 +1,116 @@
+package resume
+
+import (
+	"sync"
+	"time"
+)
+
+// Replay defaults: two rotating windows of DefaultReplayWindow each, so
+// a strike is remembered between one and two windows — longer than any
+// plausible 0-RTT flight reordering — with at most 2×DefaultReplayCap
+// entries alive.
+const (
+	DefaultReplayWindow = 30 * time.Second
+	DefaultReplayCap    = 4096
+)
+
+// Replay is the bounded anti-replay strike register gating 0-RTT early
+// data (the ticket-nonce strike register of RFC 8446 §8's single-use
+// model, bounded like QUIC server deployments bound theirs). It keys
+// strikes on the ticket's unique nonce: replaying an early-data first
+// flight necessarily replays the ticket, hence the nonce.
+//
+// Memory is bounded two ways: entries older than two windows are gone
+// (the windows rotate wholesale, no per-entry timers), and a window that
+// reaches its capacity fails safe — further first sightings are REJECTED
+// (falling back to 1-RTT) rather than admitted untracked, so an attacker
+// flooding the register cannot widen the replay window.
+type Replay struct {
+	mu       sync.Mutex
+	window   time.Duration
+	capacity int
+
+	cur      map[[ticketNonceLen]byte]struct{}
+	prev     map[[ticketNonceLen]byte]struct{}
+	curStart time.Time
+
+	accepted uint64
+	rejected uint64
+}
+
+// NewReplay builds a strike register with the given rotation window and
+// per-window capacity; zero or negative values select the defaults.
+func NewReplay(window time.Duration, capacity int) *Replay {
+	if window <= 0 {
+		window = DefaultReplayWindow
+	}
+	if capacity <= 0 {
+		capacity = DefaultReplayCap
+	}
+	return &Replay{
+		window:   window,
+		capacity: capacity,
+		cur:      make(map[[ticketNonceLen]byte]struct{}),
+		prev:     make(map[[ticketNonceLen]byte]struct{}),
+	}
+}
+
+// Observe records the first sighting of nonce and returns true; a nonce
+// already seen within the last one-to-two windows returns false, as does
+// a first sighting when the current window is full (fail-safe: the
+// caller falls back to 1-RTT, which is always correct).
+func (r *Replay) Observe(nonce [ticketNonceLen]byte, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rotateLocked(now)
+	if _, seen := r.cur[nonce]; seen {
+		r.rejected++
+		return false
+	}
+	if _, seen := r.prev[nonce]; seen {
+		r.rejected++
+		return false
+	}
+	if len(r.cur) >= r.capacity {
+		r.rejected++
+		return false
+	}
+	r.cur[nonce] = struct{}{}
+	r.accepted++
+	return true
+}
+
+// rotateLocked advances the two-window scheme: after one window the
+// current set becomes the previous; after two both are empty.
+func (r *Replay) rotateLocked(now time.Time) {
+	if r.curStart.IsZero() {
+		r.curStart = now
+		return
+	}
+	elapsed := now.Sub(r.curStart)
+	switch {
+	case elapsed >= 2*r.window:
+		r.cur = make(map[[ticketNonceLen]byte]struct{})
+		r.prev = make(map[[ticketNonceLen]byte]struct{})
+		r.curStart = now
+	case elapsed >= r.window:
+		r.prev = r.cur
+		r.cur = make(map[[ticketNonceLen]byte]struct{})
+		r.curStart = r.curStart.Add(r.window)
+	}
+}
+
+// Entries reports how many strikes are currently held (both windows) —
+// the number the bounded-memory invariant watches.
+func (r *Replay) Entries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cur) + len(r.prev)
+}
+
+// Stats reports lifetime accept/reject counts.
+func (r *Replay) Stats() (accepted, rejected uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.accepted, r.rejected
+}

@@ -47,6 +47,21 @@ type Config struct {
 	Name string
 	// MetricsRegistry overrides the process-default telemetry registry.
 	MetricsRegistry *telemetry.Registry
+
+	// TicketKeyFile persists the resumption ticket keys: sessions
+	// resumed against a restarted server keep working as long as the
+	// file (and passphrase) survive. The file is created on first use
+	// and encrypted under TicketKeyPassphrase. Empty leaves the
+	// transport's default (fresh in-memory key per listener). Ignored
+	// when Config.TCPLS already carries a TicketKeys store.
+	TicketKeyFile string
+	// TicketKeyPassphrase encrypts TicketKeyFile (required with it).
+	TicketKeyPassphrase []byte
+	// TicketRotate rotates the ticket key on this period while the
+	// server runs: new tickets seal under the fresh generation, the
+	// previous generation stays accepted, and accepted old-generation
+	// tickets are reissued on use. Zero disables timed rotation.
+	TicketRotate time.Duration
 }
 
 // Server runs a TCPLS accept loop for thousands of concurrent
@@ -64,10 +79,13 @@ type Server struct {
 
 	mu         sync.Mutex
 	ln         *tcpls.Listener
+	keys       *tcpls.TicketKeyStore // opened from TicketKeyFile, lazily
 	serving    bool
 	serveExit  chan struct{} // closed when Serve's accept loop returns
 	rollupStop chan struct{}
 	rollupDone chan struct{}
+	rotateStop chan struct{}
+	rotateDone chan struct{}
 }
 
 // New builds a Server. Serve or ListenAndServe starts it.
@@ -115,7 +133,34 @@ func (s *Server) Listen(network, addr string) (*tcpls.Listener, error) {
 		tcfg = &c
 	}
 	tcfg.Admission = s.ctrl
+	if tcfg.TicketKeys == nil && s.cfg.TicketKeyFile != "" {
+		ks, err := s.TicketKeys()
+		if err != nil {
+			return nil, err
+		}
+		tcfg.TicketKeys = ks
+	}
 	return tcpls.Listen(network, addr, tcfg)
+}
+
+// TicketKeys opens (once) and returns the persistent ticket key store
+// configured via TicketKeyFile, or nil when none is configured. The
+// open is lazy so New stays infallible; Listen surfaces the error.
+func (s *Server) TicketKeys() (*tcpls.TicketKeyStore, error) {
+	if s.cfg.TicketKeyFile == "" {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.keys != nil {
+		return s.keys, nil
+	}
+	ks, err := tcpls.OpenTicketKeyStore(s.cfg.TicketKeyFile, s.cfg.TicketKeyPassphrase)
+	if err != nil {
+		return nil, err
+	}
+	s.keys = ks
+	return ks, nil
 }
 
 // ListenAndServe listens on the given TCP address with the Server's
@@ -147,6 +192,11 @@ func (s *Server) Serve(ln *tcpls.Listener) error {
 	s.rollupDone = make(chan struct{})
 	exit := s.serveExit
 	go s.rollupLoop(s.rollupStop, s.rollupDone)
+	if s.cfg.TicketRotate > 0 && s.keys != nil {
+		s.rotateStop = make(chan struct{})
+		s.rotateDone = make(chan struct{})
+		go s.rotateLoop(s.keys, s.rotateStop, s.rotateDone)
+	}
 	s.mu.Unlock()
 	// Closing exit tells Shutdown every accepted session is wg-tracked,
 	// so its wg.Wait cannot race a late wg.Add.
@@ -214,6 +264,24 @@ func (s *Server) rollupLoop(stop, done chan struct{}) {
 	}
 }
 
+// rotateLoop rotates the persistent ticket key on the configured
+// period. Rotation is cheap (one random key, one file rewrite); a
+// failed rewrite leaves the in-memory generation advanced, so freshly
+// issued tickets still age out on schedule.
+func (s *Server) rotateLoop(ks *tcpls.TicketKeyStore, stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.cfg.TicketRotate)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ks.Rotate()
+		case <-stop:
+			return
+		}
+	}
+}
+
 // Shutdown drains the server: stop admitting (new connections and
 // sessions reject with ReasonDraining), wait for every session
 // handler to finish, then close the listener. If ctx expires first,
@@ -228,8 +296,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	ln := s.ln
 	exit := s.serveExit
 	rollupStop, rollupDone := s.rollupStop, s.rollupDone
+	rotateStop, rotateDone := s.rotateStop, s.rotateDone
 	s.ln = nil
 	s.rollupStop = nil
+	s.rotateStop = nil
 	s.mu.Unlock()
 
 	// The listener stays open through the drain: new connections are
@@ -262,6 +332,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if rollupStop != nil {
 		close(rollupStop)
 		<-rollupDone
+	}
+	if rotateStop != nil {
+		close(rotateStop)
+		<-rotateDone
 	}
 	return err
 }

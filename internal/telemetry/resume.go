@@ -1,0 +1,55 @@
+package telemetry
+
+// ResumeFamilies is the session-resumption metric family set: ticket
+// resumption outcomes, 0-RTT early-data dispositions, single-flight
+// joins, and the anti-replay register's memory gauge. Like the other
+// family sets, creation is idempotent and multiple listeners aggregate
+// under the listener label.
+type ResumeFamilies struct {
+	accepted      *CounterVec // listener
+	rejected      *CounterVec // listener
+	earlyAccepted *CounterVec // listener
+	earlyRejected *CounterVec // listener
+	earlyBytes    *CounterVec // listener
+	joinFastpath  *CounterVec // listener
+	replayEntries *GaugeVec   // listener
+}
+
+// ResumeFamiliesOn registers (or resolves) the resumption metric set on r.
+func ResumeFamiliesOn(r *Registry) *ResumeFamilies {
+	return &ResumeFamilies{
+		accepted:      r.CounterVec("tcpls_resume_accepted_total", "Handshakes resumed from a ticket PSK.", "listener"),
+		rejected:      r.CounterVec("tcpls_resume_rejected_total", "Offered tickets that fell back to a full handshake (unknown key, aged out, forged).", "listener"),
+		earlyAccepted: r.CounterVec("tcpls_early_data_accepted_total", "0-RTT early-data flights accepted and delivered.", "listener"),
+		earlyRejected: r.CounterVec("tcpls_early_data_rejected_total", "0-RTT early-data flights rejected (replay, budget, policy) and discarded.", "listener"),
+		earlyBytes:    r.CounterVec("tcpls_early_data_bytes_total", "Plaintext bytes delivered from accepted 0-RTT flights.", "listener"),
+		joinFastpath:  r.CounterVec("tcpls_join_fastpath_total", "Connections joined via the single-flight fast path.", "listener"),
+		replayEntries: r.GaugeVec("tcpls_replay_entries", "Ticket nonces currently held by the anti-replay strike register.", "listener"),
+	}
+}
+
+// ResumeMetrics is one listener's pre-resolved handle set; nil-safe
+// throughout (a nil receiver disables everything via the metric types'
+// nil receivers).
+type ResumeMetrics struct {
+	Accepted      *Counter
+	Rejected      *Counter
+	EarlyAccepted *Counter
+	EarlyRejected *Counter
+	EarlyBytes    *Counter
+	JoinFastpath  *Counter
+	ReplayEntries *Gauge
+}
+
+// Listener resolves the per-listener handles for label value listener.
+func (f *ResumeFamilies) Listener(listener string) *ResumeMetrics {
+	return &ResumeMetrics{
+		Accepted:      f.accepted.With(listener),
+		Rejected:      f.rejected.With(listener),
+		EarlyAccepted: f.earlyAccepted.With(listener),
+		EarlyRejected: f.earlyRejected.With(listener),
+		EarlyBytes:    f.earlyBytes.With(listener),
+		JoinFastpath:  f.joinFastpath.With(listener),
+		ReplayEntries: f.replayEntries.With(listener),
+	}
+}

@@ -8,15 +8,22 @@ import (
 	"time"
 
 	"tcpls/internal/handshake"
+	"tcpls/internal/resume"
+	"tcpls/internal/telemetry"
 )
 
 // Listener accepts TCPLS sessions. Additional TCP connections that join
 // existing sessions (Fig. 3) are absorbed into their Session rather than
 // surfacing from Accept.
 type Listener struct {
-	ln     net.Listener
-	cfg    *Config
-	sealer *ticketSealer
+	ln  net.Listener
+	cfg *Config
+	// keys seals resumption tickets; Config.TicketKeys (persistent,
+	// restart-surviving) or a fresh in-memory store. replay is the
+	// bounded anti-replay strike register gating 0-RTT acceptance.
+	keys   *TicketKeyStore
+	replay *resume.Replay
+	rtel   *telemetry.ResumeMetrics
 
 	mu       sync.Mutex
 	sessions map[SessID]*serverSession
@@ -67,8 +74,16 @@ func NewListener(ln net.Listener, cfg *Config) *Listener {
 		acceptCh: make(chan acceptResult, 16),
 		done:     make(chan struct{}),
 	}
-	if sealer, err := newTicketSealer(); err == nil {
-		l.sealer = sealer
+	l.keys = l.cfg.TicketKeys
+	if l.keys == nil {
+		if ks, err := NewTicketKeyStore(); err == nil {
+			l.keys = ks
+		}
+	}
+	l.replay = resume.NewReplay(resume.DefaultReplayWindow, resume.DefaultReplayCap)
+	if !l.cfg.Telemetry.Disabled {
+		fams := telemetry.ResumeFamiliesOn(telemetry.Default())
+		l.rtel = fams.Listener(ln.Addr().String())
 	}
 	go l.acceptLoop()
 	return l
@@ -250,18 +265,40 @@ func (l *Listener) handleConn(nc net.Conn) {
 	}
 	var advertise []netip.Addr
 	advertise = append(advertise, l.cfg.AdvertiseAddrs...)
+	// Per-connection resumption disposition, captured by the handshake
+	// hooks: whether a ticket was offered, whether it opened under an
+	// old key generation, and whether the anti-replay gate was consulted.
+	var ticketOffered, ticketReissue, earlyGated bool
 	hcfg := &handshake.Config{
 		Suites:         l.cfg.Suites,
 		Certificate:    l.cfg.Certificate,
 		TCPLSServer:    !l.cfg.DisableTCPLS,
 		AdvertiseAddrs: advertise,
 		NumCookies:     l.cfg.NumCookies,
+		MaxEarlyData:   l.cfg.MaxEarlyData,
 		Sessions:       &joinGate{l: l, remote: nc.RemoteAddr()},
 		DecryptTicket: func(ticket []byte) ([]byte, bool) {
-			if l.sealer == nil {
+			ticketOffered = true
+			if l.keys == nil {
 				return nil, false
 			}
-			return l.sealer.open(ticket)
+			psk, reissue, err := l.keys.ks.OpenTicket(ticket)
+			if err != nil {
+				return nil, false
+			}
+			ticketReissue = reissue
+			return psk, true
+		},
+		AcceptEarlyData: func(ticket []byte) bool {
+			// One strike per ticket nonce: a replayed 0-RTT flight (same
+			// ticket, same nonce) is decrypted and discarded, never
+			// delivered twice.
+			earlyGated = true
+			nonce, ok := resume.TicketNonce(ticket)
+			if !ok || l.replay == nil {
+				return false
+			}
+			return l.replay.Observe(nonce, time.Now())
 		},
 		OnSessionIssued: func(id SessID, cookies []Cookie) {
 			ss := &serverSession{cookies: make(map[Cookie]bool), ready: make(chan struct{})}
@@ -285,6 +322,12 @@ func (l *Listener) handleConn(nc net.Conn) {
 	nc.SetDeadline(time.Time{})
 
 	if res.JoinAccepted {
+		if res.FastJoin {
+			if l.rtel != nil {
+				l.rtel.JoinFastpath.Inc()
+			}
+			l.noteSessionTrace(res.SessID, "join_fastpath")
+		}
 		l.mu.Lock()
 		ss, ok := l.sessions[res.SessID]
 		l.mu.Unlock()
@@ -327,10 +370,48 @@ func (l *Listener) handleConn(nc net.Conn) {
 	}
 
 	sess := newSession(false, l.cfg, res, nc, tr.Leftover())
-	if l.sealer != nil && !l.cfg.DisableTickets && !l.cfg.DisableTCPLS {
-		sess.sealTicket = l.sealer.seal
+
+	// Resumption disposition: metrics plus trace marks on the session's
+	// own timeline.
+	switch {
+	case res.Resumed:
+		if l.rtel != nil {
+			l.rtel.Accepted.Inc()
+		}
+		sess.noteTrace("resume_accepted", 0, 0, 0)
+		if ticketReissue {
+			// The ticket opened under an old key generation; the fresh
+			// ticket issued below re-seals under the current one.
+			sess.noteTrace("ticket_reissued", 0, 0, 0)
+		}
+	case ticketOffered:
+		if l.rtel != nil {
+			l.rtel.Rejected.Inc()
+		}
+		sess.noteTrace("resume_rejected", 0, 0, 0)
+	}
+	switch {
+	case res.EarlyDataAccepted:
+		if l.rtel != nil {
+			l.rtel.EarlyAccepted.Inc()
+			l.rtel.EarlyBytes.Add(uint64(len(res.EarlyData)))
+		}
+	case earlyGated:
+		if l.rtel != nil {
+			l.rtel.EarlyRejected.Inc()
+		}
+		sess.noteTrace("early_data_rejected", 0, 0, 0)
+	}
+	if l.rtel != nil && l.replay != nil {
+		l.rtel.ReplayEntries.Set(int64(l.replay.Entries()))
+	}
+
+	if l.keys != nil && !l.cfg.DisableTickets && !l.cfg.DisableTCPLS {
+		sess.sealTicket = l.keys.ks.Seal
 		// Issue a resumption ticket over the fresh session (TLS 1.3
 		// servers send NewSessionTicket right after the handshake).
+		// Resumed sessions get one too — that is what reissues old-
+		// generation tickets on use.
 		go sess.issueTicket(0)
 	}
 	if res.TCPLSEnabled {

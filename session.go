@@ -59,8 +59,14 @@ type Session struct {
 	resumption []byte
 	ticket     *ClientTicket
 	sealTicket func(psk []byte) ([]byte, error)
-	wg         sync.WaitGroup
-	timerStop  chan struct{}
+	// 0-RTT state: whether this session's early-data offer was accepted
+	// and, when a stream carries (client) or carried (server) the early
+	// bytes, its ID.
+	earlyAccepted  bool
+	earlyStreamID  uint32
+	hasEarlyStream bool
+	wg             sync.WaitGroup
+	timerStop      chan struct{}
 
 	// onConnFailed, when set, is invoked (without the lock) after a
 	// connection is declared failed; the default handler performs
@@ -174,6 +180,21 @@ func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, 
 		}
 	}
 	pc := s.addConnLocked(0, nc)
+	if isClient {
+		s.earlyAccepted = res.EarlyDataAccepted
+	}
+	if !isClient && res.EarlyDataAccepted {
+		// Deliver the accepted 0-RTT flight before any leftover engine
+		// records: the early bytes are, by definition, the first thing
+		// the client sent, and the leftover may already carry the
+		// STREAM_ATTACH re-homing the same stream.
+		if id, err := s.engine.InjectEarlyData(res.EarlyData); err == nil {
+			s.earlyAccepted = true
+			s.earlyStreamID = id
+			s.hasEarlyStream = true
+			s.processEventsLocked()
+		}
+	}
 	if len(leftover) > 0 {
 		s.engine.Receive(0, leftover, time.Now())
 		s.processEventsLocked()
@@ -253,6 +274,30 @@ func (s *Session) writeLoop(pc *pathConn) {
 
 // ID returns the server-assigned TCPLS session identifier.
 func (s *Session) ID() SessID { return s.sessID }
+
+// EarlyDataAccepted reports whether this session's 0-RTT offer was
+// accepted: on the client, the server's echo; on the server, that the
+// early flight was delivered. False also when no early data was offered.
+func (s *Session) EarlyDataAccepted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.earlyAccepted
+}
+
+// EarlyStream returns the stream carrying the 0-RTT bytes: on the
+// client, the stream Dial/Client opened for Config.EarlyData (whether it
+// went out at 0-RTT or fell back to 1-RTT); on the server, the injected
+// first client stream (also delivered through AcceptStream). ok is false
+// when no early data was configured.
+func (s *Session) EarlyStream() (*Stream, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasEarlyStream {
+		return nil, false
+	}
+	st, ok := s.streams[s.earlyStreamID]
+	return st, ok
+}
 
 // Cookies returns the remaining join-cookie budget (client side).
 func (s *Session) Cookies() int {

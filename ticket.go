@@ -1,13 +1,12 @@
 package tcpls
 
 import (
-	"crypto/aes"
-	"crypto/cipher"
 	"crypto/rand"
 	"errors"
 
 	"tcpls/internal/hkdf"
 	"tcpls/internal/record"
+	"tcpls/internal/resume"
 )
 
 // ClientTicket is a stored resumption credential (paper §4.5): the
@@ -30,49 +29,44 @@ func derivePSK(suite *record.Suite, resumptionSecret []byte, nonce [16]byte) []b
 	return hkdf.ExpandLabel(suite.NewHash, resumptionSecret, "resumption", nonce[:], pskLen)
 }
 
-// ticketSealer encrypts PSKs into opaque tickets under a server-held
-// key, so the server recovers the PSK statelessly at resumption time.
-type ticketSealer struct {
-	aead cipher.AEAD
+// TicketKeyStore seals resumption PSKs into opaque tickets under
+// generation-tagged server keys (internal/resume). Unlike the per-process
+// random key it replaced, a store opened from a key file survives server
+// restarts: tickets issued before the restart still resume afterwards.
+// Rotation mints a new generation while the previous one stays accepted;
+// tickets opened under an old generation are transparently reissued.
+// Safe for concurrent use and shareable across listeners.
+type TicketKeyStore struct {
+	ks *resume.KeyStore
 }
 
-func newTicketSealer() (*ticketSealer, error) {
-	key := make([]byte, 32)
-	if _, err := rand.Read(key); err != nil {
-		return nil, err
-	}
-	block, err := aes.NewCipher(key)
+// OpenTicketKeyStore loads (or atomically creates) an encrypted ticket
+// key file. The passphrase derives the file-encryption key; an empty
+// passphrase still authenticates the file against corruption.
+func OpenTicketKeyStore(path string, passphrase []byte) (*TicketKeyStore, error) {
+	ks, err := resume.Open(path, passphrase)
 	if err != nil {
 		return nil, err
 	}
-	aead, err := cipher.NewGCM(block)
+	return &TicketKeyStore{ks: ks}, nil
+}
+
+// NewTicketKeyStore returns an in-memory store (no persistence) — the
+// behaviour of servers that configure no key file.
+func NewTicketKeyStore() (*TicketKeyStore, error) {
+	ks, err := resume.NewMemory()
 	if err != nil {
 		return nil, err
 	}
-	return &ticketSealer{aead: aead}, nil
+	return &TicketKeyStore{ks: ks}, nil
 }
 
-// seal produces an opaque ticket carrying psk.
-func (t *ticketSealer) seal(psk []byte) ([]byte, error) {
-	nonce := make([]byte, t.aead.NonceSize())
-	if _, err := rand.Read(nonce); err != nil {
-		return nil, err
-	}
-	return t.aead.Seal(nonce, nonce, psk, nil), nil
-}
+// Rotate mints a new key generation and persists it; the previous
+// generation remains accepted until the next rotation.
+func (t *TicketKeyStore) Rotate() error { return t.ks.Rotate() }
 
-// open recovers the PSK from a ticket.
-func (t *ticketSealer) open(ticket []byte) ([]byte, bool) {
-	n := t.aead.NonceSize()
-	if len(ticket) < n {
-		return nil, false
-	}
-	psk, err := t.aead.Open(nil, ticket[:n], ticket[n:], nil)
-	if err != nil || len(psk) != pskLen {
-		return nil, false
-	}
-	return psk, true
-}
+// Generation reports the current (sealing) key generation.
+func (t *TicketKeyStore) Generation() uint32 { return t.ks.Generation() }
 
 // errNoTicket is returned when resumption state is unavailable.
 var errNoTicket = errors.New("tcpls: no resumption ticket available yet")
@@ -87,7 +81,7 @@ func (s *Session) ResumptionTicket() *ClientTicket {
 }
 
 // issueTicket mints and sends a resumption ticket (server side); the
-// listener's sealer makes the ticket opaque and stateless.
+// listener's key store makes the ticket opaque and stateless.
 func (s *Session) issueTicket(conn uint32) error {
 	if s.sealTicket == nil || len(s.resumption) == 0 {
 		return errNoTicket

@@ -114,32 +114,32 @@ func TestTicketsDisabledByConfig(t *testing.T) {
 	}
 }
 
-func TestTicketSealerRoundTrip(t *testing.T) {
-	sealer, err := newTicketSealer()
+func TestTicketKeyStoreRoundTrip(t *testing.T) {
+	ks, err := NewTicketKeyStore()
 	if err != nil {
 		t.Fatal(err)
 	}
 	psk := bytes.Repeat([]byte{7}, pskLen)
-	ticket, err := sealer.seal(psk)
+	ticket, err := ks.ks.Seal(psk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ok := sealer.open(ticket)
-	if !ok || !bytes.Equal(got, psk) {
-		t.Fatal("sealer round trip failed")
+	got, _, err := ks.ks.OpenTicket(ticket)
+	if err != nil || !bytes.Equal(got, psk) {
+		t.Fatal("key store round trip failed")
 	}
 	// Tampering is rejected.
 	ticket[len(ticket)-1] ^= 1
-	if _, ok := sealer.open(ticket); ok {
+	if _, _, err := ks.ks.OpenTicket(ticket); err == nil {
 		t.Fatal("tampered ticket accepted")
 	}
-	// A different sealer (different key) cannot open it.
-	other, _ := newTicketSealer()
+	// A different store (different key) cannot open it.
+	other, _ := NewTicketKeyStore()
 	ticket[len(ticket)-1] ^= 1
-	if _, ok := other.open(ticket); ok {
-		t.Fatal("foreign sealer opened the ticket")
+	if _, _, err := other.ks.OpenTicket(ticket); err == nil {
+		t.Fatal("foreign key store opened the ticket")
 	}
-	if _, ok := sealer.open([]byte{1, 2}); ok {
+	if _, _, err := ks.ks.OpenTicket([]byte{1, 2}); err == nil {
 		t.Fatal("short ticket accepted")
 	}
 }
