@@ -578,11 +578,17 @@ func runResume(iters int, outPath string) {
 // runResumeSmoke is one leg of the CI resume smoke test against a live
 // tcpls-server. Without a saved ticket it performs a full handshake,
 // waits for the server to issue one, and stores it at ticketPath. With
-// a saved ticket it resumes — sending early data in the first flight —
-// and exits nonzero unless the server accepted the ticket AND the
-// 0-RTT flight, and echoed the early bytes back intact. Run it once,
-// restart the server (same -ticket-key-file), run it again: success
-// proves tickets survive real process restarts.
+// a saved ticket it resumes — offering early data in the first flight —
+// and exits nonzero unless the server accepted the ticket at 1-RTT and
+// echoed the early bytes back intact. Run it once, restart the server
+// (same -ticket-key-file), run it again: success proves tickets survive
+// real process restarts.
+//
+// Across a restart the 0-RTT offer itself must be DECLINED: the fresh
+// process's anti-replay register has no memory of flights the old one
+// accepted, so its freshness gate refuses tickets issued before its
+// birth. The probe asserts that rejection too — a server that accepts
+// 0-RTT here has a replay hole.
 func runResumeSmoke(addr, serverName, ticketPath string) {
 	early := []byte("resume-smoke: 0-rtt across a restart\n")
 	cfg := &tcpls.Config{ServerName: serverName}
@@ -603,12 +609,15 @@ func runResumeSmoke(addr, serverName, ticketPath string) {
 	defer sess.Close()
 
 	if resuming {
-		if !sess.EarlyDataAccepted() {
-			log.Fatal("resume-smoke: 0-RTT rejected on a first-use ticket — resumption did not survive the restart")
+		if !sess.Resumed() {
+			log.Fatal("resume-smoke: ticket not accepted — resumption did not survive the restart")
+		}
+		if sess.EarlyDataAccepted() {
+			log.Fatal("resume-smoke: 0-RTT accepted across a restart — anti-replay freshness gate failed")
 		}
 		st, ok := sess.EarlyStream()
 		if !ok {
-			log.Fatal("resume-smoke: 0-RTT accepted but no early stream")
+			log.Fatal("resume-smoke: no early stream for the 1-RTT fallback")
 		}
 		got := make([]byte, len(early))
 		if _, err := io.ReadFull(st, got); err != nil {
@@ -617,7 +626,7 @@ func runResumeSmoke(addr, serverName, ticketPath string) {
 		if string(got) != string(early) {
 			log.Fatalf("resume-smoke: early echo corrupted: %q", got)
 		}
-		fmt.Println("resume-smoke: resumed with 0-RTT, early echo byte-exact")
+		fmt.Println("resume-smoke: resumed at 1-RTT, 0-RTT correctly declined post-restart, early echo byte-exact")
 		return
 	}
 

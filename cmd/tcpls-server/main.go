@@ -28,10 +28,13 @@
 //
 // The key file is created on first start and encrypted under the
 // passphrase (flag, or the TCPLS_TICKET_PASSPHRASE environment
-// variable). Tickets issued before a restart resume — with 0-RTT —
-// against the restarted process. -ticket-rotate rolls the sealing key
-// periodically: the previous generation stays accepted and its
-// tickets are reissued on use, so rotation is invisible to clients.
+// variable). Tickets issued before a restart resume at 1-RTT against
+// the restarted process; their 0-RTT offers are deliberately declined
+// (the fresh process's anti-replay register has no memory of flights
+// the old one accepted) and the early bytes fall back losslessly to
+// 1-RTT. -ticket-rotate rolls the sealing key periodically: the
+// previous generation stays accepted and its tickets are reissued on
+// use, so rotation is invisible to clients.
 package main
 
 import (

@@ -73,15 +73,22 @@ func Client(nc net.Conn, cfg *Config) (*Session, error) {
 		EnableTCPLS: !cfg.DisableTCPLS,
 	}
 	offerEarly := false
+	wantEarly := false
 	if cfg.Ticket != nil {
 		hcfg.PSK = cfg.Ticket.PSK
 		hcfg.PSKTicket = cfg.Ticket.Ticket
 		if len(cfg.EarlyData) > 0 && !cfg.DisableTCPLS {
-			// 0-RTT: the flight rides behind the ClientHello. On rejection
-			// the same bytes are resent at 1-RTT below — the application
-			// sees an identical stream either way.
-			hcfg.EarlyData = cfg.EarlyData
-			offerEarly = true
+			// 0-RTT: the flight rides behind the ClientHello, clamped to
+			// the budget the ticket advertised — an oversized offer would
+			// only be drained and retracted server-side, so it goes out at
+			// 1-RTT directly. On rejection the same bytes are resent at
+			// 1-RTT below — the application sees an identical stream
+			// either way.
+			wantEarly = true
+			if len(cfg.EarlyData) <= int(cfg.Ticket.MaxEarlyData) {
+				hcfg.EarlyData = cfg.EarlyData
+				offerEarly = true
+			}
 		}
 	}
 	tr := handshake.NewTransport(nc)
@@ -96,23 +103,29 @@ func Client(nc net.Conn, cfg *Config) (*Session, error) {
 		cfg.DisableTCPLS = true
 	}
 	sess := newSession(true, cfg, res, nc, tr.Leftover())
-	if offerEarly {
+	if wantEarly {
 		// The first client stream gets the same ID (2) the server's
 		// injection used, so on acceptance the bytes are already home and
-		// only the STREAM_ATTACH goes out; on rejection this stream
-		// carries the lossless 1-RTT resend.
+		// only the STREAM_ATTACH goes out; on rejection (or an offer
+		// clamped away entirely) this stream carries the lossless 1-RTT
+		// resend. A failure to open it is a failure to deliver
+		// cfg.EarlyData at all — surface it rather than drop the bytes.
 		st, serr := sess.OpenStream()
-		if serr == nil {
-			sess.mu.Lock()
-			sess.earlyStreamID = st.id
-			sess.hasEarlyStream = true
-			sess.mu.Unlock()
-			if !res.EarlyDataAccepted {
+		if serr != nil {
+			sess.Close()
+			return nil, fmt.Errorf("tcpls: early-data stream: %w", serr)
+		}
+		sess.mu.Lock()
+		sess.earlyStreamID = st.id
+		sess.hasEarlyStream = true
+		sess.mu.Unlock()
+		if !res.EarlyDataAccepted {
+			if offerEarly {
 				sess.noteTrace("early_data_rejected", 0, 0, len(cfg.EarlyData))
-				if _, werr := st.Write(cfg.EarlyData); werr != nil {
-					sess.Close()
-					return nil, werr
-				}
+			}
+			if _, werr := st.Write(cfg.EarlyData); werr != nil {
+				sess.Close()
+				return nil, werr
 			}
 		}
 	}

@@ -70,10 +70,13 @@ const (
 	// typeConnClose: [type]. Orderly session-level close of this
 	// connection (distinct from stream FIN).
 	typeConnClose recordType = 0x0f
-	// typeSessionTicket: [ticket...][nonce:16][type]. A resumption
+	// typeSessionTicket: [ticket...][nonce:16][maxEarly:4][type]. A resumption
 	// ticket (§4.5): the client derives the PSK from the session's
 	// resumption secret and the nonce; the opaque ticket lets the
 	// server recover the same PSK statelessly on a later connection.
+	// maxEarly advertises the issuer's 0-RTT budget in plaintext bytes
+	// (TLS 1.3's max_early_data_size): the client clamps its early-data
+	// offer to it; 0 means no 0-RTT with this ticket.
 	typeSessionTicket recordType = 0x10
 	// typeAckRequest: [streamID:4][type]. Solicits an immediate
 	// cumulative ACK for streamID: a sender whose retransmit buffer
@@ -183,9 +186,10 @@ func appendConnClose(dst []byte) []byte {
 	return append(dst, byte(typeConnClose))
 }
 
-func appendSessionTicket(dst []byte, nonce [16]byte, ticket []byte) []byte {
+func appendSessionTicket(dst []byte, nonce [16]byte, ticket []byte, maxEarly uint32) []byte {
 	dst = append(dst, ticket...)
 	dst = append(dst, nonce[:]...)
+	dst = wire.AppendUint32(dst, maxEarly)
 	return append(dst, byte(typeSessionTicket))
 }
 
@@ -205,6 +209,7 @@ type frame struct {
 	progLen              uint32
 	token                uint64
 	nonce                [16]byte
+	maxEarly             uint32
 }
 
 // parseFrame decodes the trailer of a decrypted TCPLS record. content is
@@ -286,11 +291,12 @@ func parseFrame(content []byte) (*frame, error) {
 			return nil, ErrBadFrame
 		}
 	case typeSessionTicket:
-		if len(body) < 16 {
+		if len(body) < 20 {
 			return nil, ErrBadFrame
 		}
-		copy(f.nonce[:], body[len(body)-16:])
-		f.chunk = body[: len(body)-16 : len(body)-16]
+		f.maxEarly = wire.Uint32(body[len(body)-4:])
+		copy(f.nonce[:], body[len(body)-20:len(body)-4])
+		f.chunk = body[: len(body)-20 : len(body)-20]
 	default:
 		return nil, fmt.Errorf("core: unknown TCPLS record type %#x: %w", uint8(f.typ), ErrBadFrame)
 	}

@@ -103,10 +103,11 @@ func TestFrameRoundTrips(t *testing.T) {
 				}
 			}},
 		{"ticket", func() []byte {
-			return appendSessionTicket(nil, [16]byte{9, 8, 7}, []byte("opaque"))
+			return appendSessionTicket(nil, [16]byte{9, 8, 7}, []byte("opaque"), 16384)
 		},
 			func(t *testing.T, f *frame) {
-				if f.typ != typeSessionTicket || string(f.chunk) != "opaque" || f.nonce[0] != 9 {
+				if f.typ != typeSessionTicket || string(f.chunk) != "opaque" ||
+					f.nonce[0] != 9 || f.maxEarly != 16384 {
 					t.Fatalf("%+v", f)
 				}
 			}},
@@ -135,7 +136,9 @@ func TestMalformedFramesRejected(t *testing.T) {
 		{1, 2, 3, byte(typeBPFCC)},         // short bpf trailer
 		{1, byte(typeConnClose)},           // close with body
 		{1, 2, 3, byte(typeSessionTicket)}, // short ticket
-		{0xee},                             // unknown type
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17,
+			byte(typeSessionTicket)}, // nonce but no budget
+		{0xee}, // unknown type
 	}
 	for i, b := range bad {
 		if _, err := parseFrame(b); err == nil {

@@ -18,7 +18,7 @@ func FuzzBPFChunkReassembly(f *testing.F) {
 	f.Add([]byte("prog"), uint16(0), uint16(2), uint32(8), []byte("ram!"), uint16(1))
 	f.Add([]byte{0xb7, 0, 0, 0, 0, 0, 0, 0}, uint16(0), uint16(1), uint32(8), []byte{}, uint16(0))
 	f.Add([]byte{}, uint16(0), uint16(4096), uint32(1<<20), []byte{1}, uint16(4095))
-	f.Add([]byte{1, 2}, uint16(9), uint16(3), uint32(4), []byte{3}, uint16(0))   // idx out of range
+	f.Add([]byte{1, 2}, uint16(9), uint16(3), uint32(4), []byte{3}, uint16(0))    // idx out of range
 	f.Add([]byte{1, 2, 3}, uint16(0), uint16(2), uint32(2), []byte{4}, uint16(1)) // overclaims progLen
 
 	sec := testSecrets(f)

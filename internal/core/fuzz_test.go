@@ -32,7 +32,7 @@ func FuzzParseFrame(f *testing.F) {
 	f.Add(appendEcho(nil, typeEchoRequest, 5))
 	f.Add(appendEcho(nil, typeEchoReply, 6))
 	f.Add(appendConnClose(nil))
-	f.Add(appendSessionTicket(nil, [16]byte{9, 9, 9}, []byte("ticket")))
+	f.Add(appendSessionTicket(nil, [16]byte{9, 9, 9}, []byte("ticket"), 16384))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := parseFrame(data)
@@ -78,7 +78,7 @@ func FuzzParseFrame(f *testing.F) {
 		case typeConnClose:
 			re = appendConnClose(nil)
 		case typeSessionTicket:
-			re = appendSessionTicket(nil, fr.nonce, fr.chunk)
+			re = appendSessionTicket(nil, fr.nonce, fr.chunk, fr.maxEarly)
 		default:
 			t.Fatalf("parseFrame accepted unknown type %#x", uint8(fr.typ))
 		}

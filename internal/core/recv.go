@@ -364,7 +364,8 @@ func (s *Session) handleControl(c *conn, streamID uint32, f *frame) error {
 		return nil
 	case typeSessionTicket:
 		s.emit(Event{Kind: EventSessionTicket, Conn: c.id,
-			Data: append([]byte(nil), f.chunk...), Nonce: f.nonce})
+			Data: append([]byte(nil), f.chunk...), Nonce: f.nonce,
+			MaxEarly: f.maxEarly})
 		return nil
 	default:
 		return fmt.Errorf("core: unhandled control type %#x", uint8(f.typ))

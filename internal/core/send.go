@@ -445,12 +445,14 @@ func (s *Session) SendBPFCC(connID uint32, program []byte) error {
 }
 
 // SendSessionTicket ships a resumption ticket to the peer (§4.5).
-func (s *Session) SendSessionTicket(connID uint32, nonce [16]byte, ticket []byte) error {
+// maxEarly advertises the 0-RTT budget honoured when the ticket is
+// presented (0 = no early data).
+func (s *Session) SendSessionTicket(connID uint32, nonce [16]byte, ticket []byte, maxEarly uint32) error {
 	c, err := s.getConn(connID)
 	if err != nil {
 		return err
 	}
-	return s.sendCtl(c, appendSessionTicket(nil, nonce, ticket))
+	return s.sendCtl(c, appendSessionTicket(nil, nonce, ticket, maxEarly))
 }
 
 // CloseConnection sends an orderly connection close.

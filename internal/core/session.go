@@ -186,22 +186,24 @@ const (
 	// EventConnClosed: the peer closed this connection gracefully.
 	EventConnClosed
 	// EventSessionTicket: a resumption ticket arrived (Data = opaque
-	// ticket, Nonce = PSK-derivation nonce).
+	// ticket, Nonce = PSK-derivation nonce, MaxEarly = the issuer's
+	// advertised 0-RTT budget).
 	EventSessionTicket
 )
 
 // Event is one session-level occurrence.
 type Event struct {
-	Kind    EventKind
-	Stream  uint32
-	Conn    uint32
-	Data    []byte
-	Addr    []byte
-	Cookies [][16]byte
-	OptKind uint8
-	OptVal  []byte
-	Token   uint64
-	Nonce   [16]byte
+	Kind     EventKind
+	Stream   uint32
+	Conn     uint32
+	Data     []byte
+	Addr     []byte
+	Cookies  [][16]byte
+	OptKind  uint8
+	OptVal   []byte
+	Token    uint64
+	Nonce    [16]byte
+	MaxEarly uint32
 }
 
 // Session errors.

@@ -39,9 +39,9 @@ func FuzzDecode(f *testing.F) {
 	for _, p := range fuzzSeedProgs() {
 		f.Add(p)
 	}
-	f.Add([]byte{1, 2, 3})                      // not a multiple of 8
-	f.Add(bytes.Repeat([]byte{0xff}, 64))       // garbage opcodes
-	f.Add(bytes.Repeat([]byte{0x00}, 32))       // zero opcodes
+	f.Add([]byte{1, 2, 3})                // not a multiple of 8
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // garbage opcodes
+	f.Add(bytes.Repeat([]byte{0x00}, 32)) // zero opcodes
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		prog, err := Decode(data)

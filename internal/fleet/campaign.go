@@ -281,7 +281,7 @@ func run(sc Scenario, traceSession int) (*Result, []core.TraceEvent) {
 			})
 		} else {
 			c.keys = ks
-			c.replay = resume.NewReplay(0, 0)
+			c.replay = resume.NewReplay(0, 0, epoch)
 			for k := 1; k <= sc.KeyRotations; k++ {
 				at := sc.Duration * sim.Time(k) / sim.Time(sc.KeyRotations+1)
 				c.s.At(at, func() {
@@ -804,7 +804,7 @@ func (c *campaign) resumeTicket(fs *fleetSession) {
 	}
 	gen := c.keys.Generation()
 	expectOK := gen-fs.ticketGen < uint32(resume.DefaultAcceptWindow)
-	psk, reissue, err := c.keys.OpenTicket(fs.ticket)
+	psk, _, reissue, err := c.keys.OpenTicket(fs.ticket)
 	if err != nil {
 		if expectOK {
 			vio("ticket sealed at gen %d failed to open at gen %d: %v", fs.ticketGen, gen, err)

@@ -155,16 +155,58 @@ func TestEarlyDataSkippedWhenPSKUnknown(t *testing.T) {
 	}
 }
 
-func TestEarlyDataOverflowRejected(t *testing.T) {
+func TestEarlyDataOverflowFallsBack(t *testing.T) {
+	// A flight that exceeds the server's budget (misconfigured client, or
+	// one holding a pre-reconfiguration ticket) must not fail the
+	// handshake: the server drains and drops the flight, retracts its
+	// acceptance in EncryptedExtensions, and the client falls back to
+	// 1-RTT.
 	psk := bytes.Repeat([]byte{0x45}, 32)
 	ccfg, scfg := resumptionConfigs(t, psk)
 	ccfg.EarlyData = bytes.Repeat([]byte{0xee}, 2048)
-	scfg.MaxEarlyData = 1024 // hostile client exceeds the advertised budget
+	scfg.MaxEarlyData = 1024
 
-	_, _, _, serr := runTCP(t, ccfg, scfg)
+	cres, sres, cerr, serr := runTCP(t, ccfg, scfg)
+	if cerr != nil || serr != nil {
+		t.Fatalf("client=%v server=%v", cerr, serr)
+	}
+	if !cres.Resumed || !sres.Resumed {
+		t.Fatal("handshake did not resume")
+	}
+	if cres.EarlyDataAccepted || sres.EarlyDataAccepted {
+		t.Fatal("over-budget early data reported as accepted")
+	}
+	if sres.EarlyData != nil {
+		t.Fatal("over-budget early data surfaced to the server")
+	}
+	if !bytes.Equal(cres.Secrets.ClientApp, sres.Secrets.ClientApp) {
+		t.Fatal("secrets diverged after overflow fallback")
+	}
+}
+
+func TestEarlyDataOverflowHardCap(t *testing.T) {
+	// Past the tolerance slack the drain stops and the handshake fails:
+	// an attacker cannot pin the server in an unbounded discard loop.
+	// The server aborts mid-flight, so the client may still be writing —
+	// run it on its own goroutine and unblock it by closing the server
+	// side once the verdict is in (runTCP would deadlock here).
+	psk := bytes.Repeat([]byte{0x46}, 32)
+	ccfg, scfg := resumptionConfigs(t, psk)
+	scfg.MaxEarlyData = 1024
+	ccfg.EarlyData = bytes.Repeat([]byte{0xee}, 1024+earlyOverflowSlack+4096)
+
+	cconn, sconn := tcpPair(t)
+	cc := make(chan struct{})
+	go func() {
+		defer close(cc)
+		Client(NewTransport(cconn), ccfg)
+	}()
+	_, serr := Server(NewTransport(sconn), scfg)
 	if !errors.Is(serr, ErrEarlyDataOverflow) {
 		t.Fatalf("server error = %v, want ErrEarlyDataOverflow", serr)
 	}
+	sconn.Close()
+	<-cc
 }
 
 func TestFastJoinSingleFlight(t *testing.T) {

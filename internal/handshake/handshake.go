@@ -87,10 +87,11 @@ type Config struct {
 	// side); returning ok=false falls back to a full handshake.
 	DecryptTicket func(ticket []byte) (psk []byte, ok bool)
 	// AcceptEarlyData gates one 0-RTT offer after the PSK was recovered:
-	// the listener consults its anti-replay strike register with the
-	// ticket bytes. Returning false (or a nil hook with MaxEarlyData < 0)
-	// makes the server decrypt-and-discard the early flight; the client
-	// falls back to 1-RTT. Never called when the PSK was not recovered.
+	// the listener consults its anti-replay strike register (and the
+	// ticket's sealed freshness stamp) with the ticket bytes. Returning
+	// false (or a nil hook with MaxEarlyData < 0) makes the server
+	// decrypt-and-discard the early flight; the client falls back to
+	// 1-RTT. Never called when the PSK was not recovered.
 	AcceptEarlyData func(ticket []byte) bool
 	// MaxEarlyData budgets the 0-RTT flight in plaintext bytes. Zero
 	// means the default (16 KiB); negative refuses all early data.
@@ -169,14 +170,20 @@ var (
 // buffers on both sides to avoid a handshake deadlock.
 const defaultMaxEarlyData = 16384
 
-func (c *Config) maxEarlyData() int {
+func (c *Config) maxEarlyData() int { return EarlyDataBudget(c.MaxEarlyData) }
+
+// EarlyDataBudget resolves a Config.MaxEarlyData value to the effective
+// 0-RTT budget in bytes: zero selects the default, negative disables
+// early data entirely. Exported so the ticket issuer can advertise the
+// same number the server will enforce.
+func EarlyDataBudget(v int) int {
 	switch {
-	case c.MaxEarlyData < 0:
+	case v < 0:
 		return 0
-	case c.MaxEarlyData == 0:
+	case v == 0:
 		return defaultMaxEarlyData
 	}
-	return c.MaxEarlyData
+	return v
 }
 
 // earlyDataRW is the optional transport extension behind 0-RTT: sealing
@@ -186,7 +193,7 @@ func (c *Config) maxEarlyData() int {
 // tests need not.
 type earlyDataRW interface {
 	WriteEarlyData(suite *record.Suite, secret, data []byte) error
-	ReadEarlyData(suite *record.Suite, secret []byte, max int, discard bool) ([]byte, error)
+	ReadEarlyData(suite *record.Suite, secret []byte, max int, discard bool) (data []byte, overflow bool, err error)
 	SkipUndecryptable(budget int)
 }
 

@@ -131,6 +131,46 @@ func Server(rw MessageRW, cfg *Config) (*Result, error) {
 	acceptEarly := canReadEarly && tcpls && cfg.maxEarlyData() > 0 &&
 		(cfg.AcceptEarlyData == nil || cfg.AcceptEarlyData(ch.pskTicket))
 
+	// Drain the early flight BEFORE EncryptedExtensions so the verdict in
+	// EE is truthful: a flight that overflows the budget retracts
+	// acceptance here, the client sees earlyAccepted=false and resends at
+	// 1-RTT — a config mismatch degrades to a slower round trip, never a
+	// failed connection. Safe to read now: the client wrote its whole
+	// first flight (ClientHello, early records, EndOfEarlyData) before
+	// reading a single server byte.
+	var earlyData []byte
+	switch {
+	case canReadEarly:
+		budget := cfg.maxEarlyData()
+		if budget == 0 {
+			budget = defaultMaxEarlyData // discard path with MaxEarlyData < 0
+		}
+		earlySecret := earlyTrafficSecret(earlySuite, psk, chBytes)
+		data, overflow, err := edRW.ReadEarlyData(earlySuite, earlySecret, budget, !acceptEarly)
+		if err != nil {
+			return nil, err
+		}
+		if overflow {
+			acceptEarly = false
+		}
+		if acceptEarly {
+			earlyData = data
+		}
+	case ch.earlyData && edOK:
+		// PSK not recovered (or suite unsupported): the early records are
+		// noise we cannot decrypt. Skip them within a bounded budget —
+		// sealing overhead rides on top of the plaintext cap.
+		budget := cfg.maxEarlyData()
+		if budget < defaultMaxEarlyData {
+			budget = defaultMaxEarlyData
+		}
+		edRW.SkipUndecryptable(budget + 4096)
+	}
+	if acceptEarly {
+		res.EarlyDataAccepted = true
+		res.EarlyData = earlyData
+	}
+
 	ee := &encryptedExtensions{tcplsHello: tcpls, earlyAccepted: acceptEarly}
 	switch {
 	case isJoin:
@@ -193,34 +233,6 @@ func Server(rw MessageRW, cfg *Config) (*Result, error) {
 	ks.addTranscript(finBytes)
 
 	res.Secrets = deriveAppSecrets(ks)
-
-	// The client's early flight sits between its ClientHello and its
-	// Finished on the wire; drain it before expecting the Finished.
-	switch {
-	case canReadEarly:
-		budget := cfg.maxEarlyData()
-		if budget == 0 {
-			budget = defaultMaxEarlyData // discard path with MaxEarlyData < 0
-		}
-		earlySecret := earlyTrafficSecret(earlySuite, psk, chBytes)
-		data, err := edRW.ReadEarlyData(earlySuite, earlySecret, budget, !acceptEarly)
-		if err != nil {
-			return nil, err
-		}
-		if acceptEarly {
-			res.EarlyDataAccepted = true
-			res.EarlyData = data
-		}
-	case ch.earlyData && edOK:
-		// PSK not recovered (or suite unsupported): the early records are
-		// noise we cannot decrypt. Skip them within a bounded budget —
-		// sealing overhead rides on top of the plaintext cap.
-		budget := cfg.maxEarlyData()
-		if budget < defaultMaxEarlyData {
-			budget = defaultMaxEarlyData
-		}
-		edRW.SkipUndecryptable(budget + 4096)
-	}
 
 	// Client Finished.
 	cfinBytes, err := rw.ReadMessage()

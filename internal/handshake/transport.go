@@ -178,47 +178,65 @@ func (t *Transport) WriteEarlyData(suite *record.Suite, secret, data []byte) err
 	return err
 }
 
+// earlyOverflowSlack bounds how much a flight may exceed the budget
+// before the handshake hard-fails anyway: past the budget the payload is
+// only authenticated and dropped, so the slack costs no memory, but an
+// unbounded discard loop would let a hostile client pin the connection
+// forever.
+const earlyOverflowSlack = 1 << 20
+
 // ReadEarlyData consumes the client's 0-RTT flight under the early key,
 // up to max plaintext bytes, returning at EndOfEarlyData. With discard
 // the payload is authenticated, counted against the same budget, and
 // dropped — the decrypt-and-discard path of a rejected-but-readable
-// offer. Must run after the ClientHello and before the next ReadMessage.
-func (t *Transport) ReadEarlyData(suite *record.Suite, secret []byte, max int, discard bool) ([]byte, error) {
+// offer. A flight that exceeds the budget does not fail the handshake:
+// delivery stops, the rest of the flight (within a hard slack) is
+// drained and dropped, and overflow=true tells the server to retract its
+// acceptance so the client resends at 1-RTT. Must run after the
+// ClientHello and before the next ReadMessage.
+func (t *Transport) ReadEarlyData(suite *record.Suite, secret []byte, max int, discard bool) (data []byte, overflow bool, err error) {
 	ctx, err := earlyContext(suite, secret)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	var out []byte
 	budget := max
 	for {
 		rec, err := t.nextRecord()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		ct, content, err := ctx.Open(rec)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		switch ct {
 		case record.ContentTypeApplicationData:
 			budget -= len(content)
-			if budget < 0 {
-				return nil, ErrEarlyDataOverflow
+			if budget < -earlyOverflowSlack {
+				return nil, true, ErrEarlyDataOverflow
 			}
-			if !discard {
+			if budget < 0 {
+				// Over budget: retract delivery entirely (the client will
+				// resend the whole payload at 1-RTT) and keep draining to
+				// EndOfEarlyData so the handshake stays in sync.
+				overflow = true
+				out = nil
+			}
+			if !discard && !overflow {
 				out = append(out, content...)
 			}
 		case record.ContentTypeHandshake:
 			typ, _, err := splitMessage(content)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			if typ != typeEndOfEarlyData {
-				return nil, ErrUnexpectedMessage
+				return nil, overflow, ErrUnexpectedMessage
 			}
-			return out, nil
+			return out, overflow, nil
 		default:
-			return nil, fmt.Errorf("handshake: unexpected inner type %d in early data", ct)
+			return nil, overflow, fmt.Errorf("handshake: unexpected inner type %d in early data", ct)
 		}
 	}
 }

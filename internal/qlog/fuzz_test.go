@@ -25,11 +25,11 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"time_us":1,"type":"conn_failed","data":{"conn":2}}` + "\n" +
 		`{"time_us":2,"type":"retransmit","data":{"conn":0,"stream":1,"seq":9,"bytes":4096}}`))
 	f.Add([]byte("{not json}\n"))
-	f.Add([]byte(`{"time_us":1}`))                      // neither type nor name
-	f.Add([]byte(`{"type":"x","data":{"conn":-1}}`))    // field out of range
-	f.Add([]byte(`{"type":"x","data":{"bytes":1.5}}`))  // non-integer
-	f.Add([]byte("\n\n" + Header + "\n\n"))             // blanks everywhere
-	f.Add([]byte(`{"qlog_version":""}` + "\n"))         // header-ish but empty version
+	f.Add([]byte(`{"time_us":1}`))                     // neither type nor name
+	f.Add([]byte(`{"type":"x","data":{"conn":-1}}`))   // field out of range
+	f.Add([]byte(`{"type":"x","data":{"bytes":1.5}}`)) // non-integer
+	f.Add([]byte("\n\n" + Header + "\n\n"))            // blanks everywhere
+	f.Add([]byte(`{"qlog_version":""}` + "\n"))        // header-ish but empty version
 	f.Add(bytes.Repeat([]byte("a"), 4096))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -53,7 +53,7 @@ type wireEvent struct {
 	Type     string `json:"type"`
 	Name     string `json:"name"`
 	Data     *wireData
-	wireData        // flat schema: fields inline
+	wireData // flat schema: fields inline
 }
 
 type wireData struct {

@@ -39,7 +39,7 @@ func FuzzTicket(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Ticket path: any outcome but a genuine open must be ErrBadTicket.
-		if psk, _, err := ks.OpenTicket(data); err != nil {
+		if psk, _, _, err := ks.OpenTicket(data); err != nil {
 			if !errors.Is(err, ErrBadTicket) {
 				t.Fatalf("untyped ticket reject: %v", err)
 			}

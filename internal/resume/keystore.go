@@ -48,6 +48,7 @@ const (
 	fileNonceLen   = 12
 	ticketNonceLen = 12
 	genLen         = 4
+	issuedLen      = 8                   // issuance stamp sealed inside the ticket
 	entryLen       = genLen + 8 + keyLen // gen | created unix secs | key
 
 	// maxKeyFileEntries bounds parsing: the accept window is small, so a
@@ -211,10 +212,14 @@ func (ks *KeyStore) Len() int {
 
 // Seal encrypts psk into an opaque ticket under the newest key:
 //
-//	gen(4) | nonce(12) | AEAD(psk, aad=gen)
+//	gen(4) | nonce(12) | AEAD(issued(8) | psk, aad=gen)
 //
 // The nonce doubles as the ticket's unique identity for the 0-RTT
-// anti-replay register (TicketNonce).
+// anti-replay register (TicketNonce). The issuance stamp (unix
+// milliseconds, sealed so clients cannot forge it) bounds how old a
+// ticket may be for 0-RTT: the strike register only remembers nonces
+// for a window, so flights under older tickets must not be accepted
+// (RFC 8446 §8 pairs the register with exactly this freshness check).
 func (ks *KeyStore) Seal(psk []byte) ([]byte, error) {
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
@@ -222,23 +227,31 @@ func (ks *KeyStore) Seal(psk []byte) ([]byte, error) {
 		return nil, ErrNoKeys
 	}
 	k := &ks.keys[0]
-	out := make([]byte, 0, genLen+ticketNonceLen+len(psk)+k.aead.Overhead())
+	now := time.Now()
+	if ks.now != nil {
+		now = ks.now()
+	}
+	inner := make([]byte, 0, issuedLen+len(psk))
+	inner = wire.AppendUint64(inner, uint64(now.UnixMilli()))
+	inner = append(inner, psk...)
+	out := make([]byte, 0, genLen+ticketNonceLen+len(inner)+k.aead.Overhead())
 	out = wire.AppendUint32(out, k.gen)
 	nonceStart := len(out)
 	out = out[:nonceStart+ticketNonceLen]
 	if _, err := io.ReadFull(rand.Reader, out[nonceStart:]); err != nil {
 		return nil, err
 	}
-	return k.aead.Seal(out, out[nonceStart:], psk, out[:genLen]), nil
+	return k.aead.Seal(out, out[nonceStart:], inner, out[:genLen]), nil
 }
 
-// OpenTicket recovers the PSK from a ticket. reissue reports that the
-// ticket was sealed under an old-but-accepted generation: the caller
-// should mint the client a fresh ticket so it migrates to the current
-// key before the old generation ages out.
-func (ks *KeyStore) OpenTicket(ticket []byte) (psk []byte, reissue bool, err error) {
+// OpenTicket recovers the PSK and the sealed issuance time from a
+// ticket. reissue reports that the ticket was sealed under an
+// old-but-accepted generation: the caller should mint the client a
+// fresh ticket so it migrates to the current key before the old
+// generation ages out.
+func (ks *KeyStore) OpenTicket(ticket []byte) (psk []byte, issued time.Time, reissue bool, err error) {
 	if len(ticket) < genLen+ticketNonceLen+1 {
-		return nil, false, ErrBadTicket
+		return nil, time.Time{}, false, ErrBadTicket
 	}
 	gen := wire.Uint32(ticket[:genLen])
 	ks.mu.Lock()
@@ -249,13 +262,14 @@ func (ks *KeyStore) OpenTicket(ticket []byte) (psk []byte, reissue bool, err err
 			continue
 		}
 		nonce := ticket[genLen : genLen+ticketNonceLen]
-		psk, err := k.aead.Open(nil, nonce, ticket[genLen+ticketNonceLen:], ticket[:genLen])
-		if err != nil {
-			return nil, false, ErrBadTicket
+		inner, err := k.aead.Open(nil, nonce, ticket[genLen+ticketNonceLen:], ticket[:genLen])
+		if err != nil || len(inner) < issuedLen {
+			return nil, time.Time{}, false, ErrBadTicket
 		}
-		return psk, i > 0, nil
+		issued := time.UnixMilli(int64(wire.Uint64(inner[:issuedLen])))
+		return inner[issuedLen:], issued, i > 0, nil
 	}
-	return nil, false, ErrBadTicket
+	return nil, time.Time{}, false, ErrBadTicket
 }
 
 // TicketNonce extracts a ticket's unique identity — the AEAD nonce the

@@ -25,10 +25,19 @@ const (
 // reaches its capacity fails safe — further first sightings are REJECTED
 // (falling back to 1-RTT) rather than admitted untracked, so an attacker
 // flooding the register cannot widen the replay window.
+//
+// The register alone cannot make 0-RTT single-use: it forgets nonces
+// after two windows, and it starts empty on every process restart while
+// ticket keys persist. ObserveFresh closes both gaps with the sealed
+// issuance stamp: flights whose ticket is older than one window, or was
+// issued before this register existed, are rejected outright — so every
+// flight the register ever accepts is still remembered whenever a
+// replay of it could arrive.
 type Replay struct {
 	mu       sync.Mutex
 	window   time.Duration
 	capacity int
+	birth    time.Time
 
 	cur      map[[ticketNonceLen]byte]struct{}
 	prev     map[[ticketNonceLen]byte]struct{}
@@ -39,8 +48,11 @@ type Replay struct {
 }
 
 // NewReplay builds a strike register with the given rotation window and
-// per-window capacity; zero or negative values select the defaults.
-func NewReplay(window time.Duration, capacity int) *Replay {
+// per-window capacity; zero or negative values select the defaults. now
+// is the register's birth: ObserveFresh refuses tickets issued before
+// it, which is what keeps a recorded 0-RTT flight from replaying into
+// the empty register of a restarted process.
+func NewReplay(window time.Duration, capacity int, now time.Time) *Replay {
 	if window <= 0 {
 		window = DefaultReplayWindow
 	}
@@ -50,18 +62,54 @@ func NewReplay(window time.Duration, capacity int) *Replay {
 	return &Replay{
 		window:   window,
 		capacity: capacity,
-		cur:      make(map[[ticketNonceLen]byte]struct{}),
-		prev:     make(map[[ticketNonceLen]byte]struct{}),
+		// Tickets stamp issuance at millisecond precision; truncate the
+		// birth the same way so a ticket sealed by this process a moment
+		// after creation never rounds down to "before birth".
+		birth: now.Truncate(time.Millisecond),
+		cur:   make(map[[ticketNonceLen]byte]struct{}),
+		prev:  make(map[[ticketNonceLen]byte]struct{}),
 	}
 }
 
 // Observe records the first sighting of nonce and returns true; a nonce
 // already seen within the last one-to-two windows returns false, as does
 // a first sighting when the current window is full (fail-safe: the
-// caller falls back to 1-RTT, which is always correct).
+// caller falls back to 1-RTT, which is always correct). Observe applies
+// no freshness policy — 0-RTT gating must go through ObserveFresh;
+// Observe exists for callers that manage ticket lifetime themselves
+// (the fleet harness's bounded-memory oracle).
 func (r *Replay) Observe(nonce [ticketNonceLen]byte, now time.Time) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.observeLocked(nonce, now)
+}
+
+// ObserveFresh is the full 0-RTT acceptance check: the ticket's sealed
+// issuance stamp must be fresh, and its nonce unseen. Rejections (all
+// safe — the flight falls back to 1-RTT):
+//
+//   - issued before this register's birth: the flight could have been
+//     recorded against a previous process whose strikes died with it;
+//   - older than one window: the register may already have forgotten an
+//     earlier acceptance of the same nonce;
+//   - issued in the future: another fleet member's clock is ahead, and
+//     a skewed stamp could otherwise outlive the register's memory;
+//   - nonce seen, or window full (Observe's rules).
+//
+// A strike is remembered for at least one full window, so every flight
+// ObserveFresh accepts is still remembered at any moment a replay of it
+// would itself pass the freshness gate.
+func (r *Replay) ObserveFresh(nonce [ticketNonceLen]byte, issued, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if issued.Before(r.birth) || issued.After(now) || now.Sub(issued) > r.window {
+		r.rejected++
+		return false
+	}
+	return r.observeLocked(nonce, now)
+}
+
+func (r *Replay) observeLocked(nonce [ticketNonceLen]byte, now time.Time) bool {
 	r.rotateLocked(now)
 	if _, seen := r.cur[nonce]; seen {
 		r.rejected++

@@ -19,7 +19,7 @@ func TestSealOpenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, reissue, err := ks.OpenTicket(ticket)
+	got, issued, reissue, err := ks.OpenTicket(ticket)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,6 +28,9 @@ func TestSealOpenRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(got, psk) {
 		t.Fatalf("psk mismatch: %x != %x", got, psk)
+	}
+	if d := time.Since(issued); d < 0 || d > time.Minute {
+		t.Fatalf("sealed issuance stamp %v not near now", issued)
 	}
 }
 
@@ -49,7 +52,7 @@ func TestPersistAcrossReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := ks2.OpenTicket(ticket)
+	got, _, _, err := ks2.OpenTicket(ticket)
 	if err != nil {
 		t.Fatalf("ticket did not survive restart: %v", err)
 	}
@@ -82,7 +85,7 @@ func TestRotationWindow(t *testing.T) {
 	if g := ks.Generation(); g != 2 {
 		t.Fatalf("generation = %d, want 2", g)
 	}
-	got, reissue, err := ks.OpenTicket(gen1)
+	got, _, reissue, err := ks.OpenTicket(gen1)
 	if err != nil {
 		t.Fatalf("N-1 ticket rejected: %v", err)
 	}
@@ -97,7 +100,7 @@ func TestRotationWindow(t *testing.T) {
 	if err := ks.Rotate(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ks.OpenTicket(gen1); !errors.Is(err, ErrBadTicket) {
+	if _, _, _, err := ks.OpenTicket(gen1); !errors.Is(err, ErrBadTicket) {
 		t.Fatalf("aged-out ticket: got %v, want ErrBadTicket", err)
 	}
 	if n := ks.Len(); n != DefaultAcceptWindow {
@@ -114,10 +117,10 @@ func TestRotationWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := ks2.OpenTicket(cur); err != nil {
+	if _, _, _, err := ks2.OpenTicket(cur); err != nil {
 		t.Fatalf("current ticket after reopen: %v", err)
 	}
-	if _, _, err := ks2.OpenTicket(gen1); !errors.Is(err, ErrBadTicket) {
+	if _, _, _, err := ks2.OpenTicket(gen1); !errors.Is(err, ErrBadTicket) {
 		t.Fatal("aged-out ticket accepted after reopen")
 	}
 }
@@ -139,11 +142,11 @@ func TestOpenTicketRejectsForgery(t *testing.T) {
 	} {
 		forged := append([]byte(nil), ticket...)
 		mutate(forged)
-		if _, _, err := ks.OpenTicket(forged); !errors.Is(err, ErrBadTicket) {
+		if _, _, _, err := ks.OpenTicket(forged); !errors.Is(err, ErrBadTicket) {
 			t.Fatalf("forged ticket accepted: %v", err)
 		}
 	}
-	if _, _, err := ks.OpenTicket(nil); !errors.Is(err, ErrBadTicket) {
+	if _, _, _, err := ks.OpenTicket(nil); !errors.Is(err, ErrBadTicket) {
 		t.Fatal("empty ticket accepted")
 	}
 }
@@ -171,8 +174,8 @@ func TestKeyFileRejectsCorruption(t *testing.T) {
 }
 
 func TestReplayStrikes(t *testing.T) {
-	r := NewReplay(time.Second, 8)
 	now := time.Unix(1000, 0)
+	r := NewReplay(time.Second, 8, now)
 	var n1, n2 [ticketNonceLen]byte
 	n1[0], n2[0] = 1, 2
 
@@ -196,8 +199,8 @@ func TestReplayStrikes(t *testing.T) {
 }
 
 func TestReplayBoundedAndFailSafe(t *testing.T) {
-	r := NewReplay(time.Minute, 4)
 	now := time.Unix(2000, 0)
+	r := NewReplay(time.Minute, 4, now)
 	var n [ticketNonceLen]byte
 	for i := 0; i < 4; i++ {
 		n[0] = byte(i)
@@ -212,6 +215,65 @@ func TestReplayBoundedAndFailSafe(t *testing.T) {
 	}
 	if e := r.Entries(); e > 2*4 {
 		t.Fatalf("entries = %d, exceeds 2x capacity bound", e)
+	}
+}
+
+func TestObserveFreshGates(t *testing.T) {
+	birth := time.Unix(3000, 0)
+	r := NewReplay(time.Second, 8, birth)
+	var n [ticketNonceLen]byte
+
+	// Issued before the register existed: the flight could have been
+	// recorded against a previous process. Rejected.
+	n[0] = 1
+	if r.ObserveFresh(n, birth.Add(-time.Millisecond), birth) {
+		t.Fatal("pre-birth ticket accepted")
+	}
+	// Older than one window: the register may have forgotten it.
+	n[0] = 2
+	if r.ObserveFresh(n, birth.Add(time.Second), birth.Add(2*time.Second+time.Millisecond)) {
+		t.Fatal("stale ticket accepted")
+	}
+	// Issued in the future (clock skew): could outlive register memory.
+	n[0] = 3
+	if r.ObserveFresh(n, birth.Add(2*time.Second), birth.Add(time.Second)) {
+		t.Fatal("future-issued ticket accepted")
+	}
+	// Fresh first sighting accepted, replay struck — even right at the
+	// freshness boundary, where the strike must still be remembered.
+	n[0] = 4
+	issued := birth.Add(time.Second)
+	if !r.ObserveFresh(n, issued, issued) {
+		t.Fatal("fresh first sighting rejected")
+	}
+	if r.ObserveFresh(n, issued, issued.Add(time.Second)) {
+		t.Fatal("replay at the freshness boundary accepted")
+	}
+}
+
+func TestObserveFreshSingleUseAcrossRotation(t *testing.T) {
+	// The invariant the gates exist for: however the observation times
+	// fall against window rotations, a nonce ObserveFresh accepted is
+	// never accepted again.
+	base := time.Unix(4000, 0)
+	r := NewReplay(time.Second, 64, base)
+	var n [ticketNonceLen]byte
+	for i := 0; i < 40; i++ {
+		n[0] = byte(i)
+		issued := base.Add(time.Duration(i*37) * time.Millisecond)
+		first := issued.Add(time.Duration(i%7) * 100 * time.Millisecond)
+		if !r.ObserveFresh(n, issued, first) {
+			continue // rejected outright is fine; it must stay rejected
+		}
+		for _, dt := range []time.Duration{0, 300 * time.Millisecond, 700 * time.Millisecond, time.Second} {
+			at := first.Add(dt)
+			if at.Sub(issued) > time.Second {
+				break
+			}
+			if r.ObserveFresh(n, issued, at) {
+				t.Fatalf("nonce %d re-accepted %v after first sighting", i, dt)
+			}
+		}
 	}
 }
 

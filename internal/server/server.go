@@ -267,7 +267,11 @@ func (s *Server) rollupLoop(stop, done chan struct{}) {
 // rotateLoop rotates the persistent ticket key on the configured
 // period. Rotation is cheap (one random key, one file rewrite); a
 // failed rewrite leaves the in-memory generation advanced, so freshly
-// issued tickets still age out on schedule.
+// issued tickets still age out on schedule — but the on-disk file is
+// now stale, and a restart would strand every ticket sealed since the
+// last good write. That drift is surfaced through the
+// tcpls_ticket_rotate_failures_total counter so operators notice
+// before a restart turns it into mass resumption failure.
 func (s *Server) rotateLoop(ks *tcpls.TicketKeyStore, stop, done chan struct{}) {
 	defer close(done)
 	t := time.NewTicker(s.cfg.TicketRotate)
@@ -275,7 +279,9 @@ func (s *Server) rotateLoop(ks *tcpls.TicketKeyStore, stop, done chan struct{}) 
 	for {
 		select {
 		case <-t.C:
-			ks.Rotate()
+			if err := ks.Rotate(); err != nil {
+				s.sm.TicketRotateFailure.Inc()
+			}
 		case <-stop:
 			return
 		}
@@ -390,14 +396,15 @@ func (g *handlerGroup) idle() <-chan struct{} {
 func (s *Server) debugState() any {
 	used := s.budget.Used()
 	return map[string]any{
-		"sessions":            s.reg.Len(),
-		"memory_bytes":        s.reg.MemoryBytes(),
-		"budget_used_bytes":   used,
-		"budget_limit_bytes":  s.budget.Limit(),
-		"budget_hot":          s.budget.Hot(),
-		"draining":            s.ctrl.Draining(),
-		"accepted_total":      s.sm.Accepted.Load(),
-		"drained_total":       s.sm.Drained.Load(),
-		"handshakes_inflight": s.sm.Handshakes.Load(),
+		"sessions":                     s.reg.Len(),
+		"memory_bytes":                 s.reg.MemoryBytes(),
+		"budget_used_bytes":            used,
+		"budget_limit_bytes":           s.budget.Limit(),
+		"budget_hot":                   s.budget.Hot(),
+		"draining":                     s.ctrl.Draining(),
+		"accepted_total":               s.sm.Accepted.Load(),
+		"drained_total":                s.sm.Drained.Load(),
+		"handshakes_inflight":          s.sm.Handshakes.Load(),
+		"ticket_rotate_failures_total": s.sm.TicketRotateFailure.Load(),
 	}
 }

@@ -15,6 +15,7 @@ type ServerFamilies struct {
 	rejected    *CounterVec   // listener, reason
 	drained     *CounterVec   // listener
 	admitWait   *HistogramVec // listener
+	rotateFail  *CounterVec   // listener
 }
 
 // ServerFamiliesOn registers (or resolves) the server metric set on r.
@@ -27,6 +28,7 @@ func ServerFamiliesOn(r *Registry) *ServerFamilies {
 		rejected:    r.CounterVec("tcpls_server_rejected_total", "Connections, joins, and sessions rejected at the accept edge, by reason.", "listener", "reason"),
 		drained:     r.CounterVec("tcpls_server_drained_total", "Sessions retired by the server (handler return or shutdown).", "listener"),
 		admitWait:   r.HistogramVec("tcpls_server_admission_wait_seconds", "Time spent waiting for an accept token before admission.", RTTBuckets, "listener"),
+		rotateFail:  r.CounterVec("tcpls_ticket_rotate_failures_total", "Ticket-key rotations that failed to persist: the on-disk key file is falling behind the in-memory generations and a restart will strand recently issued tickets.", "listener"),
 	}
 }
 
@@ -37,12 +39,13 @@ type ServerMetrics struct {
 	fams     *ServerFamilies
 	listener string
 
-	Sessions      *Gauge
-	MemoryBytes   *Gauge
-	Handshakes    *Gauge
-	Accepted      *Counter
-	Drained       *Counter
-	AdmissionWait *Histogram
+	Sessions            *Gauge
+	MemoryBytes         *Gauge
+	Handshakes          *Gauge
+	Accepted            *Counter
+	Drained             *Counter
+	AdmissionWait       *Histogram
+	TicketRotateFailure *Counter
 
 	mu      sync.Mutex
 	rejects map[string]*Counter
@@ -51,15 +54,16 @@ type ServerMetrics struct {
 // Server resolves the per-listener handles for label value listener.
 func (f *ServerFamilies) Server(listener string) *ServerMetrics {
 	return &ServerMetrics{
-		fams:          f,
-		listener:      listener,
-		Sessions:      f.sessions.With(listener),
-		MemoryBytes:   f.memoryBytes.With(listener),
-		Handshakes:    f.handshakes.With(listener),
-		Accepted:      f.accepted.With(listener),
-		Drained:       f.drained.With(listener),
-		AdmissionWait: f.admitWait.With(listener),
-		rejects:       make(map[string]*Counter),
+		fams:                f,
+		listener:            listener,
+		Sessions:            f.sessions.With(listener),
+		MemoryBytes:         f.memoryBytes.With(listener),
+		Handshakes:          f.handshakes.With(listener),
+		Accepted:            f.accepted.With(listener),
+		Drained:             f.drained.With(listener),
+		AdmissionWait:       f.admitWait.With(listener),
+		TicketRotateFailure: f.rotateFail.With(listener),
+		rejects:             make(map[string]*Counter),
 	}
 }
 

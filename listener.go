@@ -19,8 +19,10 @@ type Listener struct {
 	ln  net.Listener
 	cfg *Config
 	// keys seals resumption tickets; Config.TicketKeys (persistent,
-	// restart-surviving) or a fresh in-memory store. replay is the
-	// bounded anti-replay strike register gating 0-RTT acceptance.
+	// restart-surviving) or a fresh in-memory store. replay aliases the
+	// key store's anti-replay strike register: listeners sharing ticket
+	// keys accept each other's tickets, so they share strikes too —
+	// otherwise a captured 0-RTT flight would replay once per listener.
 	keys   *TicketKeyStore
 	replay *resume.Replay
 	rtel   *telemetry.ResumeMetrics
@@ -80,7 +82,9 @@ func NewListener(ln net.Listener, cfg *Config) *Listener {
 			l.keys = ks
 		}
 	}
-	l.replay = resume.NewReplay(resume.DefaultReplayWindow, resume.DefaultReplayCap)
+	if l.keys != nil {
+		l.replay = l.keys.replay
+	}
 	if !l.cfg.Telemetry.Disabled {
 		fams := telemetry.ResumeFamiliesOn(telemetry.Default())
 		l.rtel = fams.Listener(ln.Addr().String())
@@ -267,8 +271,11 @@ func (l *Listener) handleConn(nc net.Conn) {
 	advertise = append(advertise, l.cfg.AdvertiseAddrs...)
 	// Per-connection resumption disposition, captured by the handshake
 	// hooks: whether a ticket was offered, whether it opened under an
-	// old key generation, and whether the anti-replay gate was consulted.
+	// old key generation, when it was issued (sealed inside the ticket;
+	// gates 0-RTT freshness), and whether the anti-replay gate was
+	// consulted.
 	var ticketOffered, ticketReissue, earlyGated bool
+	var ticketIssued time.Time
 	hcfg := &handshake.Config{
 		Suites:         l.cfg.Suites,
 		Certificate:    l.cfg.Certificate,
@@ -282,23 +289,26 @@ func (l *Listener) handleConn(nc net.Conn) {
 			if l.keys == nil {
 				return nil, false
 			}
-			psk, reissue, err := l.keys.ks.OpenTicket(ticket)
+			psk, issued, reissue, err := l.keys.ks.OpenTicket(ticket)
 			if err != nil {
 				return nil, false
 			}
 			ticketReissue = reissue
+			ticketIssued = issued
 			return psk, true
 		},
 		AcceptEarlyData: func(ticket []byte) bool {
-			// One strike per ticket nonce: a replayed 0-RTT flight (same
-			// ticket, same nonce) is decrypted and discarded, never
-			// delivered twice.
+			// One strike per ticket nonce, bounded by the ticket's sealed
+			// issuance stamp: a replayed 0-RTT flight (same ticket, same
+			// nonce) is decrypted and discarded, never delivered twice —
+			// the freshness gate keeps that true across register turnover
+			// and server restarts.
 			earlyGated = true
 			nonce, ok := resume.TicketNonce(ticket)
 			if !ok || l.replay == nil {
 				return false
 			}
-			return l.replay.Observe(nonce, time.Now())
+			return l.replay.ObserveFresh(nonce, ticketIssued, time.Now())
 		},
 		OnSessionIssued: func(id SessID, cookies []Cookie) {
 			ss := &serverSession{cookies: make(map[Cookie]bool), ready: make(chan struct{})}
@@ -408,6 +418,9 @@ func (l *Listener) handleConn(nc net.Conn) {
 
 	if l.keys != nil && !l.cfg.DisableTickets && !l.cfg.DisableTCPLS {
 		sess.sealTicket = l.keys.ks.Seal
+		// Advertise the 0-RTT budget this server will actually enforce,
+		// so resuming clients clamp their offers instead of overflowing.
+		sess.maxEarlyAdvert = uint32(handshake.EarlyDataBudget(l.cfg.MaxEarlyData))
 		// Issue a resumption ticket over the fresh session (TLS 1.3
 		// servers send NewSessionTicket right after the handshake).
 		// Resumed sessions get one too — that is what reissues old-

@@ -59,6 +59,11 @@ type Session struct {
 	resumption []byte
 	ticket     *ClientTicket
 	sealTicket func(psk []byte) ([]byte, error)
+	// maxEarlyAdvert is the 0-RTT budget advertised in tickets this
+	// session issues (server side; matches what the listener enforces).
+	maxEarlyAdvert uint32
+	// resumed records whether this session's handshake used a PSK ticket.
+	resumed bool
 	// 0-RTT state: whether this session's early-data offer was accepted
 	// and, when a stream carries (client) or carried (server) the early
 	// bytes, its ID.
@@ -164,6 +169,7 @@ func newSession(isClient bool, cfg *Config, res *handshake.Result, nc net.Conn, 
 	s.cond = sync.NewCond(&s.mu)
 	s.suite = res.Secrets.Suite
 	s.resumption = res.Secrets.Resumption
+	s.resumed = res.Resumed
 	s.metrics = sched.NewMetrics()
 	s.engine.SetMetrics(s.metrics)
 	s.initTelemetry()
@@ -274,6 +280,15 @@ func (s *Session) writeLoop(pc *pathConn) {
 
 // ID returns the server-assigned TCPLS session identifier.
 func (s *Session) ID() SessID { return s.sessID }
+
+// Resumed reports whether this session's handshake was abbreviated by a
+// PSK resumption ticket (client: the server accepted the offered ticket;
+// server: the ticket opened). False for full handshakes.
+func (s *Session) Resumed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resumed
+}
 
 // EarlyDataAccepted reports whether this session's 0-RTT offer was
 // accepted: on the client, the server's echo; on the server, that the
@@ -482,9 +497,10 @@ func (s *Session) processEventsLocked() {
 			s.engine.Note("ticket_received", ev.Conn, 0, 0, len(ev.Data))
 			if len(s.resumption) > 0 {
 				s.ticket = &ClientTicket{
-					ServerName: s.cfg.ServerName,
-					Ticket:     ev.Data,
-					PSK:        derivePSK(s.suite, s.resumption, ev.Nonce),
+					ServerName:   s.cfg.ServerName,
+					Ticket:       ev.Data,
+					PSK:          derivePSK(s.suite, s.resumption, ev.Nonce),
+					MaxEarlyData: ev.MaxEarly,
 				}
 			}
 		case core.EventAddAddr:

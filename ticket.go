@@ -3,6 +3,7 @@ package tcpls
 import (
 	"crypto/rand"
 	"errors"
+	"time"
 
 	"tcpls/internal/hkdf"
 	"tcpls/internal/record"
@@ -18,6 +19,12 @@ type ClientTicket struct {
 	ServerName string
 	Ticket     []byte
 	PSK        []byte
+	// MaxEarlyData is the server's advertised 0-RTT budget in plaintext
+	// bytes (TLS 1.3's max_early_data_size). Dial clamps its offer to it:
+	// early data larger than the budget is sent at 1-RTT instead of
+	// tripping the server's overflow guard. Zero means the server
+	// advertised no 0-RTT budget (old ticket or 0-RTT disabled).
+	MaxEarlyData uint32
 }
 
 // pskLen is the resumption PSK size.
@@ -36,8 +43,14 @@ func derivePSK(suite *record.Suite, resumptionSecret []byte, nonce [16]byte) []b
 // Rotation mints a new generation while the previous one stays accepted;
 // tickets opened under an old generation are transparently reissued.
 // Safe for concurrent use and shareable across listeners.
+//
+// The 0-RTT anti-replay strike register lives here rather than on the
+// Listener: listeners sharing one key store accept each other's tickets,
+// so they must also share strikes — otherwise a captured 0-RTT flight
+// would be accepted once per listener.
 type TicketKeyStore struct {
-	ks *resume.KeyStore
+	ks     *resume.KeyStore
+	replay *resume.Replay
 }
 
 // OpenTicketKeyStore loads (or atomically creates) an encrypted ticket
@@ -48,7 +61,10 @@ func OpenTicketKeyStore(path string, passphrase []byte) (*TicketKeyStore, error)
 	if err != nil {
 		return nil, err
 	}
-	return &TicketKeyStore{ks: ks}, nil
+	return &TicketKeyStore{
+		ks:     ks,
+		replay: resume.NewReplay(resume.DefaultReplayWindow, resume.DefaultReplayCap, time.Now()),
+	}, nil
 }
 
 // NewTicketKeyStore returns an in-memory store (no persistence) — the
@@ -58,7 +74,10 @@ func NewTicketKeyStore() (*TicketKeyStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TicketKeyStore{ks: ks}, nil
+	return &TicketKeyStore{
+		ks:     ks,
+		replay: resume.NewReplay(resume.DefaultReplayWindow, resume.DefaultReplayCap, time.Now()),
+	}, nil
 }
 
 // Rotate mints a new key generation and persists it; the previous
@@ -97,7 +116,7 @@ func (s *Session) issueTicket(conn uint32) error {
 	}
 	s.mu.Lock()
 	s.engine.Note("ticket_issued", conn, 0, 0, len(ticket))
-	err = s.engine.SendSessionTicket(conn, nonce, ticket)
+	err = s.engine.SendSessionTicket(conn, nonce, ticket, s.maxEarlyAdvert)
 	out := s.collectOutgoingLocked()
 	s.mu.Unlock()
 	if err != nil {

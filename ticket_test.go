@@ -124,22 +124,22 @@ func TestTicketKeyStoreRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := ks.ks.OpenTicket(ticket)
+	got, _, _, err := ks.ks.OpenTicket(ticket)
 	if err != nil || !bytes.Equal(got, psk) {
 		t.Fatal("key store round trip failed")
 	}
 	// Tampering is rejected.
 	ticket[len(ticket)-1] ^= 1
-	if _, _, err := ks.ks.OpenTicket(ticket); err == nil {
+	if _, _, _, err := ks.ks.OpenTicket(ticket); err == nil {
 		t.Fatal("tampered ticket accepted")
 	}
 	// A different store (different key) cannot open it.
 	other, _ := NewTicketKeyStore()
 	ticket[len(ticket)-1] ^= 1
-	if _, _, err := other.ks.OpenTicket(ticket); err == nil {
+	if _, _, _, err := other.ks.OpenTicket(ticket); err == nil {
 		t.Fatal("foreign key store opened the ticket")
 	}
-	if _, _, err := ks.ks.OpenTicket([]byte{1, 2}); err == nil {
+	if _, _, _, err := ks.ks.OpenTicket([]byte{1, 2}); err == nil {
 		t.Fatal("short ticket accepted")
 	}
 }
