@@ -1,0 +1,83 @@
+// Command tcpls-netem runs a standalone fault-injection TCP relay
+// (internal/netem) between a client and a server, driven by one-word
+// commands on stdin — the shell-scriptable harness the CI health-smoke
+// job uses to stall a live transfer and watch the self-diagnosis react.
+//
+// Usage:
+//
+//	tcpls-netem -connect 127.0.0.1:4443
+//
+// The relay's dialable address is printed alone on the first stdout
+// line; point the client at it. Then each stdin line applies a fault:
+//
+//	stall      freeze both directions (sockets stay open, nothing moves)
+//	unstall    resume forwarding
+//	blackhole  kill all connections and refuse new ones
+//	restore    accept connections again
+//	rst        abort every forwarded connection with a TCP RST
+//	quit       close the relay and exit
+//
+// Each applied command is acknowledged with "ok <command>" on stdout.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tcpls/internal/netem"
+)
+
+var (
+	connectFlag = flag.String("connect", "", "target address to relay toward (required)")
+	rateFlag    = flag.Int64("rate", 0, "per-direction rate limit in bits/s (0 = unlimited)")
+	delayFlag   = flag.Duration("delay", 0, "one-way added latency per direction")
+)
+
+func main() {
+	flag.Parse()
+	if *connectFlag == "" {
+		fmt.Fprintln(os.Stderr, "tcpls-netem: -connect is required")
+		os.Exit(2)
+	}
+	prof := netem.Profile{RateBps: *rateFlag, Delay: *delayFlag}
+	relay, err := netem.NewRelay(*connectFlag, prof, prof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcpls-netem:", err)
+		os.Exit(1)
+	}
+	defer relay.Close()
+	fmt.Println(relay.Addr())
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		cmd := strings.TrimSpace(sc.Text())
+		switch cmd {
+		case "":
+			continue
+		case "stall":
+			relay.Stall()
+		case "unstall":
+			relay.Unstall()
+		case "blackhole":
+			relay.Blackhole()
+		case "restore":
+			relay.Restore()
+		case "rst":
+			relay.RST()
+		case "quit", "exit":
+			fmt.Println("ok quit")
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "tcpls-netem: unknown command %q\n", cmd)
+			continue
+		}
+		fmt.Println("ok " + cmd)
+	}
+	// Stdin closed (driver went away): linger briefly so in-flight
+	// traffic drains, then exit via the deferred Close.
+	time.Sleep(100 * time.Millisecond)
+}

@@ -40,9 +40,12 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,6 +59,9 @@ var (
 	rootFlag    = flag.String("root", ".", "file-serving root (-mode file)")
 	nameFlag    = flag.String("name", "server.tcpls", "server certificate name")
 	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/tcpls, and /debug/pprof on this address")
+
+	healthIv = flag.Duration("health-interval", 0, "self-diagnosis sampling tick (0 = 1s default; needs -metrics-addr)")
+	qlogDir  = flag.String("qlog-dir", "", "write one qlog trace per session into this directory")
 
 	failoverF = flag.Bool("failover", false, "enable failover (record acks)")
 	hsTimeout = flag.Duration("handshake-timeout", 0, "per-connection handshake deadline (0 = 10s default, negative disables)")
@@ -111,7 +117,27 @@ func main() {
 		}
 		defer closer.Close()
 		tcfg.Telemetry.Addr = *metricsAddr
-		log.Printf("telemetry on http://%s/metrics and /debug/tcpls", *metricsAddr)
+		log.Printf("telemetry on http://%s/metrics, /debug/tcpls, and /debug/tcpls/health", *metricsAddr)
+	}
+	tcfg.Health.Interval = *healthIv
+	if *qlogDir != "" {
+		// Per-session qlog artifacts: wrap the handler so every accepted
+		// session streams its trace (health verdicts included) to its own
+		// file; the sink flushes when the session closes.
+		if err := os.MkdirAll(*qlogDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		inner := handler
+		var qlogSeq atomic.Uint64
+		handler = func(s *tcpls.Session) {
+			name := filepath.Join(*qlogDir, fmt.Sprintf("sess-%d.qlog", qlogSeq.Add(1)))
+			if f, err := os.Create(name); err == nil {
+				s.TraceJSON(f)
+			} else {
+				log.Printf("tcpls-server: qlog %s: %v", name, err)
+			}
+			inner(s)
+		}
 	}
 
 	srv := server.New(server.Config{

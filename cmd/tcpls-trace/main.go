@@ -30,6 +30,7 @@ import (
 var (
 	jsonFlag     = flag.Bool("json", false, "emit the full report as JSON")
 	seriesFlag   = flag.Bool("series", false, "print per-path goodput and RTT timeseries")
+	healthFlag   = flag.Bool("health", false, "print the continuous-diagnosis verdict timeline")
 	checkFlag    = flag.Bool("check", false, "exit 1 on malformed input or invariant violations")
 	intervalFlag = flag.Duration("interval", 100*time.Millisecond, "timeseries bucket width")
 	maxGapFlag   = flag.Duration("max-gap", 0, "with -check: fail if any failover gap exceeds this")
@@ -64,6 +65,8 @@ func main() {
 		}
 	case *seriesFlag:
 		printSeries(rep)
+	case *healthFlag:
+		printHealth(name, rep)
 	default:
 		printSummary(name, rep)
 	}
@@ -165,11 +168,55 @@ func printSummary(name string, rep *qlog.Report) {
 			rep.Reorder.Samples, rep.Reorder.P50, rep.Reorder.P90, rep.Reorder.P99, rep.Reorder.Max)
 	}
 
+	if rep.Health.Events > 0 {
+		fmt.Printf("\nhealth: %d verdict transition(s)", rep.Health.Events)
+		if len(rep.Health.Open) > 0 {
+			fmt.Printf(", open at trace end: %v", rep.Health.Open)
+		}
+		fmt.Println("  (use -health for the timeline)")
+	}
+
 	if len(rep.Violations) > 0 {
 		fmt.Printf("\nviolations (%d):\n", len(rep.Violations))
 		for _, v := range rep.Violations {
 			fmt.Printf("  %s\n", v)
 		}
+	}
+}
+
+// printHealth renders the continuous-diagnosis verdict timeline: one
+// line per transition, relative to trace start, with the evidence
+// scalar the monitor attached.
+func printHealth(name string, rep *qlog.Report) {
+	h := rep.Health
+	fmt.Printf("%s: %d health verdict transition(s)\n", name, h.Events)
+	if h.Events == 0 {
+		return
+	}
+	fmt.Println("\nverdict timeline:")
+	for _, mk := range h.Timeline {
+		t := us(mk.TimeUS - rep.StartUS).Round(time.Millisecond)
+		state := "cleared"
+		if mk.Raised {
+			state = "RAISED"
+		}
+		if mk.Kind == "healthy" {
+			fmt.Printf("  %10v  healthy (all verdicts cleared)\n", t)
+			continue
+		}
+		fmt.Printf("  %10v  %-7s %s", t, state, mk.Kind)
+		if mk.Conn != 0 {
+			fmt.Printf("  conn %d", mk.Conn)
+		}
+		if mk.Value != 0 {
+			fmt.Printf("  value %d", mk.Value)
+		}
+		fmt.Println()
+	}
+	if len(h.Open) > 0 {
+		fmt.Printf("\nopen at trace end: %v\n", h.Open)
+	} else {
+		fmt.Println("\nall verdicts cleared by trace end")
 	}
 }
 

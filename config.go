@@ -143,6 +143,14 @@ type Config struct {
 	// sampling rate of the buffered qlog trace sink. See TelemetryConfig.
 	Telemetry TelemetryConfig
 
+	// Health configures the continuous self-diagnosis sampler built on
+	// the telemetry layer: time-series rings over the session's
+	// counters and a rule table emitting live verdicts (stalls,
+	// retransmit storms, memory growth, path asymmetry) to the flight
+	// recorder, qlog, Prometheus, and /debug/tcpls/health. On by
+	// default whenever telemetry is. See HealthConfig.
+	Health HealthConfig
+
 	// OnEvent, when set, receives session lifecycle events
 	// (EventConnDown, EventFailover, EventReconnecting, EventReconnected,
 	// EventRecoveryFailed) on a dedicated goroutine, in order. Events are

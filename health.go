@@ -1,0 +1,288 @@
+package tcpls
+
+import (
+	"sync"
+	"time"
+
+	"tcpls/internal/core"
+	"tcpls/internal/health"
+	"tcpls/internal/telemetry"
+)
+
+// HealthConfig is the Config.Health knob: the continuous self-diagnosis
+// sampler layered over telemetry. The zero value enables it at the
+// production defaults — a shared 1s tick, one minute of ring history —
+// whenever telemetry itself is on. The sampler snapshots the session's
+// counters each tick into fixed time-series rings (zero steady-state
+// allocations), derives goodput, retransmit ratio, reorder slope, and
+// ACK-RTT drift, and runs a hysteresis rule table whose verdicts
+// (stall_suspected, retransmit_storm, memory_growth, path_asymmetry)
+// flow to the flight recorder, the qlog trace under the "health"
+// category, tcpls_health_* Prometheus families, and the
+// /debug/tcpls/health JSON endpoint.
+type HealthConfig struct {
+	// Disabled turns continuous diagnosis off. It is also implicitly
+	// off when Telemetry.Disabled is set — the sampler reads the
+	// telemetry handles.
+	Disabled bool
+	// Interval is the sampling tick (default 1s). Sessions sharing an
+	// interval share one polling goroutine; the rule hysteresis is
+	// counted in ticks, so shorter intervals diagnose proportionally
+	// faster.
+	Interval time.Duration
+	// Window is the ring capacity in ticks (default 60).
+	Window int
+}
+
+func (hc *HealthConfig) interval() time.Duration {
+	if hc.Interval <= 0 {
+		return time.Second
+	}
+	return hc.Interval
+}
+
+func (hc *HealthConfig) window() int {
+	if hc.Window <= 0 {
+		return 60
+	}
+	return hc.Window
+}
+
+// sessionHealthSource adapts a Session to health.Source: one locked
+// pass over the engine per tick, reusing the session's ConnHealth
+// buffer so steady-state sampling allocates nothing.
+type sessionHealthSource struct{ s *Session }
+
+func (src sessionHealthSource) HealthSample(hs *health.Sample) {
+	s := src.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cs core.HealthStats
+	s.healthConns = s.engine.HealthSnapshot(&cs, s.healthConns[:0])
+	hs.BytesSent = cs.Stats.BytesSent
+	hs.BytesReceived = cs.Stats.BytesReceived
+	hs.RecordsSent = cs.Stats.RecordsSent
+	hs.RecordsReceived = cs.Stats.RecordsReceived
+	hs.AcksReceived = cs.Stats.AcksReceived
+	hs.Retransmits = cs.Stats.Retransmits
+	hs.OutstandingBytes = cs.OutstandingBytes
+	hs.MemoryBytes = cs.BufferedBytes
+	hs.ReorderDepth = cs.ReorderDepth
+	hs.ConnsLive = cs.ConnsLive
+	hs.StreamsOpen = cs.StreamsOpen
+	if tel := s.tel; tel != nil {
+		hs.AckRTTCount = tel.AckRTT.Count()
+		hs.AckRTTSumSec = tel.AckRTT.Sum()
+	}
+	for i := range s.healthConns {
+		c := &s.healthConns[i]
+		hs.Paths = append(hs.Paths, health.PathSample{
+			Conn:          c.ID,
+			Failed:        c.Failed,
+			BytesSent:     c.BytesSent,
+			BytesReceived: c.BytesReceived,
+			Retransmits:   c.Retransmits,
+			SRTTUS:        c.SRTTUS,
+			DeliveryRate:  c.DeliveryRate,
+		})
+	}
+}
+
+// onHealthVerdict is the session's verdict sink: every raise/clear is
+// stamped onto the trace timeline (flight recorder + qlog sink + user
+// Trace callback) as a "health"-category event whose type is the
+// verdict name, Seq 1 for raises and 0 for clears, Bytes the headline
+// evidence scalar. Runs on the health engine's goroutine.
+func (s *Session) onHealthVerdict(v health.Verdict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := uint64(0)
+	if v.Raised {
+		seq = 1
+	}
+	s.engine.Note(v.Name, v.Conn, 0, seq, int(v.Value))
+}
+
+// initHealth wires the session's monitor: rings + rules over the
+// telemetry handles, registered on the shared wall-clock engine for
+// its interval and on /debug/tcpls/health under the session's debug
+// key. Called from initTelemetry before the engine sees traffic.
+func (s *Session) initHealth() {
+	hc := &s.cfg.Health
+	if hc.Disabled || s.tel == nil || s.debugKey == "" {
+		return
+	}
+	iv := hc.interval()
+	fams := health.NewFamilies(telemetry.Default())
+	mon := health.NewMonitor(sessionHealthSource{s}, health.Options{
+		Key:       s.debugKey,
+		Interval:  iv,
+		Window:    hc.window(),
+		OnVerdict: s.onHealthVerdict,
+		Metrics:   fams.Entity(sessLabel(s.sessID)),
+	})
+	s.healthMon = mon
+	s.healthKey = s.debugKey
+	s.healthIv = iv
+	telemetry.RegisterHealth(s.healthKey, func() any { return mon.Status() })
+	acquireHealthEngine(iv).Register(s.healthKey, mon)
+	acquireProcessHealth(iv, hc.window())
+}
+
+// closeHealthLocked tears the monitor down. Idempotent; called under
+// s.mu from closeTelemetryLocked. The engine never blocks on an
+// in-flight poll, so this cannot deadlock against a sampler holding
+// nothing and wanting s.mu.
+func (s *Session) closeHealthLocked() {
+	if s.healthMon == nil {
+		return
+	}
+	telemetry.UnregisterHealth(s.healthKey)
+	if eng := lookupHealthEngine(s.healthIv); eng != nil {
+		eng.Unregister(s.healthKey)
+	}
+	releaseHealthEngine(s.healthIv)
+	releaseProcessHealth()
+	s.healthMon = nil
+	s.healthKey = ""
+}
+
+// Shared wall-clock health engines, refcounted per interval: sessions
+// with the same tick share one polling goroutine, which exits when the
+// last session closes.
+var (
+	healthEngMu   sync.Mutex
+	healthEngines = make(map[time.Duration]*healthEngineEntry)
+)
+
+type healthEngineEntry struct {
+	eng  *health.Engine
+	refs int
+}
+
+func acquireHealthEngine(iv time.Duration) *health.Engine {
+	healthEngMu.Lock()
+	defer healthEngMu.Unlock()
+	e, ok := healthEngines[iv]
+	if !ok {
+		e = &healthEngineEntry{eng: health.NewEngine(iv)}
+		healthEngines[iv] = e
+	}
+	e.refs++
+	return e.eng
+}
+
+func lookupHealthEngine(iv time.Duration) *health.Engine {
+	healthEngMu.Lock()
+	defer healthEngMu.Unlock()
+	if e, ok := healthEngines[iv]; ok {
+		return e.eng
+	}
+	return nil
+}
+
+func releaseHealthEngine(iv time.Duration) {
+	healthEngMu.Lock()
+	defer healthEngMu.Unlock()
+	e, ok := healthEngines[iv]
+	if !ok {
+		return
+	}
+	if e.refs--; e.refs <= 0 {
+		delete(healthEngines, iv)
+	}
+}
+
+// The process-level monitor diagnoses what no single session can see:
+// resumption acceptance, admission pressure, and the server memory
+// rollup, sampled from the shared registry. It exists while any
+// session-level monitor does (refcounted) and serves the "process" key
+// on /debug/tcpls/health.
+var (
+	procHealthMu   sync.Mutex
+	procHealth     *health.Monitor
+	procHealthRefs int
+	procHealthIv   time.Duration
+)
+
+// processHealthSource samples the process-wide registry families.
+type processHealthSource struct{}
+
+func (processHealthSource) HealthSample(hs *health.Sample) {
+	reg := telemetry.Default()
+	sum := func(name string) uint64 {
+		v, _ := reg.SumValues(name)
+		if v < 0 {
+			return 0
+		}
+		return uint64(v)
+	}
+	hs.ResumeAccepted = sum("tcpls_resume_accepted_total")
+	hs.ResumeRejected = sum("tcpls_resume_rejected_total")
+	hs.AdmissionRejected = sum("tcpls_server_rejected_total")
+	mem, _ := reg.SumValues("tcpls_server_memory_bytes")
+	hs.MemoryBytes = int(mem)
+}
+
+// HealthRollup surfaces the operator counters the /debug/tcpls/health
+// endpoint and tcpls-top promise to agree with Prometheus on: the
+// PR-8 resumption families and ticket-rotation failures, plus the
+// admission edge.
+func (processHealthSource) HealthRollup() map[string]float64 {
+	reg := telemetry.Default()
+	out := make(map[string]float64, 12)
+	for _, name := range []string{
+		"tcpls_resume_accepted_total",
+		"tcpls_resume_rejected_total",
+		"tcpls_early_data_accepted_total",
+		"tcpls_early_data_rejected_total",
+		"tcpls_early_data_bytes_total",
+		"tcpls_join_fastpath_total",
+		"tcpls_replay_entries",
+		"tcpls_ticket_rotate_failures_total",
+		"tcpls_server_accepted_total",
+		"tcpls_server_rejected_total",
+		"tcpls_server_sessions",
+		"tcpls_server_memory_bytes",
+	} {
+		if v, ok := reg.SumValues(name); ok {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+func acquireProcessHealth(iv time.Duration, window int) {
+	procHealthMu.Lock()
+	defer procHealthMu.Unlock()
+	procHealthRefs++
+	if procHealth != nil {
+		return
+	}
+	fams := health.NewFamilies(telemetry.Default())
+	mon := health.NewMonitor(processHealthSource{}, health.Options{
+		Key:      "process",
+		Interval: iv,
+		Window:   window,
+		Process:  true,
+		Metrics:  fams.Entity("process"),
+	})
+	procHealth = mon
+	procHealthIv = iv
+	telemetry.RegisterHealth("process", func() any { return mon.Status() })
+	acquireHealthEngine(iv).Register("process", mon)
+}
+
+func releaseProcessHealth() {
+	procHealthMu.Lock()
+	defer procHealthMu.Unlock()
+	if procHealthRefs--; procHealthRefs > 0 || procHealth == nil {
+		return
+	}
+	telemetry.UnregisterHealth("process")
+	if eng := lookupHealthEngine(procHealthIv); eng != nil {
+		eng.Unregister("process")
+	}
+	releaseHealthEngine(procHealthIv)
+	procHealth = nil
+}

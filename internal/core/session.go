@@ -801,6 +801,71 @@ func (s *Session) BufferedBytes() int {
 	return total
 }
 
+// ConnHealth is one connection's compact health sample: the per-path
+// row the continuous-diagnosis sampler reads every tick. Counter
+// fields come from the connection's pre-resolved telemetry handles and
+// are zero when telemetry is not installed; scheduler fields are zero
+// when no path-metrics engine runs.
+type ConnHealth struct {
+	ID            uint32
+	Failed        bool
+	BytesSent     uint64
+	BytesReceived uint64
+	Retransmits   uint64
+	SRTTUS        int64
+	DeliveryRate  float64
+}
+
+// HealthStats is the session-level half of a health sample.
+type HealthStats struct {
+	Stats Stats
+	// OutstandingBytes is the unacknowledged send data across all
+	// retransmit buffers (the stall rule's "data is waiting" signal).
+	OutstandingBytes int
+	// BufferedBytes is the session's total held memory (see
+	// BufferedBytes).
+	BufferedBytes int
+	ReorderDepth  int
+	ConnsLive     int
+	StreamsOpen   int
+}
+
+// HealthSnapshot fills hs and appends one ConnHealth row per open
+// connection to conns, returning the extended slice. Unlike ConnInfos
+// it allocates nothing when conns has capacity — the health sampler
+// calls it once per tick with a reused buffer. Caller must serialize
+// with the session's other entry points, like every engine method.
+func (s *Session) HealthSnapshot(hs *HealthStats, conns []ConnHealth) []ConnHealth {
+	hs.Stats = s.stats
+	hs.OutstandingBytes = s.retransmitTotal
+	hs.BufferedBytes = s.BufferedBytes()
+	hs.ReorderDepth = s.coupled.buf.Pending()
+	hs.ConnsLive = 0
+	hs.StreamsOpen = len(s.streams)
+	for id, c := range s.conns {
+		if c.closed {
+			continue
+		}
+		if !c.failed {
+			hs.ConnsLive++
+		}
+		ch := ConnHealth{ID: id, Failed: c.failed}
+		if cm := c.tel; cm != nil {
+			ch.BytesSent = cm.BytesSent.Load()
+			ch.BytesReceived = cm.BytesReceived.Load()
+			ch.Retransmits = cm.Retransmits.Load()
+		}
+		if s.metrics != nil {
+			if ps, ok := s.metrics.Snapshot(id); ok {
+				ch.SRTTUS = int64(ps.SRTT / time.Microsecond)
+				ch.DeliveryRate = ps.DeliveryRate
+			}
+		}
+		conns = append(conns, ch)
+	}
+	return conns
+}
+
 // RecvPaused reports whether the receive side wants the I/O wrapper to
 // stop reading connID's socket: some stream whose records arrive on
 // that connection (or the coupled group, whose records may arrive on

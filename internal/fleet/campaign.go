@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tcpls/internal/core"
+	"tcpls/internal/health"
 	"tcpls/internal/resume"
 	"tcpls/internal/sim"
 	"tcpls/internal/simtcp"
@@ -43,6 +44,20 @@ const (
 	VWriteError = "write-error"
 	VResume     = "resume"
 	VMemReplay  = "memory-replay"
+	VHealth     = "health"
+)
+
+// Health-oracle constants: the self-diagnosis monitors (internal/health)
+// run fleet-wide on a fast virtual tick — campaigns last seconds, not
+// minutes, so the production 1s cadence would never accumulate enough
+// ticks to trip a rule. At 100ms, a generated stall (userTimeout+100ms
+// minimum) spans the 3-tick raise threshold with room to spare, and the
+// post-quiesce cooldown gives every rule's clear hysteresis time to run
+// before the active-verdict check.
+const (
+	healthTick     = 100 * time.Millisecond
+	healthWindow   = 16 // ring ticks; evidence windows need at most 10
+	healthCooldown = 2 * time.Second
 )
 
 // flowCount is one connection's record counters at one endpoint,
@@ -70,6 +85,9 @@ type SessionResult struct {
 	RetxPeak     [2]int
 	Flows        [2]map[uint32]flowCount // per-conn counters: [client, server]
 	WriteErr     string
+	// Verdicts counts health-verdict raises on this session by kind name
+	// (both endpoint monitors merged) — part of the determinism contract.
+	Verdicts map[string]int
 }
 
 // ResumeStats are the campaign-wide resumption outcomes of FaultRestart
@@ -134,6 +152,16 @@ func (r *Result) Fingerprint() string {
 			for _, id := range ids {
 				fl := sr.Flows[side][id]
 				w("  f%d/%d sent=%d recv=%d\n", side, id, fl.Sent, fl.Recv)
+			}
+		}
+		if len(sr.Verdicts) > 0 {
+			kinds := make([]string, 0, len(sr.Verdicts))
+			for k := range sr.Verdicts {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			for _, k := range kinds {
+				w("  h %s=%d\n", k, sr.Verdicts[k])
 			}
 		}
 	}
@@ -231,6 +259,15 @@ type campaign struct {
 	resume     ResumeStats
 	resumeVios []Violation
 
+	// Health oracle (invariant 5): two self-diagnosis monitors per
+	// session (one per endpoint), polled from the virtual clock. touched
+	// marks sessions any fault ever perturbed — a verdict raised on an
+	// untouched session is a spurious diagnosis and fails the campaign.
+	healthMons   []*health.Monitor
+	touched      []bool
+	healthRaised []map[string]int
+	healthVios   []Violation
+
 	// traceCount monotonically counts engine trace events fleet-wide;
 	// the quiesce detector polls it for "no protocol activity".
 	traceCount int64
@@ -241,7 +278,7 @@ type campaign struct {
 	traceBuf     []core.TraceEvent
 }
 
-// Run executes one campaign and checks all four invariants.
+// Run executes one campaign and checks all five invariants.
 func Run(sc Scenario) *Result {
 	res, _ := run(sc, -1)
 	return res
@@ -295,6 +332,8 @@ func run(sc Scenario, traceSession int) (*Result, []core.TraceEvent) {
 		}
 	}
 
+	c.touched = make([]bool, sc.Sessions)
+	c.healthRaised = make([]map[string]int, sc.Sessions)
 	for i := 0; i < sc.Sessions; i++ {
 		c.sessions = append(c.sessions, c.buildSession(i))
 	}
@@ -302,6 +341,20 @@ func run(sc Scenario, traceSession int) (*Result, []core.TraceEvent) {
 		ev := ev
 		c.s.At(ev.At, func() { c.applyFault(ev) })
 	}
+
+	// Invariant 5: the health oracle. Every monitor polls on the same
+	// self-rescheduling virtual tick — fully deterministic, no Engine
+	// goroutine — and keeps ticking through the post-quiesce cooldown so
+	// clear hysteresis can run.
+	var pollHealth func()
+	pollHealth = func() {
+		now := epoch.Add(c.s.Now())
+		for _, m := range c.healthMons {
+			m.Poll(now)
+		}
+		c.s.After(healthTick, pollHealth)
+	}
+	c.s.After(healthTick, pollHealth)
 
 	// Drive the fleet until it drains. The endpoint keepalive ticks never
 	// let the event queue empty, so completion is detected, not awaited:
@@ -330,6 +383,14 @@ func run(sc Scenario, traceSession int) (*Result, []core.TraceEvent) {
 		} else {
 			lastCount, stable = c.traceCount, 0
 		}
+	}
+
+	// Post-quiesce cooldown: keep the virtual clock (and the health
+	// ticks riding it) running long enough for every raised verdict's
+	// clear hysteresis to observe the drained fleet. A verdict still
+	// active after this window is non-transient — invariant 5 fails.
+	if quiesced {
+		c.s.RunUntil(c.s.Now() + healthCooldown)
 	}
 
 	res := &Result{
@@ -433,6 +494,7 @@ func (c *campaign) buildSession(i int) *fleetSession {
 	}
 
 	c.installCounters(fs)
+	c.installHealth(fs)
 
 	// Zero-copy delivery with inline verification: invariant 1 holds no
 	// transfer-sized buffers, so invariant 2's memory story extends to
@@ -493,6 +555,72 @@ func (c *campaign) installCounters(fs *fleetSession) {
 	capture := c.traceSession == fs.idx
 	fs.cl.Sess.SetTracer(tap(0, capture && fs.up))
 	fs.sv.Sess.SetTracer(tap(1, capture && !fs.up))
+}
+
+// fleetHealthSource adapts one endpoint's core engine to the health
+// sampler. The campaign is single-goroutine on the DES, so the engine
+// needs no locking; the snapshot buffers are reused across polls.
+type fleetHealthSource struct {
+	sess  *core.Session
+	hs    core.HealthStats
+	conns []core.ConnHealth
+}
+
+func (f *fleetHealthSource) HealthSample(s *health.Sample) {
+	f.conns = f.sess.HealthSnapshot(&f.hs, f.conns[:0])
+	st := f.hs.Stats
+	s.BytesSent = st.BytesSent
+	s.BytesReceived = st.BytesReceived
+	s.RecordsSent = st.RecordsSent
+	s.RecordsReceived = st.RecordsReceived
+	s.AcksReceived = st.AcksReceived
+	s.Retransmits = st.Retransmits
+	s.OutstandingBytes = f.hs.OutstandingBytes
+	s.MemoryBytes = f.hs.BufferedBytes
+	s.ReorderDepth = f.hs.ReorderDepth
+	s.ConnsLive = f.hs.ConnsLive
+	s.StreamsOpen = f.hs.StreamsOpen
+	for i := range f.conns {
+		ch := &f.conns[i]
+		s.Paths = append(s.Paths, health.PathSample{
+			Conn:          ch.ID,
+			Failed:        ch.Failed,
+			BytesSent:     ch.BytesSent,
+			BytesReceived: ch.BytesReceived,
+			Retransmits:   ch.Retransmits,
+			SRTTUS:        ch.SRTTUS,
+			DeliveryRate:  ch.DeliveryRate,
+		})
+	}
+}
+
+// installHealth attaches the session's two diagnosis monitors and the
+// spurious-verdict detector. A raise on a session no fault ever touched
+// is recorded as a violation the moment it happens (the fault may land
+// later — by then the diagnosis was already wrong).
+func (c *campaign) installHealth(fs *fleetSession) {
+	c.healthRaised[fs.idx] = map[string]int{}
+	mk := func(side string, sess *core.Session) *health.Monitor {
+		return health.NewMonitor(&fleetHealthSource{sess: sess}, health.Options{
+			Key:      fmt.Sprintf("s%d/%s", fs.idx, side),
+			Interval: healthTick,
+			Window:   healthWindow,
+			OnVerdict: func(v health.Verdict) {
+				if !v.Raised || v.Kind == health.Healthy {
+					return
+				}
+				c.healthRaised[fs.idx][v.Name]++
+				if !c.touched[fs.idx] {
+					c.healthVios = append(c.healthVios, Violation{
+						Session: fs.idx, Kind: VHealth,
+						Detail: fmt.Sprintf("spurious %s on %s at virtual %v: %s (no fault ever touched this session)",
+							v.Name, v.Key, time.Duration(v.AtUS)*time.Microsecond, v.Detail),
+					})
+				}
+			},
+		})
+	}
+	c.healthMons = append(c.healthMons, mk("client", fs.cl.Sess), mk("server", fs.sv.Sess))
 }
 
 // connectSlot launches a (re)join attempt on the slot's path. The client
@@ -707,6 +835,25 @@ func (c *campaign) applyFault(ev FaultEvent) {
 	}
 	fs := c.sessions[ev.Session%n]
 	switch ev.Kind {
+	case FaultRST, FaultBlackhole, FaultStall, FaultDegrade, FaultRestart:
+		c.touched[fs.idx] = true
+	case FaultRSTStorm:
+		stride := ev.Stride
+		if stride < 1 {
+			stride = 1
+		}
+		for i := ev.Session % n; i < n; i += stride {
+			c.touched[i] = true
+		}
+	case FaultRackOutage:
+		rack := ev.Rack % c.sc.Racks
+		for i := range c.sessions {
+			if i%c.sc.Racks == rack {
+				c.touched[i] = true
+			}
+		}
+	}
+	switch ev.Kind {
 	case FaultRST:
 		c.resetLowestLive(fs)
 	case FaultBlackhole:
@@ -880,6 +1027,7 @@ func (c *campaign) snapshot(res *Result) {
 			ReorderPeak:  [2]int{fs.cl.Sess.ReorderPeakBytes(), fs.sv.Sess.ReorderPeakBytes()},
 			RetxPeak:     [2]int{fs.cl.Sess.RetransmitPeakBytes(), fs.sv.Sess.RetransmitPeakBytes()},
 			Flows:        [2]map[uint32]flowCount{{}, {}},
+			Verdicts:     c.healthRaised[fs.idx],
 		}
 		if fs.quiesced {
 			sr.DoneAtUS = int64(fs.doneAt / time.Microsecond)
@@ -926,6 +1074,21 @@ func (c *campaign) snapshot(res *Result) {
 		if res.Quiesced {
 			c.checkClosure(fs, add)
 		}
+
+		// Invariant 5, non-transient leg: after the fleet drained and the
+		// cooldown ran, every verdict must have cleared — a diagnosis that
+		// outlives its cause is as wrong as one with no cause. (Without
+		// quiesce the fleet is genuinely unhealthy and VStuck already
+		// fired; active verdicts are then correct, not violations.)
+		if res.Quiesced {
+			sides := [2]string{"client", "server"}
+			for side, m := range c.healthMons[2*fs.idx : 2*fs.idx+2] {
+				for _, k := range m.ActiveVerdicts(nil) {
+					add(VHealth, "%s still active on the %s side %v after quiesce+cooldown",
+						k, sides[side], healthCooldown)
+				}
+			}
+		}
 	}
 
 	// Resumption outcomes and oracle violations (FaultRestart), plus the
@@ -945,6 +1108,7 @@ func (c *campaign) snapshot(res *Result) {
 	}
 	res.Resume = c.resume
 	res.Violations = append(res.Violations, c.resumeVios...)
+	res.Violations = append(res.Violations, c.healthVios...)
 }
 
 // checkClosure verifies records sent == records delivered + records

@@ -241,6 +241,50 @@ func TestFleetRestartResume(t *testing.T) {
 	}
 }
 
+// TestFleetHealthOracle proves invariant 5 is armed, not inert: a
+// stall-heavy campaign must actually raise StallSuspected on faulted
+// sessions (the campaign still passes — those verdicts are correct and
+// transient), every raise must land on a touched session (a spurious
+// one fails the run), and the verdict counts must be part of the
+// determinism contract.
+func TestFleetHealthOracle(t *testing.T) {
+	sc := Scenario{
+		Seed:     11,
+		Sessions: 120,
+		Faults:   40,
+		FaultMix: FaultMix{Stall: 3, Blackhole: 1},
+	}
+	res := Run(sc)
+	if res.Failed() {
+		for i, v := range res.Violations {
+			if i >= 20 {
+				break
+			}
+			t.Errorf("%s", v)
+		}
+		t.Fatalf("stall-heavy campaign failed; repro: %s", res.ReproLine())
+	}
+	stalls, total := 0, 0
+	for i := range res.Sessions {
+		for kind, n := range res.Sessions[i].Verdicts {
+			total += n
+			if kind == "stall_suspected" {
+				stalls += n
+			}
+		}
+	}
+	t.Logf("health oracle: %d verdict raises (%d stall_suspected) across %d sessions",
+		total, stalls, sc.Sessions)
+	if stalls == 0 {
+		t.Fatal("no StallSuspected raised under a stall-heavy fault mix — the health oracle is blind")
+	}
+	// Verdict raises ride the fingerprint: same scenario, same diagnosis.
+	if again := Run(sc); again.Fingerprint() != res.Fingerprint() {
+		t.Fatalf("same scenario, different diagnoses: %s vs %s",
+			res.Fingerprint(), again.Fingerprint())
+	}
+}
+
 // TestFleetArtifactAnalyzable checks the failure-artifact path end to
 // end: RunTraced produces a qlog NDJSON trace that internal/qlog (the
 // engine behind tcpls-trace -check) parses and analyzes cleanly.

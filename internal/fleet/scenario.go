@@ -2,7 +2,7 @@
 // robustness story: it drives thousands of concurrent TCPLS sessions —
 // real protocol engines (internal/core) over simulated TCP
 // (internal/simtcp) over the DES (internal/sim) — through randomized
-// but seed-reproducible fault schedules, then asserts four fleet-wide
+// but seed-reproducible fault schedules, then asserts five fleet-wide
 // invariants:
 //
 //  1. byte-exactness: every stream delivers exactly the bytes written;
@@ -12,7 +12,11 @@
 //     goroutine, and nothing may outlive the campaign;
 //  4. telemetry count-closure: per connection, records sent equals
 //     records delivered (received + dup-dropped + ctl) plus records
-//     attributably dropped with a failed connection — no silent loss.
+//     attributably dropped with a failed connection — no silent loss;
+//  5. diagnosis fidelity: internal/health monitors run over every
+//     endpoint on the virtual clock and may never raise a verdict on a
+//     session no fault touched (spurious diagnosis) nor leave one
+//     active after the fleet drains and cools down (stuck diagnosis).
 //
 // A failing seed is a complete bug report: Result.ReproLine() is a
 // one-line `go test` invocation, RunTraced writes a qlog artifact

@@ -1,0 +1,65 @@
+package health
+
+import "tcpls/internal/telemetry"
+
+// Families bundles the tcpls_health_* metric families. Like the
+// transport families, handles are pre-resolved per monitored entity so
+// the sampler's hot path is a few atomic stores.
+type Families struct {
+	ticks    *telemetry.CounterVec
+	verdicts *telemetry.CounterVec
+	active   *telemetry.GaugeVec
+	goodput  *telemetry.GaugeVec
+	retx     *telemetry.GaugeVec
+	ackRTT   *telemetry.GaugeVec
+	memory   *telemetry.GaugeVec
+}
+
+// NewFamilies registers (or re-resolves) the health families on r.
+func NewFamilies(r *telemetry.Registry) *Families {
+	return &Families{
+		ticks: r.CounterVec("tcpls_health_ticks_total",
+			"Health sampler ticks completed.", "key"),
+		verdicts: r.CounterVec("tcpls_health_verdicts_total",
+			"Health verdict raises by kind.", "key", "kind"),
+		active: r.GaugeVec("tcpls_health_active",
+			"1 while the verdict kind is currently raised.", "key", "kind"),
+		goodput: r.GaugeVec("tcpls_health_goodput_bps",
+			"Derived goodput over the last sampler tick, bytes/s.", "key", "dir"),
+		retx: r.GaugeVec("tcpls_health_retransmit_permille",
+			"Retransmits per thousand sent records over the last tick.", "key"),
+		ackRTT: r.GaugeVec("tcpls_health_ack_rtt_us",
+			"Windowed mean record-acknowledgment RTT, microseconds.", "key"),
+		memory: r.GaugeVec("tcpls_health_memory_bytes",
+			"Buffered memory as sampled by the health monitor.", "key"),
+	}
+}
+
+// Metrics is one entity's pre-resolved handle block.
+type Metrics struct {
+	Ticks             *telemetry.Counter
+	GoodputTx         *telemetry.Gauge
+	GoodputRx         *telemetry.Gauge
+	RetxRatioPermille *telemetry.Gauge
+	AckRTTUS          *telemetry.Gauge
+	MemoryBytes       *telemetry.Gauge
+	Verdicts          [numKinds]*telemetry.Counter
+	Active            [numKinds]*telemetry.Gauge
+}
+
+// Entity resolves the handle block for key.
+func (f *Families) Entity(key string) *Metrics {
+	m := &Metrics{
+		Ticks:             f.ticks.With(key),
+		GoodputTx:         f.goodput.With(key, "tx"),
+		GoodputRx:         f.goodput.With(key, "rx"),
+		RetxRatioPermille: f.retx.With(key),
+		AckRTTUS:          f.ackRTT.With(key),
+		MemoryBytes:       f.memory.With(key),
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		m.Verdicts[k] = f.verdicts.With(key, k.String())
+		m.Active[k] = f.active.With(key, k.String())
+	}
+	return m
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"tcpls/internal/health"
 )
 
 // PathCounts are per-connection record counters reconstructed from the
@@ -101,6 +103,28 @@ type ResumptionStats struct {
 	JoinGaps       []JoinGap `json:"join_gaps,omitempty"`
 }
 
+// HealthMark is one continuous-diagnosis verdict transition on the
+// trace timeline: a "health"-category event whose type is the verdict
+// kind, Seq 1 for raises and 0 for clears, Bytes the headline evidence
+// scalar the monitor attached.
+type HealthMark struct {
+	TimeUS int64  `json:"time_us"`
+	Kind   string `json:"kind"`
+	Raised bool   `json:"raised"`
+	Conn   uint32 `json:"conn,omitempty"`
+	Value  int    `json:"value,omitempty"`
+}
+
+// HealthStats is the health-category rollup: the verdict timeline plus
+// which kinds were still raised when the trace ended. Open verdicts
+// are informational, not violations — a session may legitimately die
+// (or a flight ring wrap) mid-diagnosis.
+type HealthStats struct {
+	Events   int          `json:"events,omitempty"`
+	Timeline []HealthMark `json:"timeline,omitempty"`
+	Open     []string     `json:"open,omitempty"`
+}
+
 // ReorderStats summarizes reorder-buffer depth over the trace.
 type ReorderStats struct {
 	Samples int `json:"samples"`
@@ -120,6 +144,7 @@ type Report struct {
 	RTT        []PathSeries    `json:"rtt,omitempty"`
 	Failovers  []FailoverGap   `json:"failovers,omitempty"`
 	Resumption ResumptionStats `json:"resumption"`
+	Health     HealthStats     `json:"health"`
 	Spans      SpanStats       `json:"spans"`
 	Reorder    ReorderStats    `json:"reorder"`
 	Violations []string        `json:"violations,omitempty"`
@@ -299,8 +324,38 @@ func Analyze(events []Event, opts Options) *Report {
 			}
 		case "reorder_depth":
 			reorderDepths = append(reorderDepths, int(ev.Seq))
+		default:
+			// Health verdict transitions ride the same stream under
+			// their kind name; they touch no path counters, so -check
+			// reconciliation stays exact with them interleaved.
+			if _, ok := health.KindFromString(ev.Type); ok {
+				rep.Health.Events++
+				rep.Health.Timeline = append(rep.Health.Timeline, HealthMark{
+					TimeUS: ev.TimeUS,
+					Kind:   ev.Type,
+					Raised: ev.Seq == 1,
+					Conn:   ev.Conn,
+					Value:  ev.Bytes,
+				})
+			}
 		}
 	}
+
+	// Which verdicts were still raised at trace end? "healthy" is the
+	// all-clear transition, never an open condition.
+	openVerdicts := map[string]bool{}
+	for _, mk := range rep.Health.Timeline {
+		if mk.Kind == "healthy" {
+			continue
+		}
+		openVerdicts[mk.Kind] = mk.Raised
+	}
+	for kind, open := range openVerdicts {
+		if open {
+			rep.Health.Open = append(rep.Health.Open, kind)
+		}
+	}
+	sort.Strings(rep.Health.Open)
 
 	for conn, pc := range counts {
 		_ = conn

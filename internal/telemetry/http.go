@@ -35,6 +35,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/tcpls", DebugHandler())
+	mux.Handle("/debug/tcpls/health", HealthHandler())
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -95,6 +96,56 @@ func DebugHandler() http.Handler {
 		}{Sessions: make(map[string]any, len(keys))}
 		for _, k := range keys {
 			out.Sessions[k] = fns[k]()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(&out)
+	})
+}
+
+// Health sources: live diagnosis providers rendered as JSON on
+// /debug/tcpls/health, same contract and lifecycle as debug sources —
+// process-wide, provider does its own locking, caller unregisters on
+// teardown.
+var (
+	healthMu      sync.Mutex
+	healthSources = make(map[string]func() any)
+)
+
+// RegisterHealth installs (or replaces) the health-status provider
+// under key.
+func RegisterHealth(key string, fn func() any) {
+	healthMu.Lock()
+	healthSources[key] = fn
+	healthMu.Unlock()
+}
+
+// UnregisterHealth removes a provider.
+func UnregisterHealth(key string) {
+	healthMu.Lock()
+	delete(healthSources, key)
+	healthMu.Unlock()
+}
+
+// HealthHandler returns the /debug/tcpls/health handler: a JSON object
+// mapping each registered entity key to its diagnosis snapshot.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		healthMu.Lock()
+		keys := make([]string, 0, len(healthSources))
+		fns := make(map[string]func() any, len(healthSources))
+		for k, fn := range healthSources {
+			keys = append(keys, k)
+			fns[k] = fn
+		}
+		healthMu.Unlock()
+		sort.Strings(keys)
+		out := struct {
+			Health map[string]any `json:"health"`
+		}{Health: make(map[string]any, len(keys))}
+		for _, k := range keys {
+			out.Health[k] = fns[k]()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -306,6 +306,34 @@ func (r *Registry) Gather() map[string]float64 {
 	return out
 }
 
+// SumValues sums the current values of every child of the named family
+// without copying the registry: counters and gauges add their value,
+// histograms their observation sum. ok is false for an unregistered
+// name. Allocation-free — the health sampler calls this each tick for
+// the process-level families (resumption acceptance, admission
+// rejects, rotate failures).
+func (r *Registry) SumValues(name string) (sum float64, ok bool) {
+	r.mu.Lock()
+	f := r.byName[name]
+	r.mu.Unlock()
+	if f == nil {
+		return 0, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, child := range f.children {
+		switch c := child.(type) {
+		case *Counter:
+			sum += float64(c.Load())
+		case *Gauge:
+			sum += float64(c.Load())
+		case *Histogram:
+			sum += c.Sum()
+		}
+	}
+	return sum, true
+}
+
 // Families lists registered family names (sorted), mostly for tests.
 func (r *Registry) Families() []string {
 	r.mu.Lock()

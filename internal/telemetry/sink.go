@@ -105,6 +105,9 @@ func Category(name string) string {
 		"cookie_consumed", "cookie_received", "join_accepted",
 		"join_rejected", "ticket_issued", "ticket_received":
 		return "connectivity"
+	case "healthy", "stall_suspected", "retransmit_storm", "memory_growth",
+		"path_asymmetry", "resume_failure_spike", "admission_pressure":
+		return "health"
 	default:
 		return "session"
 	}

@@ -11,6 +11,7 @@ import (
 
 	"tcpls/internal/core"
 	"tcpls/internal/handshake"
+	"tcpls/internal/health"
 	"tcpls/internal/record"
 	"tcpls/internal/sched"
 	"tcpls/internal/telemetry"
@@ -97,6 +98,14 @@ type Session struct {
 	flight   *telemetry.Flight
 	traceFn  func(core.TraceEvent)
 	debugKey string
+
+	// Continuous self-diagnosis (health.go): the session's monitor on
+	// the shared health engine, its registry key, the engine interval
+	// it holds a reference on, and the reused per-tick sampling buffer.
+	healthMon   *health.Monitor
+	healthKey   string
+	healthIv    time.Duration
+	healthConns []core.ConnHealth
 }
 
 // TCPOption is an encrypted TCP option received from the peer (§3.1).

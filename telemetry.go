@@ -282,6 +282,7 @@ func (s *Session) initTelemetry() {
 			s.telAddr = addr
 		}
 	}
+	s.initHealth()
 }
 
 // closeTelemetryLocked releases the session's trace sink, debug
@@ -289,6 +290,7 @@ func (s *Session) initTelemetry() {
 // every teardown path. The flight recorder stays readable after close —
 // DumpFlight on a dead session is the whole point.
 func (s *Session) closeTelemetryLocked() {
+	s.closeHealthLocked()
 	if sink := s.traceSink; sink != nil {
 		s.traceSink = nil
 		// Close flushes; do it off the lock path budget — the sink's
