@@ -19,6 +19,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -43,6 +45,9 @@ var (
 
 	smokeFlag  = flag.Bool("resume-smoke", false, "resume smoke probe: save a ticket on first run, resume with 0-RTT on the next (see -ticket-file)")
 	ticketFile = flag.String("ticket-file", "ticket.json", "with -resume-smoke: where the resumption ticket is stored")
+
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the transfer to this file (client side)")
+	allocStats = flag.Bool("allocstats", false, "report heap allocations across the transfer (datapath pool check: steady state should be ~0 allocs/MB)")
 )
 
 func main() {
@@ -129,6 +134,22 @@ func runClient(cfg *tcpls.Config) {
 
 	perStream := *bytesFlag / int64(*streamsFlag)
 	chunk := make([]byte, 1<<20)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var memBefore runtime.MemStats
+	if *allocStats {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < *streamsFlag; i++ {
@@ -161,4 +182,13 @@ func runClient(cfg *tcpls.Config) {
 	stats := sess.Stats()
 	fmt.Printf("records sent=%d acks received=%d retransmits=%d\n",
 		stats.RecordsSent, stats.AcksReceived, stats.Retransmits)
+	if *allocStats {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		mallocs := memAfter.Mallocs - memBefore.Mallocs
+		heap := memAfter.TotalAlloc - memBefore.TotalAlloc
+		fmt.Printf("allocs=%d (%.1f/MB transferred) heap=%d B gcs=%d\n",
+			mallocs, float64(mallocs)/(float64(total)/(1<<20)),
+			heap, memAfter.NumGC-memBefore.NumGC)
+	}
 }

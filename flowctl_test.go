@@ -93,8 +93,8 @@ func TestRecvBackpressureBoundsMemory(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	// The readLoop parks right after the chunk that crossed the cap, so
-	// the buffered high-water mark is cap + one socket read.
-	if buffered := int(ssess.Metrics().Stats.BytesReceived); buffered > recvCap+(128<<10) {
+	// the buffered high-water mark is cap + one socket read (readBufLen).
+	if buffered := int(ssess.Metrics().Stats.BytesReceived); buffered > recvCap+readBufLen {
 		t.Fatalf("receiver buffered %d bytes against a %d cap", buffered, recvCap)
 	}
 

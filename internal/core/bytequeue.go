@@ -1,0 +1,73 @@
+package core
+
+// byteQueueShrinkCap is the capacity above which an emptied queue
+// considers releasing its backing array. Arrays at or below this are
+// always kept (steady-state traffic then reuses them allocation-free).
+const byteQueueShrinkCap = 1 << 20
+
+// byteQueue is an offset-based byte FIFO for the datapath's pending and
+// receive buffers. Unlike the old append/re-slice buffers it keeps its
+// backing array across fill/drain cycles, so the steady-state send and
+// receive paths allocate nothing.
+//
+// Aliasing contract: slices returned by Bytes remain valid across
+// Advance (the backing array is untouched) but are invalidated by the
+// next Append, which may compact the consumed prefix away. The engine
+// only holds Bytes views inside a single Flush/Receive pass, never
+// across an Append.
+type byteQueue struct {
+	buf []byte
+	off int
+	// peak tracks the largest live size since the queue last emptied.
+	// It decides whether a large backing array is still earning its
+	// keep: a busy queue that refills near capacity retains its array
+	// (freeing it would make every fill/drain cycle realloc — this
+	// dominated loopback profiles), while a queue whose traffic has
+	// shrunk releases the stale burst-sized array back to the GC.
+	peak int
+}
+
+// Len reports the number of unconsumed bytes.
+func (q *byteQueue) Len() int { return len(q.buf) - q.off }
+
+// Bytes returns a view of the unconsumed bytes.
+func (q *byteQueue) Bytes() []byte { return q.buf[q.off:] }
+
+// Append adds p to the tail, compacting the consumed prefix first when
+// it is at least as large as the live tail (amortized O(1) per byte).
+func (q *byteQueue) Append(p []byte) {
+	if q.off == len(q.buf) {
+		q.buf, q.off = q.buf[:0], 0
+	} else if q.off > 0 && q.off >= len(q.buf)-q.off {
+		n := copy(q.buf, q.buf[q.off:])
+		q.buf, q.off = q.buf[:n], 0
+	}
+	q.buf = append(q.buf, p...)
+	if l := q.Len(); l > q.peak {
+		q.peak = l
+	}
+}
+
+// Advance consumes n bytes from the front. When the queue empties, an
+// oversized backing array is released only if recent traffic no longer
+// justifies it (see peak).
+func (q *byteQueue) Advance(n int) {
+	q.off += n
+	if q.off >= len(q.buf) {
+		if q.off > len(q.buf) {
+			panic("core: byteQueue advanced past its end")
+		}
+		if cap(q.buf) > byteQueueShrinkCap && q.peak < cap(q.buf)/2 {
+			q.buf, q.off, q.peak = nil, 0, 0
+			return
+		}
+		q.buf, q.off, q.peak = q.buf[:0], 0, 0
+	}
+}
+
+// ReadInto copies up to len(p) bytes out of the queue and consumes them.
+func (q *byteQueue) ReadInto(p []byte) int {
+	n := copy(p, q.Bytes())
+	q.Advance(n)
+	return n
+}

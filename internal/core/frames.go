@@ -212,60 +212,62 @@ type frame struct {
 	maxEarly             uint32
 }
 
-// parseFrame decodes the trailer of a decrypted TCPLS record. content is
-// the TLS inner plaintext minus the TLS content type byte and padding.
-func parseFrame(content []byte) (*frame, error) {
+// parseFrame decodes the trailer of a decrypted TCPLS record into f
+// (a reused scratch — the receive path parses one record per struct
+// lifetime, so no per-record allocation). content is the TLS inner
+// plaintext minus the TLS content type byte and padding.
+func parseFrame(f *frame, content []byte) error {
 	if len(content) == 0 {
-		return nil, ErrBadFrame
+		return ErrBadFrame
 	}
-	f := &frame{typ: recordType(content[len(content)-1])}
+	*f = frame{typ: recordType(content[len(content)-1])}
 	body := content[:len(content)-1]
 	switch f.typ {
 	case typeStreamData:
 		f.payload = body
 	case typeStreamDataCoupled:
 		if len(body) < 8 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		f.aggSeq = wire.Uint64(body[len(body)-8:])
 		f.payload = body[: len(body)-8 : len(body)-8]
 	case typeAck, typeSync, typeStreamFin:
 		if len(body) != 12 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		f.id = wire.Uint32(body[:4])
 		f.seq = wire.Uint64(body[4:])
 	case typeFailover, typeStreamAttach, typeStreamDetach, typeAckRequest:
 		if len(body) != 4 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		f.id = wire.Uint32(body)
 	case typeTCPOption:
 		if len(body) < 3 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		vlen := int(wire.Uint16(body[len(body)-2:]))
 		f.optKind = body[len(body)-3]
 		if len(body) != vlen+3 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		f.optVal = body[:vlen:vlen]
 	case typeAddAddr, typeRemoveAddr:
 		if len(body) < 1 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		alen := int(body[len(body)-1])
 		if len(body) != alen+1 || (alen != 4 && alen != 16) {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		f.addr = body[:alen:alen]
 	case typeNewCookie:
 		if len(body) < 1 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		count := int(body[len(body)-1])
 		if len(body) != count*16+1 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		for i := 0; i < count; i++ {
 			var c [16]byte
@@ -274,7 +276,7 @@ func parseFrame(content []byte) (*frame, error) {
 		}
 	case typeBPFCC:
 		if len(body) < 8 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		tail := body[len(body)-8:]
 		f.chunkIdx = wire.Uint16(tail[0:2])
@@ -283,22 +285,22 @@ func parseFrame(content []byte) (*frame, error) {
 		f.chunk = body[: len(body)-8 : len(body)-8]
 	case typeEchoRequest, typeEchoReply:
 		if len(body) != 8 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		f.token = wire.Uint64(body)
 	case typeConnClose:
 		if len(body) != 0 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 	case typeSessionTicket:
 		if len(body) < 20 {
-			return nil, ErrBadFrame
+			return ErrBadFrame
 		}
 		f.maxEarly = wire.Uint32(body[len(body)-4:])
 		copy(f.nonce[:], body[len(body)-20:len(body)-4])
 		f.chunk = body[: len(body)-20 : len(body)-20]
 	default:
-		return nil, fmt.Errorf("core: unknown TCPLS record type %#x: %w", uint8(f.typ), ErrBadFrame)
+		return fmt.Errorf("core: unknown TCPLS record type %#x: %w", uint8(f.typ), ErrBadFrame)
 	}
-	return f, nil
+	return nil
 }

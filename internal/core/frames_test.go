@@ -114,11 +114,11 @@ func TestFrameRoundTrips(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			f, err := parseFrame(tc.build())
-			if err != nil {
+			var f frame
+			if err := parseFrame(&f, tc.build()); err != nil {
 				t.Fatal(err)
 			}
-			tc.check(t, f)
+			tc.check(t, &f)
 		})
 	}
 }
@@ -141,7 +141,7 @@ func TestMalformedFramesRejected(t *testing.T) {
 		{0xee}, // unknown type
 	}
 	for i, b := range bad {
-		if _, err := parseFrame(b); err == nil {
+		if err := parseFrame(new(frame), b); err == nil {
 			t.Errorf("case %d: malformed frame %v accepted", i, b)
 		}
 	}
@@ -152,8 +152,7 @@ func TestQuickFrameParserNeverPanics(t *testing.T) {
 	// no out-of-range slices (the record layer feeds parseFrame with
 	// authenticated but arbitrary content).
 	f := func(content []byte) bool {
-		_, err := parseFrame(content)
-		_ = err
+		_ = parseFrame(new(frame), content)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
@@ -163,7 +162,8 @@ func TestQuickFrameParserNeverPanics(t *testing.T) {
 
 func TestQuickCoupledRoundTrip(t *testing.T) {
 	f := func(payload []byte, aggSeq uint64) bool {
-		fr, err := parseFrame(appendStreamDataCoupled(nil, payload, aggSeq))
+		var fr frame
+		err := parseFrame(&fr, appendStreamDataCoupled(nil, payload, aggSeq))
 		return err == nil && fr.aggSeq == aggSeq && bytes.Equal(fr.payload, payload)
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -176,7 +176,8 @@ func TestQuickTCPOptionRoundTrip(t *testing.T) {
 		if len(value) > 60000 {
 			value = value[:60000]
 		}
-		fr, err := parseFrame(appendTCPOption(nil, kind, value))
+		var fr frame
+		err := parseFrame(&fr, appendTCPOption(nil, kind, value))
 		return err == nil && fr.optKind == kind && bytes.Equal(fr.optVal, value)
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -56,8 +56,8 @@ func FuzzBPFChunkReassembly(f *testing.F) {
 			appendBPFCC(nil, chunkA, idxA, count, progLen),
 			appendBPFCC(nil, chunkB, idxB, count, progLen),
 		} {
-			fr, err := parseFrame(raw)
-			if err != nil {
+			fr := new(frame)
+			if err := parseFrame(fr, raw); err != nil {
 				// The builder emits well-formed frames; a parse reject
 				// here would mean builder/parser disagreement.
 				t.Fatalf("parseFrame rejected builder output: %v", err)

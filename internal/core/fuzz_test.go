@@ -35,11 +35,8 @@ func FuzzParseFrame(f *testing.F) {
 	f.Add(appendSessionTicket(nil, [16]byte{9, 9, 9}, []byte("ticket"), 16384))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		fr, err := parseFrame(data)
-		if err != nil {
-			if fr != nil {
-				t.Fatalf("parseFrame returned frame AND error %v", err)
-			}
+		var fr frame
+		if err := parseFrame(&fr, data); err != nil {
 			if !errors.Is(err, ErrBadFrame) {
 				t.Fatalf("parseFrame error not ErrBadFrame: %v", err)
 			}

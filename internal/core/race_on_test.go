@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active. The
+// zero-alloc gates skip under -race: the detector deliberately drops
+// sync.Pool items (to widen race coverage), so pool hits are no longer
+// deterministic and AllocsPerRun reports spurious allocations.
+const raceEnabled = true

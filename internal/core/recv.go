@@ -76,8 +76,11 @@ func (s *Session) handleRecord(c *conn, rec []byte) error {
 	if s.tel != nil {
 		c.tel.RecordsReceived.Inc()
 	}
-	f, err := parseFrame(content)
-	if err != nil {
+	// One frame scratch per session: the record is fully handled before
+	// the next parse, so nothing retains the struct (slices inside it
+	// that outlive the call, like cookies, are freshly parsed anyway).
+	f := &s.frameScratch
+	if err := parseFrame(f, content); err != nil {
 		return err
 	}
 	switch f.typ {
@@ -164,21 +167,21 @@ func (s *Session) handleStreamData(c *conn, streamID uint32, f *frame) error {
 			}
 		} else {
 			for _, d := range delivered {
-				s.coupled.recvData = append(s.coupled.recvData, d...)
+				s.coupled.recvQ.Append(d)
 			}
 			if len(delivered) > 0 {
 				s.emit(Event{Kind: EventCoupledData, Stream: streamID, Conn: c.id})
 			}
-			if err := s.checkRecvCap(c, streamID, len(s.coupled.recvData), &s.coupled.recvBlocked); err != nil {
+			if err := s.checkRecvCap(c, streamID, s.coupled.recvQ.Len(), &s.coupled.recvBlocked); err != nil {
 				return err
 			}
 		}
 	} else if s.DeliverData != nil {
 		s.DeliverData(streamID, f.payload)
 	} else {
-		st.recvData = append(st.recvData, f.payload...)
+		st.recvQ.Append(f.payload)
 		s.emit(Event{Kind: EventStreamData, Stream: streamID, Conn: c.id})
-		if err := s.checkRecvCap(c, streamID, len(st.recvData), &st.recvBlocked); err != nil {
+		if err := s.checkRecvCap(c, streamID, st.recvQ.Len(), &st.recvBlocked); err != nil {
 			return err
 		}
 	}
@@ -292,8 +295,10 @@ func (s *Session) sendAck(c *conn, st *stream) {
 	// Ack the cumulative delivery high-water, not the receive context's
 	// counter: after a SYNC rollback the context replays below
 	// nextDeliverSeq, and acking the rolled-back counter would tell the
-	// peer less than we actually hold.
-	if err := s.sendCtl(c, appendAck(nil, st.id, st.nextDeliverSeq)); err != nil {
+	// peer less than we actually hold. The scratch buffer is safe to
+	// reuse because sendCtl seals the content immediately.
+	s.ctlScratch = appendAck(s.ctlScratch[:0], st.id, st.nextDeliverSeq)
+	if err := s.sendCtl(c, s.ctlScratch); err != nil {
 		return
 	}
 	s.trace("ack_sent", c.id, st.id, st.nextDeliverSeq, 0)
@@ -404,8 +409,12 @@ func (s *Session) handleAck(f *frame) error {
 				rttSample = d
 			}
 		}
-		// The acknowledgment completes this record's lifecycle span.
+		// The acknowledgment completes this record's lifecycle span, and
+		// its pooled payload copy goes back to the arena.
 		s.traceSpan(st.conn, st.id, r)
+		r.buf.Release()
+		r.buf = nil
+		r.payload = nil
 		i++
 	}
 	if i > 0 {

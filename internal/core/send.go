@@ -59,6 +59,12 @@ func (s *Session) scheduler() sched.Scheduler {
 
 // Flush frames all queued application data into encrypted records on
 // their connections' output buffers. Call before draining Outgoing.
+//
+// Flush is the two-phase datapath (DESIGN.md §16): a framing pass walks
+// each queue and cuts it into sealJobs — record-sized views into the
+// queue's backing array, no copies — then one sealBatch pass drives all
+// of them through the AEAD back to back. Only after a job seals is its
+// span of the queue consumed, so an error leaves unsealed bytes queued.
 func (s *Session) Flush() error {
 	if s.tracer != nil {
 		// Send-path trace events happen now, not at the last receive.
@@ -79,9 +85,145 @@ func (s *Session) Flush() error {
 }
 
 func (s *Session) sortedStreamIDs() []uint32 {
-	ids := s.Streams()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	if len(s.idCache) != len(s.streams) {
+		s.idCache = s.idCache[:0]
+		for id := range s.streams {
+			s.idCache = append(s.idCache, id)
+		}
+		sort.Slice(s.idCache, func(i, j int) bool { return s.idCache[i] < s.idCache[j] })
+	}
+	return s.idCache
+}
+
+// sealJob is one framed-but-unsealed record. payload is a view into the
+// owning queue's backing array (valid through the seal pass — nothing
+// appends to the queue mid-flush); consume is how many queue bytes this
+// job retires when sealed (0 for all but the last replica of a PickAll
+// set, which share one queue span). shared, when non-nil, carries one
+// pre-retained reference to the replica set's pooled retransmit copy.
+type sealJob struct {
+	st      *stream
+	payload []byte
+	consume int
+	coupled bool
+	aggSeq  uint64
+	enqAt   time.Time
+	shared  *record.Buf
+}
+
+// sealer drains a batch of framed records through the AEAD in one pass.
+// The interface isolates the crypto loop from the framing logic: the
+// serial implementation runs inline on the engine's goroutine, and this
+// seam is where per-conn seal workers can parallelize the pass later.
+//
+// Contract: sealBatch returns how many leading jobs sealed; after it
+// returns, no unsealed job may still hold a buffer reference (the
+// implementation releases them on the error path).
+type sealer interface {
+	sealBatch(jobs []sealJob) (sealed int, err error)
+}
+
+// serialSealer seals the batch inline, in order.
+type serialSealer struct{ s *Session }
+
+func (w serialSealer) sealBatch(jobs []sealJob) (int, error) {
+	for i := range jobs {
+		if err := w.s.sealOne(&jobs[i]); err != nil {
+			releaseJobs(jobs[i+1:])
+			return i, err
+		}
+	}
+	return len(jobs), nil
+}
+
+// releaseJobs drops the buffer references of jobs that will never seal.
+func releaseJobs(jobs []sealJob) {
+	for i := range jobs {
+		jobs[i].shared.Release()
+		jobs[i].shared = nil
+	}
+}
+
+// sealOne seals one framed record onto its stream's connection and,
+// when failover is enabled, retains the payload in a pooled buffer for
+// replay. A job that fails releases its own shared reference.
+func (s *Session) sealOne(j *sealJob) error {
+	st := j.st
+	c, err := s.getConn(st.conn)
+	if err != nil {
+		j.shared.Release()
+		return err
+	}
+	if c.failed {
+		j.shared.Release()
+		return ErrConnFailed
+	}
+	// Scatter-gather seal: payload plus the TCPLS trailer go straight
+	// into the connection buffer — the zero-copy send path of §3.1.
+	typ := typeStreamData
+	var trailer [9]byte
+	tlen := 1
+	if j.coupled {
+		typ = typeStreamDataCoupled
+		wire.PutUint64(trailer[:8], j.aggSeq)
+		trailer[8] = byte(typeStreamDataCoupled)
+		tlen = 9
+	} else {
+		trailer[0] = byte(typeStreamData)
+	}
+	seq := st.sendCtx.Seq()
+	out, err := st.sendCtx.SealV(c.out, record.ContentTypeApplicationData, s.cfg.PadRecordsTo, j.payload, trailer[:tlen])
+	if err != nil {
+		j.shared.Release()
+		return err
+	}
+	c.out = out
+	s.stats.RecordsSent++
+	s.stats.BytesSent += uint64(len(j.payload))
+	s.trace("record_sent", c.id, st.id, seq, len(j.payload))
+	if s.tel != nil {
+		c.tel.RecordsSent.Inc()
+		c.tel.BytesSent.Add(uint64(len(j.payload)))
+		st.tel.BytesSent.Add(uint64(len(j.payload)))
+		s.tel.RecordSize.Observe(float64(len(j.payload)))
+	}
+	if s.pathSched != nil {
+		s.pathSched.OnSent(c.id, len(j.payload))
+	}
+	if !s.cfg.EnableFailover {
+		j.shared.Release() // nil outside failover, but keep the contract total
+		return nil
+	}
+	buf := j.shared
+	if buf == nil {
+		buf = s.bufs.Copy(j.payload)
+	}
+	sr := sentRecord{
+		seq:      seq,
+		typ:      typ,
+		payload:  buf.Bytes(),
+		buf:      buf,
+		aggSeq:   j.aggSeq,
+		sentAt:   s.now(), // seal leg + ACK-driven RTT sampling
+		enqAt:    j.enqAt,
+		origConn: c.id,
+	}
+	if s.metrics != nil {
+		// Count the bytes into flight; handleAck reverses this.
+		s.metrics.OnSent(c.id, len(j.payload))
+	}
+	st.retransmit = append(st.retransmit, sr)
+	st.retransmitBytes += len(j.payload)
+	s.noteRetransmitBytes(len(j.payload))
+	if s.stampWrites {
+		c.unwritten = append(c.unwritten, spanKey{stream: st.id, seq: seq})
+	}
+	// Soft watermark: at half the budget, ask the peer for a fresh
+	// cumulative ack before the hard park at the budget.
+	if budget := s.cfg.maxRetransmitBytes(); budget > 0 && st.retransmitBytes*2 >= budget {
+		s.solicitAck(st)
+	}
+	return nil
 }
 
 // solicitAck sends one AckRequest for st on its connection (§4.2's ctl
@@ -97,7 +239,8 @@ func (s *Session) solicitAck(st *stream) {
 	if !ok || c.failed || c.closed {
 		return
 	}
-	if s.sendCtl(c, appendAckRequest(nil, st.id)) != nil {
+	s.ctlScratch = appendAckRequest(s.ctlScratch[:0], st.id)
+	if s.sendCtl(c, s.ctlScratch) != nil {
 		return
 	}
 	st.ackSolicited = true
@@ -108,60 +251,92 @@ func (s *Session) solicitAck(st *stream) {
 }
 
 // retransmitParked reports whether st's retransmit buffer is at its
-// budget, so sealing must park until ACKs trim it. On the at-cap edge
-// it emits one flowctl_limit trace per excursion and (re-)solicits an
-// acknowledgment so the stall resolves itself when only an ack was
-// lost.
+// budget, so sealing must park until ACKs trim it. Bytes framed but not
+// yet sealed in the current flush (framedBytes) count against the
+// budget — the framing pass must stop exactly where the per-record seal
+// loop used to. On the at-cap edge it emits one flowctl_limit trace per
+// excursion.
+//
+// It does NOT solicit an acknowledgment: framing runs before the batch
+// seals, and an AckRequest sealed mid-framing would precede this
+// flush's data records on the wire — the peer would ack a stale
+// high-water and never clear the solicitation. Callers solicit via
+// solicitIfParked once the sealed records are on the connection buffer.
 func (s *Session) retransmitParked(st *stream, budget int) bool {
-	if budget <= 0 || st.retransmitBytes < budget {
+	if budget <= 0 || st.retransmitBytes+st.framedBytes < budget {
 		return false
 	}
 	if !st.budgetTripped {
 		st.budgetTripped = true
-		s.trace("flowctl_limit", st.conn, st.id, flowctlRetransmit, st.retransmitBytes)
+		s.trace("flowctl_limit", st.conn, st.id, flowctlRetransmit, st.retransmitBytes+st.framedBytes)
 		if s.tel != nil {
 			s.tel.FlowctlLimits.Inc()
 		}
 	}
-	s.solicitAck(st)
 	return true
 }
 
-// flushStream frames one stream's pending bytes. A stream whose
-// connection has failed is parked, not an error: its pending bytes stay
-// queued until failover or the recovery supervisor re-homes it. The
-// same applies at the retransmit budget: remaining bytes park (with an
-// ACK solicitation) until acknowledgments trim the buffer, rather than
-// growing it without bound.
+// solicitIfParked re-solicits an ack for a stream still at its budget.
+// Safe only when every sealed record of the stream already precedes the
+// request on the connection buffer (i.e. after sealBatch, or before any
+// framing happened this flush).
+func (s *Session) solicitIfParked(st *stream, budget int) {
+	if budget > 0 && st.retransmitBytes >= budget {
+		s.solicitAck(st)
+	}
+}
+
+// flushStream frames one stream's pending bytes and seals them in one
+// batch. A stream whose connection has failed is parked, not an error:
+// its pending bytes stay queued until failover or the recovery
+// supervisor re-homes it. The same applies at the retransmit budget:
+// remaining bytes park (with an ACK solicitation) until acknowledgments
+// trim the buffer, rather than growing it without bound.
 func (s *Session) flushStream(st *stream) error {
 	if c, ok := s.conns[st.conn]; ok && (c.failed || c.closed) {
 		return nil
 	}
-	max := s.cfg.maxPayload()
-	budget := s.cfg.maxRetransmitBytes()
-	for len(st.pending) > 0 {
-		if s.retransmitParked(st, budget) {
-			return nil
+	if st.pendingQ.Len() > 0 {
+		max := s.cfg.maxPayload()
+		budget := s.cfg.maxRetransmitBytes()
+		q := st.pendingQ.Bytes()
+		jobs := s.sealQ[:0]
+		for off := 0; off < len(q); {
+			if s.retransmitParked(st, budget) {
+				break
+			}
+			n := len(q) - off
+			if n > max {
+				n = max
+			}
+			jobs = append(jobs, sealJob{
+				st:      st,
+				payload: q[off : off+n],
+				consume: n,
+				enqAt:   st.pendingSince,
+			})
+			st.framedBytes += n
+			off += n
 		}
-		n := len(st.pending)
-		if n > max {
-			n = max
+		sealed, err := s.sealWorker.sealBatch(jobs)
+		consumed := 0
+		for i := 0; i < sealed; i++ {
+			consumed += jobs[i].consume
 		}
-		chunk := st.pending[:n]
-		if err := s.sendStreamRecord(st, chunk, st.coupled); err != nil {
+		st.pendingQ.Advance(consumed)
+		st.framedBytes = 0
+		s.sealQ = jobs[:0]
+		if err != nil {
 			return err
 		}
-		st.pending = st.pending[n:]
+		s.solicitIfParked(st, budget)
 	}
-	if len(st.pending) == 0 {
-		st.pending = nil
-	}
-	// A coupled stream's unsealed bytes live in the shared
-	// coupled.pendingData, not st.pending: its FIN must wait for the
-	// whole group to drain. Sending it earlier marks the stream finSent,
-	// which removes it from coupledStreams() and strands the group's
-	// remaining bytes with no stream left to seal them onto.
-	if st.coupled && len(s.coupled.pendingData) > 0 {
+	// A coupled stream's unsealed bytes live in the shared coupled
+	// queue, not st.pendingQ: its FIN must wait for the whole group to
+	// drain. Sending it earlier marks the stream finSent, which removes
+	// it from coupledStreams() and strands the group's remaining bytes
+	// with no stream left to seal them onto.
+	if st.coupled && s.coupled.pendingQ.Len() > 0 {
 		return nil
 	}
 	if st.finQueued && !st.finSent {
@@ -169,7 +344,8 @@ func (s *Session) flushStream(st *stream) error {
 		if err != nil {
 			return err
 		}
-		if err := s.sendCtl(c, appendStreamFin(nil, st.id, st.sendCtx.Seq())); err != nil {
+		s.ctlScratch = appendStreamFin(s.ctlScratch[:0], st.id, st.sendCtx.Seq())
+		if err := s.sendCtl(c, s.ctlScratch); err != nil {
 			return err
 		}
 		st.finSent = true
@@ -178,12 +354,12 @@ func (s *Session) flushStream(st *stream) error {
 }
 
 // flushCoupled distributes the coupled group's pending bytes across the
-// coupled streams, one record at a time, via the path scheduler. The
-// scheduler sees one PathView per coupled stream, refreshed from the
-// metrics store once per flush (metrics move on ack/kernel timescales,
-// not per record).
+// coupled streams, one record at a time, via the path scheduler, then
+// seals the whole schedule in one batch. The scheduler sees one
+// PathView per coupled stream, refreshed from the metrics store once
+// per flush (metrics move on ack/kernel timescales, not per record).
 func (s *Session) flushCoupled() error {
-	if len(s.coupled.pendingData) == 0 {
+	if s.coupled.pendingQ.Len() == 0 {
 		return nil
 	}
 	cs := s.coupledStreams()
@@ -197,8 +373,13 @@ func (s *Session) flushCoupled() error {
 	budget := s.cfg.maxRetransmitBytes()
 	live := cs[:0]
 	for _, st := range cs {
-		if c, ok := s.conns[st.conn]; ok && !c.failed && !c.closed &&
-			!s.retransmitParked(st, budget) {
+		if c, ok := s.conns[st.conn]; ok && !c.failed && !c.closed {
+			if s.retransmitParked(st, budget) {
+				// Nothing framed yet this flush, so the solicitation
+				// lands after all the stream's sealed records.
+				s.solicitIfParked(st, budget)
+				continue
+			}
 			live = append(live, st)
 		}
 	}
@@ -215,12 +396,15 @@ func (s *Session) flushCoupled() error {
 	}
 	max := s.cfg.maxPayload()
 	ps := s.scheduler()
-	for len(s.coupled.pendingData) > 0 {
-		n := len(s.coupled.pendingData)
+	q := s.coupled.pendingQ.Bytes()
+	jobs := s.sealQ[:0]
+framing:
+	for off := 0; off < len(q); {
+		n := len(q) - off
 		if n > max {
 			n = max
 		}
-		chunk := s.coupled.pendingData[:n]
+		chunk := q[off : off+n]
 		idx := ps.Pick(s.coupled.sendSeq, views)
 		if idx == sched.PickAll {
 			// Redundant scheduling: the same aggregation sequence goes
@@ -228,7 +412,7 @@ func (s *Session) flushCoupled() error {
 			// exactly one copy. Replicas that crossed their retransmit
 			// budget mid-flush are skipped; with none open the rest of
 			// the group's bytes park for a later flush. One shared
-			// immutable copy backs every replica's retransmit entry —
+			// pooled copy backs every replica's retransmit entry —
 			// copying per path multiplied memory by the path count.
 			var open []*stream
 			for _, st := range cs {
@@ -237,17 +421,33 @@ func (s *Session) flushCoupled() error {
 				}
 			}
 			if len(open) == 0 {
-				return nil
+				break framing
 			}
 			aggSeq := s.coupled.sendSeq
 			s.coupled.sendSeq++
-			shared := append([]byte(nil), chunk...)
-			for _, st := range open {
+			var shared *record.Buf
+			if s.cfg.EnableFailover {
+				shared = s.bufs.Copy(chunk)
+				for i := 1; i < len(open); i++ {
+					shared.Retain()
+				}
+			}
+			for i, st := range open {
 				s.trace("sched_pick", st.conn, st.id, aggSeq, n)
 				s.telPicks.Inc()
-				if err := s.sealStreamRecord(st, chunk, true, aggSeq, s.coupled.pendingSince, shared); err != nil {
-					return err
+				j := sealJob{
+					st:      st,
+					payload: chunk,
+					coupled: true,
+					aggSeq:  aggSeq,
+					enqAt:   s.coupled.pendingSince,
+					shared:  shared,
 				}
+				if i == len(open)-1 {
+					j.consume = n // the replica set retires one queue span
+				}
+				jobs = append(jobs, j)
+				st.framedBytes += n
 			}
 		} else {
 			if idx < 0 || idx >= len(cs) {
@@ -266,107 +466,39 @@ func (s *Session) flushCoupled() error {
 				// The picked path crossed its retransmit budget mid-
 				// flush: park the remaining group bytes; the next flush
 				// re-filters the candidate set.
-				return nil
+				break framing
 			}
 			aggSeq := s.coupled.sendSeq
 			s.coupled.sendSeq++
 			s.trace("sched_pick", st.conn, st.id, aggSeq, n)
 			s.telPicks.Inc()
-			if err := s.sealStreamRecord(st, chunk, true, aggSeq, s.coupled.pendingSince, nil); err != nil {
-				return err
-			}
+			jobs = append(jobs, sealJob{
+				st:      st,
+				payload: chunk,
+				consume: n,
+				coupled: true,
+				aggSeq:  aggSeq,
+				enqAt:   s.coupled.pendingSince,
+			})
+			st.framedBytes += n
 		}
-		s.coupled.pendingData = s.coupled.pendingData[n:]
+		off += n
 	}
-	s.coupled.pendingData = nil
-	return nil
-}
-
-// sendStreamRecord seals one stream data record, allocating the next
-// aggregation sequence when the record belongs to the coupled group.
-func (s *Session) sendStreamRecord(st *stream, payload []byte, coupled bool) error {
-	var aggSeq uint64
-	if coupled {
-		aggSeq = s.coupled.sendSeq
-		s.coupled.sendSeq++
+	sealed, err := s.sealWorker.sealBatch(jobs)
+	consumed := 0
+	for i := 0; i < sealed; i++ {
+		consumed += jobs[i].consume
 	}
-	return s.sealStreamRecord(st, payload, coupled, aggSeq, st.pendingSince, nil)
-}
-
-// sealStreamRecord seals one stream data record onto the stream's
-// connection and, when failover is enabled, retains it for replay.
-// enqAt is the span's enqueue leg: when the bytes entered the stream's
-// pending queue (or the coupled group's). retained, when non-nil, is a
-// caller-owned immutable copy of payload to retain instead of copying —
-// redundant (PickAll) scheduling shares one copy across all replicas.
-func (s *Session) sealStreamRecord(st *stream, payload []byte, coupled bool, aggSeq uint64, enqAt time.Time, retained []byte) error {
-	c, err := s.getConn(st.conn)
+	s.coupled.pendingQ.Advance(consumed)
+	for _, st := range cs {
+		st.framedBytes = 0
+	}
+	s.sealQ = jobs[:0]
 	if err != nil {
 		return err
 	}
-	if c.failed {
-		return ErrConnFailed
-	}
-	// Scatter-gather seal: payload plus the TCPLS trailer go straight
-	// into the connection buffer — the zero-copy send path of §3.1.
-	typ := typeStreamData
-	var trailer [9]byte
-	var tlen int
-	if coupled {
-		typ = typeStreamDataCoupled
-		wire.PutUint64(trailer[:8], aggSeq)
-		trailer[8] = byte(typeStreamDataCoupled)
-		tlen = 9
-	} else {
-		trailer[0] = byte(typeStreamData)
-		tlen = 1
-	}
-	seq := st.sendCtx.Seq()
-	out, err := st.sendCtx.SealV(c.out, record.ContentTypeApplicationData, s.cfg.PadRecordsTo, payload, trailer[:tlen])
-	if err != nil {
-		return err
-	}
-	c.out = out
-	s.stats.RecordsSent++
-	s.stats.BytesSent += uint64(len(payload))
-	s.trace("record_sent", c.id, st.id, seq, len(payload))
-	if s.tel != nil {
-		c.tel.RecordsSent.Inc()
-		c.tel.BytesSent.Add(uint64(len(payload)))
-		st.tel.BytesSent.Add(uint64(len(payload)))
-		s.tel.RecordSize.Observe(float64(len(payload)))
-	}
-	if s.pathSched != nil {
-		s.pathSched.OnSent(c.id, len(payload))
-	}
-	if s.cfg.EnableFailover {
-		if retained == nil {
-			retained = append([]byte(nil), payload...)
-		}
-		sr := sentRecord{
-			seq:      seq,
-			typ:      typ,
-			payload:  retained,
-			aggSeq:   aggSeq,
-			sentAt:   s.now(), // seal leg + ACK-driven RTT sampling
-			enqAt:    enqAt,
-			origConn: c.id,
-		}
-		if s.metrics != nil {
-			// Count the bytes into flight; handleAck reverses this.
-			s.metrics.OnSent(c.id, len(payload))
-		}
-		st.retransmit = append(st.retransmit, sr)
-		st.retransmitBytes += len(payload)
-		s.noteRetransmitBytes(len(payload))
-		if s.stampWrites {
-			c.unwritten = append(c.unwritten, spanKey{stream: st.id, seq: seq})
-		}
-		// Soft watermark: at half the budget, ask the peer for a fresh
-		// cumulative ack before the hard park at the budget.
-		if budget := s.cfg.maxRetransmitBytes(); budget > 0 && st.retransmitBytes*2 >= budget {
-			s.solicitAck(st)
-		}
+	for _, st := range cs {
+		s.solicitIfParked(st, budget)
 	}
 	return nil
 }

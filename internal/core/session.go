@@ -278,8 +278,27 @@ type Session struct {
 	bpfProgLen uint32
 
 	// outPool recycles drained connection output buffers (see
-	// RecycleOutgoing).
-	outPool [][]byte
+	// RecycleOutgoing); chunkGets/chunkPuts count chunk ownership
+	// transfers out of (Outgoing) and back into (RecycleOutgoing) the
+	// engine so tests can assert the I/O wrapper returns every chunk.
+	outPool   [][]byte
+	chunkGets uint64
+	chunkPuts uint64
+
+	// bufs is the pooled-payload arena backing failover retransmit
+	// copies (DESIGN.md §16); sealQ and ctlScratch are the reused
+	// framing and control-record scratch buffers of the batched send
+	// path; sealWorker drains framed batches through the AEAD.
+	bufs       *record.BufferPool
+	sealQ      []sealJob
+	ctlScratch []byte
+	sealWorker sealer
+
+	// frameScratch is the receive path's reused frame struct; idCache
+	// memoizes sortedStreamIDs (streams are only ever added, so a length
+	// match means the cache is current).
+	frameScratch frame
+	idCache      []uint32
 
 	// tracer and lastNow drive the QLOG-style event trace (trace.go).
 	tracer  func(TraceEvent)
@@ -331,12 +350,12 @@ type Stats struct {
 // prototype couples all coupled-flagged streams together).
 type coupledState struct {
 	sendSeq      uint64
-	rr           int // round-robin cursor over coupled streams
-	pendingData  []byte
+	rr           int       // round-robin cursor over coupled streams
+	pendingQ     byteQueue // group bytes not yet sealed
 	pendingSince time.Time // enqueue stamp of the oldest unflushed bytes
 	buf          *reorder.Buffer
-	recvData     []byte
-	// recvBlocked: recvData hit the receive-buffer cap; reported through
+	recvQ        byteQueue
+	// recvBlocked: recvQ hit the receive-buffer cap; reported through
 	// RecvPaused until ReadCoupled drains below half the cap.
 	recvBlocked bool
 	// capTripped arms hysteresis for the reorder-cap suspect declaration:
@@ -366,6 +385,8 @@ func NewSession(role Role, secrets handshake.Secrets, cfg Config) *Session {
 		s.nextStreamID = firstServerStream
 	}
 	s.coupled.buf = reorder.New(0)
+	s.bufs = record.NewBufferPool()
+	s.sealWorker = serialSealer{s}
 	return s
 }
 
@@ -572,6 +593,11 @@ func (s *Session) Outgoing(connID uint32) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(c.out) == 0 {
+		// Nothing queued: keep the (possibly warm) buffer in place
+		// instead of handing out an empty chunk the caller would strand.
+		return nil, nil
+	}
 	out := c.out
 	if n := len(s.outPool); n > 0 {
 		c.out = s.outPool[n-1]
@@ -579,7 +605,8 @@ func (s *Session) Outgoing(connID uint32) ([]byte, error) {
 	} else {
 		c.out = nil
 	}
-	if s.stampWrites && len(out) > 0 {
+	s.chunkGets++
+	if s.stampWrites {
 		// One batch per non-empty chunk, even when the chunk carried only
 		// control records (nil batch): NoteWritten pops in chunk order.
 		c.writeBatches = append(c.writeBatches, c.unwritten)
@@ -644,13 +671,72 @@ func (s *Session) NoteWriteDropped(connID uint32) {
 	}
 }
 
+// PendingWriteBatches counts Outgoing chunks handed out under write
+// stamping that have not yet been resolved by NoteWritten or
+// NoteWriteDropped. At session close this must be zero — every drained
+// chunk's records end the session either stamped or explicitly dropped
+// (span count-closure); a residue means an I/O path lost a chunk.
+func (s *Session) PendingWriteBatches() int {
+	n := 0
+	for _, c := range s.conns {
+		n += len(c.writeBatches)
+	}
+	return n
+}
+
 // RecycleOutgoing returns a buffer obtained from Outgoing once the
-// caller has finished writing it to the transport.
+// caller has finished writing it to the transport. Every non-empty
+// Outgoing chunk must come back exactly once — written, dropped, or
+// discarded at close — or the chunk accounting (PoolStats) diverges.
 func (s *Session) RecycleOutgoing(buf []byte) {
-	if cap(buf) == 0 || len(s.outPool) >= 8 {
+	if cap(buf) == 0 {
+		return
+	}
+	s.chunkPuts++
+	if len(s.outPool) >= 8 {
 		return
 	}
 	s.outPool = append(s.outPool, buf[:0])
+}
+
+// PoolStats is the datapath buffer accounting: payload counters from
+// the pooled retransmit arena and chunk counters for the Outgoing /
+// RecycleOutgoing ownership handoff. Both pairs balanced at session
+// close (after ReleaseBuffers and the wrapper's final recycles) proves
+// no pooled buffer leaked and none was returned twice.
+type PoolStats struct {
+	PayloadGets uint64
+	PayloadPuts uint64
+	ChunkGets   uint64
+	ChunkPuts   uint64
+}
+
+// PoolStats snapshots the datapath buffer accounting.
+func (s *Session) PoolStats() PoolStats {
+	gets, puts := s.bufs.Stats()
+	return PoolStats{
+		PayloadGets: gets,
+		PayloadPuts: puts,
+		ChunkGets:   s.chunkGets,
+		ChunkPuts:   s.chunkPuts,
+	}
+}
+
+// ReleaseBuffers returns every pooled payload buffer the engine still
+// holds — the failover retransmit copies — to the arena. Call exactly
+// once, at session teardown; the engine must not seal or replay
+// afterwards. Together with the wrapper recycling its drained chunks
+// this makes PoolStats balance at close.
+func (s *Session) ReleaseBuffers() {
+	for _, st := range s.streams {
+		for i := range st.retransmit {
+			r := &st.retransmit[i]
+			r.buf.Release()
+			r.buf = nil
+			r.payload = nil
+		}
+		st.retransmit = nil
+	}
 }
 
 // HasOutgoing reports whether conn has bytes waiting without draining.
@@ -746,9 +832,9 @@ func (s *Session) StreamInfos() []StreamInfo {
 			FinQueued:    st.finQueued,
 			FinSent:      st.finSent,
 			PeerFin:      st.peerFin,
-			PendingBytes: len(st.pending),
+			PendingBytes: st.pendingQ.Len(),
 			RetransmitQ:  len(st.retransmit),
-			RecvBuffered: len(st.recvData),
+			RecvBuffered: st.recvQ.Len(),
 			NextSendSeq:  st.sendCtx.Seq(),
 			PeerAckedSeq: st.peerAcked,
 			UnackedBytes: st.retransmitBytes,
@@ -796,7 +882,7 @@ func (s *Session) RetransmitPeakBytes() int { return s.retransmitPeak }
 func (s *Session) BufferedBytes() int {
 	total := s.coupled.buf.PendingBytes() + s.retransmitTotal
 	for _, st := range s.streams {
-		total += len(st.recvData) + len(st.pending)
+		total += st.recvQ.Len() + st.pendingQ.Len()
 	}
 	return total
 }

@@ -17,12 +17,17 @@ type stream struct {
 
 	// Send side.
 	sendCtx    *record.StreamContext
-	pending    []byte       // application bytes not yet sealed
+	pendingQ   byteQueue    // application bytes not yet sealed
 	retransmit []sentRecord // sealed but unacknowledged (failover only)
 	peerAcked  uint64       // next seq the peer has NOT acknowledged
 	coupled    bool
 	finQueued  bool
 	finSent    bool
+	// framedBytes counts bytes cut into sealJobs during the current
+	// flush's framing pass but not yet sealed; retransmitParked charges
+	// them against the budget so framing stops exactly where the old
+	// per-record seal loop did. Reset to zero after every sealBatch.
+	framedBytes int
 	// retransmitBytes sums payload bytes across retransmit — the
 	// stream's charge against Config.MaxRetransmitBytes. budgetTripped
 	// marks that sealing is parked at the budget (one flowctl_limit
@@ -38,9 +43,9 @@ type stream struct {
 
 	// Receive side. The receive context lives in the owning conn's
 	// demux; recvCtx duplicates the pointer for direct access.
-	recvCtx  *record.StreamContext
-	recvData []byte
-	// recvBlocked: recvData hit Config.MaxRecvBufferBytes; reported
+	recvCtx *record.StreamContext
+	recvQ   byteQueue
+	// recvBlocked: recvQ hit Config.MaxRecvBufferBytes; reported
 	// through RecvPaused until Read drains below half the cap.
 	recvBlocked    bool
 	nextDeliverSeq uint64 // duplicate filter across failover replays
@@ -59,9 +64,14 @@ type stream struct {
 // enqueue, seal, and socket-write legs, and the acknowledgment that
 // trims the record completes the span (trace.go traceSpan).
 type sentRecord struct {
-	seq     uint64
-	typ     recordType
+	seq uint64
+	typ recordType
+	// payload aliases buf's storage when buf is non-nil; buf is the
+	// pooled, refcounted retransmit copy (shared across PickAll
+	// replicas), released when an ack trims the record or the session
+	// tears down (ReleaseBuffers).
 	payload []byte
+	buf     *record.Buf
 	aggSeq  uint64
 	// sentAt stamps the seal time for ACK-driven RTT sampling and the
 	// span's seal leg; retxCount counts failover replays — a nonzero
@@ -132,7 +142,7 @@ func (s *Session) InjectEarlyData(data []byte) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	st.recvData = append(st.recvData, data...)
+	st.recvQ.Append(data)
 	s.trace("early_data_accepted", 0, id, 0, len(data))
 	s.emit(Event{Kind: EventStreamOpen, Stream: id, Conn: 0})
 	if len(data) > 0 {
@@ -208,13 +218,13 @@ func (s *Session) Write(streamID uint32, data []byte) (int, error) {
 	// ACKs) still accepts up to one further budget's worth of pending
 	// bytes, then Write errors instead of queueing without bound.
 	if budget := s.cfg.maxRetransmitBytes(); budget > 0 &&
-		st.retransmitBytes >= budget && len(st.pending)+len(data) > budget {
+		st.retransmitBytes >= budget && st.pendingQ.Len()+len(data) > budget {
 		return 0, fmt.Errorf("stream %d: %w", streamID, ErrRetransmitBudget)
 	}
-	if len(st.pending) == 0 {
+	if st.pendingQ.Len() == 0 {
 		st.pendingSince = s.now()
 	}
-	st.pending = append(st.pending, data...)
+	st.pendingQ.Append(data)
 	return len(data), nil
 }
 
@@ -224,14 +234,10 @@ func (s *Session) Read(streamID uint32, p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n := copy(p, st.recvData)
-	st.recvData = st.recvData[n:]
-	if len(st.recvData) == 0 {
-		st.recvData = nil
-	}
+	n := st.recvQ.ReadInto(p)
 	// Backpressure hysteresis: resume socket reads once the buffer has
 	// drained below half its cap, not on the first byte read.
-	if st.recvBlocked && len(st.recvData) <= s.cfg.maxRecvBytes()/2 {
+	if st.recvBlocked && st.recvQ.Len() <= s.cfg.maxRecvBytes()/2 {
 		st.recvBlocked = false
 	}
 	return n, nil
@@ -243,14 +249,14 @@ func (s *Session) Readable(streamID uint32) int {
 	if !ok {
 		return 0
 	}
-	return len(st.recvData)
+	return st.recvQ.Len()
 }
 
 // PeerFinished reports whether the peer finished the stream and all its
 // data has been read.
 func (s *Session) PeerFinished(streamID uint32) bool {
 	st, ok := s.streams[streamID]
-	return ok && st.peerFin && len(st.recvData) == 0 &&
+	return ok && st.peerFin && st.recvQ.Len() == 0 &&
 		st.recvCtx.Seq() >= st.peerFinalSeq
 }
 
@@ -303,7 +309,7 @@ func (s *Session) WriteCoupled(data []byte) (int, error) {
 	// is parked at its budget does further queueing error — while any
 	// path still has budget, Flush can drain onto it.
 	if budget := s.cfg.maxRetransmitBytes(); budget > 0 &&
-		len(s.coupled.pendingData)+len(data) > budget {
+		s.coupled.pendingQ.Len()+len(data) > budget {
 		allParked := true
 		for _, st := range cs {
 			if st.retransmitBytes < budget {
@@ -315,30 +321,26 @@ func (s *Session) WriteCoupled(data []byte) (int, error) {
 			return 0, fmt.Errorf("coupled group: %w", ErrRetransmitBudget)
 		}
 	}
-	// Queue on the group: stash bytes on the first coupled stream's
-	// group buffer; Flush distributes per record.
-	if len(s.coupled.pendingData) == 0 {
+	// Queue on the group: stash bytes on the shared group queue; Flush
+	// distributes per record.
+	if s.coupled.pendingQ.Len() == 0 {
 		s.coupled.pendingSince = s.now()
 	}
-	s.coupled.pendingData = append(s.coupled.pendingData, data...)
+	s.coupled.pendingQ.Append(data)
 	return len(data), nil
 }
 
 // ReadCoupled drains in-order bytes delivered by the coupled group.
 func (s *Session) ReadCoupled(p []byte) int {
-	n := copy(p, s.coupled.recvData)
-	s.coupled.recvData = s.coupled.recvData[n:]
-	if len(s.coupled.recvData) == 0 {
-		s.coupled.recvData = nil
-	}
-	if s.coupled.recvBlocked && len(s.coupled.recvData) <= s.cfg.maxRecvBytes()/2 {
+	n := s.coupled.recvQ.ReadInto(p)
+	if s.coupled.recvBlocked && s.coupled.recvQ.Len() <= s.cfg.maxRecvBytes()/2 {
 		s.coupled.recvBlocked = false
 	}
 	return n
 }
 
 // CoupledReadable returns buffered coupled bytes.
-func (s *Session) CoupledReadable() int { return len(s.coupled.recvData) }
+func (s *Session) CoupledReadable() int { return s.coupled.recvQ.Len() }
 
 // CoupledActive reports whether any stream is currently coupled (so a
 // receiver knows to read the aggregate instead of individual streams).

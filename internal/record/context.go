@@ -49,6 +49,12 @@ type StreamContext struct {
 	aead     cipher.AEAD
 	iv       [12]byte // per-stream IV, stream ID already folded in
 	seq      uint64   // next record sequence number in this direction
+	// nonceBuf is the per-record nonce scratch. Computing the nonce into
+	// a field of the (heap-resident) context instead of a local keeps
+	// the slice handed to cipher.AEAD from forcing a per-record heap
+	// allocation. Contexts are serialized by their owner, so one scratch
+	// per context suffices.
+	nonceBuf [12]byte
 }
 
 // NewStreamContext builds the context for streamID from the connection
@@ -103,12 +109,14 @@ func (c *StreamContext) Clone(seq uint64) *StreamContext {
 }
 
 // nonce computes the per-record nonce: the right-most 64 bits of the
-// stream IV XORed with the record sequence number (Fig. 2).
-func (c *StreamContext) nonce(seq uint64) [12]byte {
-	n := c.iv
-	right := wire.Uint64(n[4:12]) ^ seq
-	wire.PutUint64(n[4:12], right)
-	return n
+// stream IV XORed with the record sequence number (Fig. 2). The result
+// lives in the context's scratch field and is valid until the next
+// nonce call on this context.
+func (c *StreamContext) nonce(seq uint64) []byte {
+	c.nonceBuf = c.iv
+	right := wire.Uint64(c.nonceBuf[4:12]) ^ seq
+	wire.PutUint64(c.nonceBuf[4:12], right)
+	return c.nonceBuf[:]
 }
 
 // header builds the 5-byte TLS record header for a ciphertext of the
@@ -181,7 +189,7 @@ func (c *StreamContext) SealV(dst []byte, contentType uint8, padTo int, parts ..
 	c.seq++
 	// In-place seal: ciphertext overwrites the inner plaintext, the tag
 	// lands in the pre-grown capacity.
-	c.aead.Seal(inner[:0], nonce[:], inner, dst[base:base+HeaderLen])
+	c.aead.Seal(inner[:0], nonce, inner, dst[base:base+HeaderLen])
 	return dst[:base+total], nil
 }
 
@@ -231,7 +239,7 @@ func (c *StreamContext) OpenInto(rec, scratch []byte) (contentType uint8, conten
 		return 0, nil, err
 	}
 	nonce := c.nonce(c.seq)
-	inner, err := c.aead.Open(scratch[:0], nonce[:], ct, rec[:HeaderLen])
+	inner, err := c.aead.Open(scratch[:0], nonce, ct, rec[:HeaderLen])
 	if err != nil {
 		return 0, nil, ErrDecrypt
 	}
@@ -255,7 +263,7 @@ func (c *StreamContext) openAt(rec []byte, seq uint64) (uint8, []byte, error) {
 		return 0, nil, err
 	}
 	nonce := c.nonce(seq)
-	inner, err := c.aead.Open(ct[:0], nonce[:], ct, rec[:HeaderLen])
+	inner, err := c.aead.Open(ct[:0], nonce, ct, rec[:HeaderLen])
 	if err != nil {
 		return 0, nil, ErrDecrypt
 	}
@@ -268,7 +276,7 @@ func (c *StreamContext) openCopy(rec []byte, seq uint64) (uint8, []byte, error) 
 		return 0, nil, err
 	}
 	nonce := c.nonce(seq)
-	inner, err := c.aead.Open(nil, nonce[:], ct, rec[:HeaderLen])
+	inner, err := c.aead.Open(nil, nonce, ct, rec[:HeaderLen])
 	if err != nil {
 		return 0, nil, ErrDecrypt
 	}

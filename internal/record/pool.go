@@ -1,0 +1,104 @@
+package record
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buf is one pooled, refcounted payload buffer. The datapath retains a
+// copy of every sealed record's payload while failover may replay it;
+// pooling those copies removes the dominant per-record allocation on
+// the send hot path. A Buf starts with one reference; Retain adds one
+// (redundant PickAll scheduling shares a single copy across replicas)
+// and Release drops one, returning the buffer to its pool at zero.
+//
+// Ownership rule: whoever holds a reference may read Bytes; once the
+// last reference is released the storage may be handed to an unrelated
+// record, so a released Buf must never be read again (DESIGN.md §16).
+type Buf struct {
+	data []byte
+	refs atomic.Int32
+	pool *BufferPool
+}
+
+// Bytes returns the buffer's payload. Valid only while the caller holds
+// a reference.
+func (b *Buf) Bytes() []byte { return b.data }
+
+// Retain adds a reference and returns b for chaining.
+func (b *Buf) Retain() *Buf {
+	b.refs.Add(1)
+	return b
+}
+
+// Release drops one reference; the last release returns the buffer to
+// the pool. nil-safe so callers can release optional buffers blindly.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		b.pool.put(b)
+	case n < 0:
+		panic("record: Buf released more often than retained")
+	}
+}
+
+// BufferPool is a sync.Pool-backed arena of record-payload buffers
+// (MaxPlaintextLen capacity each, the largest payload a record can
+// carry). It counts logical gets and puts so owners can assert balance:
+// at session close every buffer handed out must have been released
+// (gets == puts), which is exactly the "no recycled buffer is ever held
+// past its release" invariant the chaos campaigns exercise.
+type BufferPool struct {
+	bufs sync.Pool
+	gets atomic.Uint64
+	puts atomic.Uint64
+}
+
+// NewBufferPool builds an empty arena.
+func NewBufferPool() *BufferPool {
+	p := &BufferPool{}
+	p.bufs.New = func() any {
+		return &Buf{data: make([]byte, 0, MaxPlaintextLen), pool: p}
+	}
+	return p
+}
+
+// Get returns a buffer of length n holding one reference. Buffers are
+// recycled storage: the contents are arbitrary until written.
+func (p *BufferPool) Get(n int) *Buf {
+	b := p.bufs.Get().(*Buf)
+	if cap(b.data) < n {
+		b.data = make([]byte, n)
+	} else {
+		b.data = b.data[:n]
+	}
+	b.refs.Store(1)
+	p.gets.Add(1)
+	return b
+}
+
+// Copy returns a pooled buffer holding a copy of payload.
+func (p *BufferPool) Copy(payload []byte) *Buf {
+	b := p.Get(len(payload))
+	copy(b.data, payload)
+	return b
+}
+
+func (p *BufferPool) put(b *Buf) {
+	p.puts.Add(1)
+	p.bufs.Put(b)
+}
+
+// Stats reports the pool's logical get/put counters.
+func (p *BufferPool) Stats() (gets, puts uint64) {
+	return p.gets.Load(), p.puts.Load()
+}
+
+// Balanced reports whether every buffer handed out has been released.
+func (p *BufferPool) Balanced() bool {
+	gets, puts := p.Stats()
+	return gets == puts
+}

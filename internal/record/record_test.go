@@ -139,7 +139,7 @@ func TestNonceUniquenessAcrossStreamsAndSeqs(t *testing.T) {
 	for _, sid := range []uint32{0, 1, 2, 100, 1 << 20} {
 		c := newTestContext(t, sid)
 		for seq := uint64(0); seq < 64; seq++ {
-			n := c.nonce(seq)
+			n := [12]byte(c.nonce(seq))
 			if prev, dup := seen[n]; dup {
 				t.Fatalf("nonce collision: stream %d seq %d vs %s", sid, seq, prev)
 			}

@@ -247,44 +247,125 @@ func (s *Session) addConnLocked(id uint32, nc net.Conn) *pathConn {
 	return pc
 }
 
+// writeBatchMax bounds how many queued chunks one vectored write gathers.
+// It matches Linux's UIO_FASTIOV (the iovec count writev handles without
+// an extra kernel allocation) and comfortably exceeds writeCh's capacity.
+const writeBatchMax = 16
+
+// writeGatherBytes stops the gather once a batch holds one good write's
+// worth of data. Gathering frees writeCh slots, which deepens the
+// per-connection pipeline beyond the channel's capacity — and writeAll
+// blocking on a full writeCh is the only backpressure that paces the
+// scheduler to each path's real rate. Unbounded gathering let a slow
+// path hoard a multi-megabyte backlog that drained in a long tail after
+// the fast path went idle. A byte cap keeps the batching win where it
+// matters (many small ack/control chunks → one syscall) without
+// meaningfully deepening the pipeline for bulk data.
+const writeGatherBytes = 64 << 10
+
 // writeLoop drains one connection's outgoing queue onto its socket.
+// Queued chunks are gathered and pushed with a single vectored write
+// (writev via net.Buffers) so a burst of engine flushes costs one
+// syscall, not one per chunk.
 func (s *Session) writeLoop(pc *pathConn) {
 	defer s.wg.Done()
+	chunks := make([][]byte, 0, writeBatchMax)
+	var iov net.Buffers
 	for {
 		select {
 		case data := <-pc.writeCh:
-			if pc.failed.Load() {
-				pc.pending.Add(-1)
-				s.mu.Lock()
-				s.engine.NoteWriteDropped(pc.id)
-				s.mu.Unlock()
-				continue // drain and discard
+			chunks = append(chunks[:0], data)
+		gather:
+			for total := len(data); len(chunks) < writeBatchMax && total < writeGatherBytes; {
+				select {
+				case more := <-pc.writeCh:
+					chunks = append(chunks, more)
+					total += len(more)
+				default:
+					break gather
+				}
 			}
-			_, err := pc.nc.Write(data)
-			now := time.Now()
-			pc.pending.Add(-1)
-			s.mu.Lock()
-			if err == nil {
-				// Stamp the socket-write leg of the records this chunk
-				// carried (lifecycle spans).
-				s.engine.NoteWritten(pc.id, now)
-			} else {
-				s.engine.NoteWriteDropped(pc.id)
-			}
-			s.engine.RecycleOutgoing(data)
-			s.mu.Unlock()
-			if err != nil {
-				s.mu.Lock()
-				pc.failed.Store(true)
-				s.engine.ReportConnFailed(pc.id)
-				s.processEventsLocked()
-				s.cond.Broadcast()
-				s.mu.Unlock()
-			}
+			s.writeBatch(pc, chunks, &iov)
 		case <-s.timerStop:
-			return
+			// Session shutdown: return queued-but-unwritten chunks so the
+			// chunk pool's books close and their records' spans record the
+			// drop instead of dangling unstamped.
+			for {
+				select {
+				case data := <-pc.writeCh:
+					pc.pending.Add(-1)
+					s.mu.Lock()
+					s.engine.NoteWriteDropped(pc.id)
+					s.engine.RecycleOutgoing(data)
+					s.mu.Unlock()
+				default:
+					return
+				}
+			}
 		}
 	}
+}
+
+// writeBatch pushes one gathered batch onto the socket and settles its
+// bookkeeping. All failure-path state transitions — per-chunk
+// written/dropped stamps, the failed flag, ReportConnFailed, and the
+// resulting events — happen inside ONE s.mu critical section, so no
+// concurrent flush can observe the conn failed but the engine not yet
+// told (the old split sections let collectOutgoingLocked drain a conn
+// whose drop hadn't been stamped yet, corrupting span reconstruction).
+func (s *Session) writeBatch(pc *pathConn, chunks [][]byte, iov *net.Buffers) {
+	if pc.failed.Load() {
+		// Drain and discard, but still recycle: the engine handed these
+		// chunks out and counts them against the pool.
+		pc.pending.Add(int64(-len(chunks)))
+		s.mu.Lock()
+		for _, c := range chunks {
+			s.engine.NoteWriteDropped(pc.id)
+			s.engine.RecycleOutgoing(c)
+		}
+		s.mu.Unlock()
+		return
+	}
+	// net.Buffers.WriteTo consumes the slice it is called on (that is how
+	// it tracks writev progress), so build the iovec from a reused scratch
+	// and keep chunks for the accounting below.
+	*iov = append((*iov)[:0], chunks...)
+	n, err := iov.WriteTo(pc.nc)
+	now := time.Now()
+	pc.pending.Add(int64(-len(chunks)))
+	if err == nil {
+		s.mu.Lock()
+		for _, c := range chunks {
+			// Stamp the socket-write leg of the records each chunk
+			// carried (lifecycle spans), one batch per chunk in FIFO
+			// order, then return the buffer to the chunk pool.
+			s.engine.NoteWritten(pc.id, now)
+			s.engine.RecycleOutgoing(c)
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	rem := n
+	for _, c := range chunks {
+		if rem >= int64(len(c)) {
+			// This chunk was fully flushed before the error hit.
+			rem -= int64(len(c))
+			s.engine.NoteWritten(pc.id, now)
+		} else {
+			// Partially written or never reached: the conn is dead either
+			// way, so the records count as dropped and failover replays
+			// them byte-identically on the new path.
+			rem = 0
+			s.engine.NoteWriteDropped(pc.id)
+		}
+		s.engine.RecycleOutgoing(c)
+	}
+	pc.failed.Store(true)
+	s.engine.ReportConnFailed(pc.id)
+	s.processEventsLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // ID returns the server-assigned TCPLS session identifier.
@@ -344,10 +425,15 @@ func (s *Session) Connections() []uint32 {
 	return s.engine.Connections()
 }
 
+// readBufLen sizes each connection's read buffer. 256 KiB holds a full
+// batch of ~16 max-size TLS records, so one kernel read feeds the engine
+// a writev-sized burst that is deframed and decrypted in place.
+const readBufLen = 256 << 10
+
 // readLoop pumps bytes from one TCP connection into the engine.
 func (s *Session) readLoop(pc *pathConn) {
 	defer s.wg.Done()
-	buf := make([]byte, 64<<10)
+	buf := make([]byte, readBufLen)
 	for {
 		n, err := pc.nc.Read(buf)
 		if n > 0 {
@@ -435,9 +521,16 @@ func (s *Session) collectOutgoingLocked() []outChunk {
 		if pc.failed.Load() {
 			// Drain and drop: the engine may still frame onto a conn it
 			// does not know has failed yet. The dropped chunk's records
-			// keep a zero write stamp until failover replays them.
-			s.engine.Outgoing(id)
-			s.engine.NoteWriteDropped(id)
+			// keep a zero write stamp until failover replays them. The
+			// drained buffer goes back to the chunk pool — dropping it on
+			// the floor leaked one warm buffer per failover — and an empty
+			// drain must NOT stamp a drop: no chunk was handed out, so a
+			// drop stamp here would close some *other* chunk's span batch.
+			data, err := s.engine.Outgoing(id)
+			if err == nil && len(data) > 0 {
+				s.engine.NoteWriteDropped(id)
+				s.engine.RecycleOutgoing(data)
+			}
 			continue
 		}
 		data, err := s.engine.Outgoing(id)
@@ -455,12 +548,22 @@ func (s *Session) collectOutgoingLocked() []outChunk {
 // blocks the caller — that is the send-side backpressure that paces
 // application writes to the aggregate network rate.
 func (s *Session) writeAll(chunks []outChunk) {
-	for _, ch := range chunks {
+	for i, ch := range chunks {
 		ch.pc.pending.Add(1)
 		select {
 		case ch.pc.writeCh <- ch.data:
 		case <-s.timerStop:
 			ch.pc.pending.Add(-1)
+			// Session shutting down: the remaining chunks (this one
+			// included) will never reach a writer. Stamp them dropped so
+			// span reconstruction stays exact — every handed-out chunk
+			// must resolve to written or dropped — and recycle them.
+			s.mu.Lock()
+			for _, rest := range chunks[i:] {
+				s.engine.NoteWriteDropped(rest.pc.id)
+				s.engine.RecycleOutgoing(rest.data)
+			}
+			s.mu.Unlock()
 			return
 		}
 	}
@@ -768,6 +871,9 @@ func (s *Session) failSessionLocked(err error) {
 		for _, pc := range s.conns {
 			pc.nc.Close()
 		}
+		// No failover replay can happen after this: return the pooled
+		// retransmit payloads.
+		s.engine.ReleaseBuffers()
 	}
 	s.cond.Broadcast()
 }
@@ -809,6 +915,12 @@ func (s *Session) Close() error {
 	for _, pc := range conns {
 		pc.nc.Close()
 	}
+	// The writers have drained (or timed out); no failover replay can
+	// happen on a closed session, so the pooled retransmit payloads held
+	// for it go back to the arena.
+	s.mu.Lock()
+	s.engine.ReleaseBuffers()
+	s.mu.Unlock()
 	return nil
 }
 
